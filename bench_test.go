@@ -1,0 +1,203 @@
+// Benchmarks regenerating every table and figure of the paper. Each
+// benchmark runs the corresponding experiment end-to-end (workload
+// generation + simulation) and reports the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the evaluation:
+//
+//	BenchmarkTable1Stats    — Table 1, traced-program attributes
+//	BenchmarkFig3Area       — Figure 3, RBE area costs
+//	BenchmarkFig4NLSVariants— Figure 4, NLS-cache vs NLS-table BEP
+//	BenchmarkFig5BTBvsNLS   — Figure 5, BTB vs 1024 NLS-table BEP
+//	BenchmarkFig6AccessTime — Figure 6, BTB access times
+//	BenchmarkFig7PerProgram — Figure 7, per-program BEP comparison
+//	BenchmarkFig8CPI        — Figure 8, CPI
+//	BenchmarkEngines/*      — raw simulation throughput per architecture
+//
+// `cmd/nlstables` prints the same experiments as full tables.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/fetch"
+	"repro/internal/pht"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchInsns keeps the full benchmark suite fast enough to run in minutes;
+// cmd/nlstables defaults to 2M for the reported EXPERIMENTS.md numbers.
+const benchInsns = 300_000
+
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.DefaultConfig(benchInsns))
+}
+
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		out, err := r.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig3Area(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3()
+		last = rows[len(rows)-1].RBE
+	}
+	b.ReportMetric(last, "rbe-last-row")
+}
+
+func BenchmarkFig4NLSVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		avgs, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, avgs, "1024 NLS-table", "16KB direct", "nls1024-bep")
+		report(b, avgs, "NLS-cache", "16KB direct", "nlscache-bep")
+	}
+}
+
+func BenchmarkFig5BTBvsNLS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		avgs, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, avgs, "128-entry direct BTB", "", "btb128-bep")
+		report(b, avgs, "1024 NLS-table", "16KB direct", "nls1024-bep")
+	}
+}
+
+func BenchmarkFig6AccessTime(b *testing.B) {
+	var ns float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6()
+		ns = rows[0].NS
+	}
+	b.ReportMetric(ns, "btb128-direct-ns")
+	b.ReportMetric(timing.DirectRatio(128, 4), "assoc-ratio")
+}
+
+func BenchmarkFig7PerProgram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		byProg, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(byProg) != 6 {
+			b.Fatalf("expected 6 programs, got %d", len(byProg))
+		}
+	}
+}
+
+func BenchmarkFig8CPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		avgs, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range avgs {
+			if a.Arch == "1024 NLS-table" && a.Cache.String() == "16KB direct" {
+				b.ReportMetric(a.CPI, "nls1024-cpi")
+			}
+		}
+	}
+}
+
+func report(b *testing.B, avgs []experiments.Average, arch, cacheStr, metric string) {
+	b.Helper()
+	for _, a := range avgs {
+		if a.Arch == arch && (cacheStr == "" || a.Cache.String() == cacheStr) {
+			b.ReportMetric(a.BEP(), metric)
+			return
+		}
+	}
+	b.Fatalf("missing %s / %s", arch, cacheStr)
+}
+
+// BenchmarkEngines measures raw per-instruction simulation cost of each
+// architecture on a shared gcc-analogue trace.
+func BenchmarkEngines(b *testing.B) {
+	tr := workload.Gcc().MustTrace(benchInsns)
+	g := cache.MustGeometry(16*1024, 32, 1)
+	newPHT := func() pht.Predictor { return pht.NewGShare(4096, 6) }
+	engines := map[string]func() fetch.Engine{
+		"NLSTable1024": func() fetch.Engine { return fetch.NewNLSTableEngine(g, 1024, newPHT(), 32) },
+		"NLSCache":     func() fetch.Engine { return fetch.NewNLSCacheEngine(g, 2, newPHT(), 32) },
+		"BTB128":       func() fetch.Engine { return fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, newPHT(), 32) },
+		"Johnson":      func() fetch.Engine { return fetch.NewJohnsonEngine(g) },
+	}
+	for name, mk := range engines {
+		b.Run(name, func(b *testing.B) {
+			e := mk()
+			b.ResetTimer()
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				e.Step(tr.Records[steps%len(tr.Records)])
+				steps++
+			}
+		})
+	}
+}
+
+// BenchmarkTraceGeneration measures workload synthesis throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for _, spec := range []workload.Spec{workload.Doduc(), workload.Gcc()} {
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := spec.Trace(100_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Len() != 100_000 {
+					b.Fatal("short trace")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceSerialization measures the binary trace format.
+func BenchmarkTraceSerialization(b *testing.B) {
+	tr := workload.Espresso().MustTrace(100_000)
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink countWriter
+			if err := trace.Write(&sink, tr); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(sink))
+		}
+	})
+}
+
+type countWriter int
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
+// Example of using the benchmark harness programmatically.
+func Example() {
+	rows := experiments.Fig6()
+	fmt.Printf("128-entry direct BTB ≈ %.1f ns\n", rows[0].NS)
+	// Output: 128-entry direct BTB ≈ 4.2 ns
+}

@@ -1,0 +1,111 @@
+// Command nlssim runs a single workload through one fetch-architecture
+// configuration and reports the paper's metrics (%MfB, %MpB, BEP, CPI,
+// i-cache miss rate), optionally with a per-branch-kind breakdown.
+//
+// Usage:
+//
+//	nlssim -workload gcc -arch nls-table -entries 1024 -cache 16 -assoc 1
+//	nlssim -workload li  -arch btb -entries 128 -assoc 4 -breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/pht"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "gcc", "workload name (doduc, espresso, gcc, li, cfront, groff)")
+		n         = flag.Int("n", 1_000_000, "instructions to simulate")
+		arch      = flag.String("arch", "nls-table", "architecture: nls-table, nls-cache, btb, coupled-btb, johnson")
+		entries   = flag.Int("entries", 1024, "NLS-table or BTB entries")
+		perLine   = flag.Int("perline", 2, "NLS-cache predictors per line")
+		cacheKB   = flag.Int("cache", 16, "instruction cache size in KB")
+		assoc     = flag.Int("assoc", 1, "cache associativity (nls) or BTB associativity (btb)")
+		phtKind   = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, taken, nottaken")
+		phtSize   = flag.Int("phtsize", 4096, "PHT entries")
+		breakdown = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*wl)
+	if !ok {
+		fail(fmt.Errorf("unknown workload %q", *wl))
+	}
+	t, err := spec.Trace(*n)
+	if err != nil {
+		fail(err)
+	}
+
+	dir := newPHT(*phtKind, *phtSize)
+	var engine fetch.Engine
+	switch *arch {
+	case "nls-table":
+		g := cache.MustGeometry(*cacheKB*1024, 32, *assoc)
+		engine = fetch.NewNLSTableEngine(g, *entries, dir, 32)
+	case "nls-cache":
+		g := cache.MustGeometry(*cacheKB*1024, 32, *assoc)
+		engine = fetch.NewNLSCacheEngine(g, *perLine, dir, 32)
+	case "btb":
+		g := cache.MustGeometry(*cacheKB*1024, 32, 1)
+		engine = fetch.NewBTBEngine(g, btb.Config{Entries: *entries, Assoc: *assoc}, dir, 32)
+	case "coupled-btb":
+		g := cache.MustGeometry(*cacheKB*1024, 32, 1)
+		engine = fetch.NewCoupledBTBEngine(g, btb.Config{Entries: *entries, Assoc: *assoc}, 32)
+	case "johnson":
+		g := cache.MustGeometry(*cacheKB*1024, 32, *assoc)
+		engine = fetch.NewJohnsonEngine(g)
+	default:
+		fail(fmt.Errorf("unknown architecture %q", *arch))
+	}
+
+	m := fetch.Run(engine, t)
+	p := metrics.Default()
+	fmt.Printf("%s on %s\n", engine.Name(), t.Name)
+	fmt.Printf("  %s\n", m.Summary(p))
+	fmt.Printf("  BEP breakdown: misfetch=%.3f mispredict=%.3f\n",
+		m.MisfetchBEP(p), m.MispredictBEP(p))
+
+	if *breakdown {
+		fmt.Println("  per-kind (count, per-100-breaks):")
+		for k := isa.CondBranch; k < isa.NumKinds; k++ {
+			mf, mp := m.MisfetchByKind[k], m.MispredictByKind[k]
+			fmt.Printf("    %-9s misfetch %9d (%5.2f)  mispredict %9d (%5.2f)\n",
+				k, mf, 100*float64(mf)/float64(m.Breaks),
+				mp, 100*float64(mp)/float64(m.Breaks))
+		}
+	}
+}
+
+func newPHT(kind string, size int) pht.Predictor {
+	switch kind {
+	case "gshare":
+		return pht.NewGShare(size, 0)
+	case "gas":
+		return pht.NewGAs(size)
+	case "bimodal":
+		return pht.NewBimodal(size)
+	case "1bit":
+		return pht.NewOneBit(size)
+	case "taken":
+		return pht.Static{Taken: true}
+	case "nottaken":
+		return pht.Static{Taken: false}
+	}
+	fail(fmt.Errorf("unknown PHT kind %q", kind))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nlssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command nlstables regenerates every table and figure of the paper from
+// the benchmark-analogue workloads: Table 1 and Figures 3–8. This is the
+// harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	nlstables [-n insns] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		n   = flag.Int("n", 2_000_000, "instructions to simulate per program")
+		exp = flag.String("exp", "all", "experiment: table1, fig3..fig8, perline, coupled, pht, or all")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.DefaultConfig(*n))
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			out, err := r.Table1()
+			check(err)
+			fmt.Println("Table 1: measured attributes of the traced programs")
+			fmt.Println(out)
+		case "fig3":
+			fmt.Println(experiments.RenderFig3(experiments.Fig3()))
+		case "fig4":
+			avgs, err := r.Fig4()
+			check(err)
+			fmt.Println(experiments.RenderAverages(
+				"Figure 4: average BEP, NLS-cache vs NLS-table", avgs))
+		case "fig5":
+			avgs, err := r.Fig5()
+			check(err)
+			fmt.Println(experiments.RenderAverages(
+				"Figure 5: average BEP, BTB vs 1024 NLS-table", avgs))
+		case "fig6":
+			fmt.Println(experiments.RenderFig6(experiments.Fig6()))
+		case "fig7":
+			byProg, err := r.Fig7()
+			check(err)
+			fmt.Println(experiments.RenderFig7(r, byProg))
+		case "fig8":
+			avgs, err := r.Fig8()
+			check(err)
+			fmt.Println(experiments.RenderCPI(avgs))
+		case "perline":
+			avgs, err := r.PerLineSweep()
+			check(err)
+			fmt.Println(experiments.RenderAverages(
+				"Ablation: NLS-cache predictors per line (§5.1)", avgs))
+		case "coupled":
+			avgs, err := r.CoupledSweep()
+			check(err)
+			fmt.Println(experiments.RenderAverages(
+				"Ablation: decoupled vs coupled designs (§2, §6.2)", avgs))
+		case "pht":
+			rows, err := r.PHTSweep()
+			check(err)
+			fmt.Println(experiments.RenderPHTSweep(rows))
+		case "width":
+			rows, err := r.WidthSweep()
+			check(err)
+			fmt.Println(experiments.RenderWidthSweep(rows))
+		case "pollution":
+			rows, err := r.PollutionSweep()
+			check(err)
+			fmt.Println(experiments.RenderPollutionSweep(rows, r.Cfg.Penalties))
+		default:
+			fmt.Fprintf(os.Stderr, "nlstables: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+			"perline", "coupled", "pht", "width", "pollution"} {
+			run(e)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nlstables:", err)
+		os.Exit(1)
+	}
+}

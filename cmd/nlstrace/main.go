@@ -1,0 +1,109 @@
+// Command nlstrace generates, saves, loads, and summarizes instruction
+// traces of the benchmark-analogue workloads. Its default output is the
+// reproduction of the paper's Table 1 ("Measured attributes of the traced
+// programs") for the generated traces.
+//
+// Usage:
+//
+//	nlstrace [-n insns] [-workload name|all] [-out trace.nlst]
+//	nlstrace -in trace.nlst
+//	nlstrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "instructions to trace per workload")
+		name    = flag.String("workload", "all", "workload name (doduc, espresso, gcc, li, cfront, groff) or 'all'")
+		out     = flag.String("out", "", "write the generated trace to this file (single workload only)")
+		in      = flag.String("in", "", "read a trace from this file and summarize it")
+		list    = flag.Bool("list", false, "list available workloads")
+		doCheck = flag.Bool("validate", false, "validate trace chaining invariants (slower)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			p, err := s.Program()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-15s procs=%d blocks=%d code=%dKB static-cond=%d\n",
+				s.Name, len(p.Procs), p.NumBlocks(), p.CodeBytes()/1024, p.StaticCondSites())
+		}
+		return
+	}
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		t, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *doCheck {
+			if err := t.Validate(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println(trace.FormatTable([]*trace.Stats{trace.ComputeStats(t)}))
+		return
+	}
+
+	specs := workload.All()
+	if *name != "all" {
+		s, ok := workload.ByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		specs = []workload.Spec{s}
+	}
+
+	var rows []*trace.Stats
+	for _, s := range specs {
+		t, err := s.Trace(*n)
+		if err != nil {
+			fatal(err)
+		}
+		if *doCheck {
+			if err := t.Validate(); err != nil {
+				fatal(fmt.Errorf("%s: %w", s.Name, err))
+			}
+		}
+		rows = append(rows, trace.ComputeStats(t))
+		if *out != "" {
+			if len(specs) != 1 {
+				fatal(fmt.Errorf("-out requires a single -workload"))
+			}
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.Write(f, t); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d records)\n", *out, t.Len())
+		}
+	}
+	fmt.Println(trace.FormatTable(rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nlstrace:", err)
+	os.Exit(1)
+}

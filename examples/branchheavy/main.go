@@ -1,0 +1,57 @@
+// Branch-heavy scenario: the paper's §7 observation that programs with many
+// branch sites (gcc, cfront, groff) favour the NLS-table, because its
+// smaller entries buy many more of them at the same area than BTB entries
+// — the 128-entry BTB takes capacity misses that the 1024-entry NLS-table
+// does not.
+//
+// This example sweeps BTB sizes against the equal-cost NLS-table on the
+// gcc analogue and prints the misfetch component, where the entire
+// difference lives (the direction predictor is shared).
+//
+//	go run ./examples/branchheavy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/area"
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/metrics"
+	"repro/internal/pht"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	tr, err := workload.Gcc().Trace(2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("workload %s: %d static conditional sites, Q-90 = %d sites\n\n",
+		tr.Name, st.StaticCondSites, st.Q90)
+
+	geom := cache.MustGeometry(16*1024, 32, 1)
+	p := metrics.Default()
+
+	fmt.Println("architecture                 RBE cost   %misfetch   misfetch-BEP")
+	for _, entries := range []int{64, 128, 256, 512} {
+		cfg := btb.Config{Entries: entries, Assoc: 1}
+		e := fetch.NewBTBEngine(geom, cfg, pht.NewGShare(4096, 6), 32)
+		m := fetch.Run(e, tr)
+		fmt.Printf("%-28s %8.0f %10.2f%% %13.3f\n",
+			cfg, area.BTBRBE(cfg), m.PctMisfetched(), m.MisfetchBEP(p))
+	}
+	for _, entries := range []int{512, 1024, 2048} {
+		e := fetch.NewNLSTableEngine(geom, entries, pht.NewGShare(4096, 6), 32)
+		m := fetch.Run(e, tr)
+		fmt.Printf("%-28s %8.0f %10.2f%% %13.3f\n",
+			fmt.Sprintf("%d-entry NLS-table", entries),
+			area.NLSTableRBE(entries, geom), m.PctMisfetched(), m.MisfetchBEP(p))
+	}
+	fmt.Println("\nThe 1024-entry NLS-table costs about as much as the 128-entry BTB")
+	fmt.Println("but holds eight times the sites — on branch-rich code it misfetches less.")
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a benchmark-analogue workload, run the paper's two
+// fetch architectures over the same trace, and print the §5.2 metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/metrics"
+	"repro/internal/pht"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A workload: the gcc analogue, 1M executed instructions.
+	tr, err := workload.Gcc().Trace(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %s, %d instructions\n\n", tr.Name, tr.Len())
+
+	// 2. The paper's setup: a 16KB direct-mapped instruction cache,
+	// 4096-entry gshare PHT, 32-entry return stack.
+	geom := cache.MustGeometry(16*1024, 32, 1)
+	newPHT := func() pht.Predictor { return pht.NewGShare(4096, 6) }
+
+	// 3. The two architectures at equivalent hardware cost: a 1024-entry
+	// NLS-table vs a 128-entry BTB.
+	nls := fetch.NewNLSTableEngine(geom, 1024, newPHT(), 32)
+	btbEng := fetch.NewBTBEngine(geom, btb.Config{Entries: 128, Assoc: 1}, newPHT(), 32)
+
+	p := metrics.Default()
+	for _, eng := range []fetch.Engine{nls, btbEng} {
+		m := fetch.Run(eng, tr)
+		fmt.Printf("%s\n", eng.Name())
+		fmt.Printf("  misfetched   %5.2f%% of branches\n", m.PctMisfetched())
+		fmt.Printf("  mispredicted %5.2f%% of branches\n", m.PctMispredicted())
+		fmt.Printf("  BEP  %.3f cycles/branch (misfetch %.3f + mispredict %.3f)\n",
+			m.BEP(p), m.MisfetchBEP(p), m.MispredictBEP(p))
+		fmt.Printf("  CPI  %.3f   (i-cache miss rate %.2f%%)\n\n",
+			m.CPI(p), 100*m.ICacheMissRate())
+	}
+}

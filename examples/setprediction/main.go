@@ -1,0 +1,58 @@
+// Set prediction for associative caches (§4.2, second approach): each cache
+// line carries a field predicting the way its fall-through successor lives
+// in, so every access drives a single way and the tag check moves to the
+// decode stage — an associative cache with direct-mapped access behaviour.
+//
+// This example runs workload fetch streams over a 2-way cache with the
+// per-line next-way fields and reports the prediction accuracy — the
+// fraction of sequential line crossings where only one way had to be
+// driven.
+//
+//	go run ./examples/setprediction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, spec := range workload.All() {
+		tr, err := spec.Trace(500_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := cache.MustGeometry(16*1024, 32, 2)
+		c := cache.New(g)
+		sp := cache.NewSetPredictor(c)
+
+		// Walk the fetch stream; on every sequential crossing into a
+		// new line, score the previous line's next-way field.
+		type loc struct{ set, way int }
+		var prev loc
+		var prevLine uint32
+		havePrev := false
+		for _, r := range tr.Records {
+			line := g.LineAddr(r.PC)
+			_, resident := c.Probe(r.PC)
+			_, way := c.Access(r.PC)
+			if havePrev && line != prevLine {
+				sequential := line == prevLine+1
+				if sequential {
+					sp.Observe(prev.set, prev.way, way, resident)
+				}
+			}
+			prev = loc{g.SetIndex(r.PC), way}
+			prevLine = line
+			havePrev = true
+		}
+		fmt.Printf("%-15s 2-way 16KB: fall-through way prediction %6.2f%% over %d crossings (miss rate %.2f%%)\n",
+			tr.Name, 100*sp.Accuracy(), sp.Predictions(), 100*c.MissRate())
+	}
+	fmt.Println("\nHigh accuracy means the 2-way cache almost always behaves direct-mapped")
+	fmt.Println("on the sequential path, hiding the associative tag-compare latency that")
+	fmt.Println("Figure 6 charges the BTB for.")
+}

@@ -1,0 +1,169 @@
+// Package btb implements the decoupled branch target buffer the paper
+// compares NLS against (§3).
+//
+// The BTB stores, per entry, a tag identifying the branch, the full target
+// address of the branch's most recent taken execution, and the branch type.
+// Following the paper: only taken branches are allocated; when a resident
+// branch executes not-taken, the entry (and its target) is retained ("If a
+// branch is not taken while it is in the BTB, we leave the entry in the BTB
+// unmodified"); replacement is LRU within a set. Direction prediction is
+// NOT stored here — it lives in the decoupled PHT (package pht).
+package btb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Config sizes a BTB.
+type Config struct {
+	Entries int // total entries (power of two)
+	Assoc   int // 1, 2, or 4 in the paper
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0 || bits.OnesCount(uint(c.Entries)) != 1:
+		return fmt.Errorf("btb: entries %d must be a positive power of two", c.Entries)
+	case c.Assoc <= 0 || bits.OnesCount(uint(c.Assoc)) != 1:
+		return fmt.Errorf("btb: associativity %d must be a positive power of two", c.Assoc)
+	case c.Entries < c.Assoc:
+		return fmt.Errorf("btb: %d entries cannot support associativity %d", c.Entries, c.Assoc)
+	}
+	return nil
+}
+
+// String describes the configuration, e.g. "128-entry 4-way BTB".
+func (c Config) String() string {
+	if c.Assoc == 1 {
+		return fmt.Sprintf("%d-entry direct BTB", c.Entries)
+	}
+	return fmt.Sprintf("%d-entry %d-way BTB", c.Entries, c.Assoc)
+}
+
+// Entry is the payload returned by a BTB hit.
+type Entry struct {
+	Target isa.Addr
+	Kind   isa.Kind
+}
+
+type slot struct {
+	tag    uint32
+	target isa.Addr
+	kind   isa.Kind
+	valid  bool
+	stamp  uint64
+}
+
+// BTB is a set-associative, LRU, taken-allocate branch target buffer.
+type BTB struct {
+	cfg     Config
+	sets    int
+	setMask uint32
+	slots   []slot
+	clock   uint64
+
+	lookups, hits uint64
+}
+
+// New builds an empty BTB. It panics on an invalid configuration (use
+// Config.Validate to check first).
+func New(cfg Config) *BTB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Entries / cfg.Assoc
+	return &BTB{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint32(sets - 1),
+		slots:   make([]slot, cfg.Entries),
+	}
+}
+
+// Config returns the BTB's configuration.
+func (b *BTB) Config() Config { return b.cfg }
+
+func (b *BTB) setOf(pc isa.Addr) int { return int(pc.Word() & b.setMask) }
+
+func (b *BTB) tagOf(pc isa.Addr) uint32 { return pc.Word() >> uint(bits.TrailingZeros(uint(b.sets))) }
+
+// Lookup probes the BTB at fetch time. A hit refreshes the entry's LRU
+// state, models the real access.
+func (b *BTB) Lookup(pc isa.Addr) (Entry, bool) {
+	b.lookups++
+	set, tag := b.setOf(pc), b.tagOf(pc)
+	b.clock++
+	for w := 0; w < b.cfg.Assoc; w++ {
+		s := &b.slots[set*b.cfg.Assoc+w]
+		if s.valid && s.tag == tag {
+			s.stamp = b.clock
+			b.hits++
+			return Entry{Target: s.target, Kind: s.kind}, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Probe is Lookup without any state change or statistics, for tests.
+func (b *BTB) Probe(pc isa.Addr) (Entry, bool) {
+	set, tag := b.setOf(pc), b.tagOf(pc)
+	for w := 0; w < b.cfg.Assoc; w++ {
+		s := &b.slots[set*b.cfg.Assoc+w]
+		if s.valid && s.tag == tag {
+			return Entry{Target: s.target, Kind: s.kind}, true
+		}
+	}
+	return Entry{}, false
+}
+
+// RecordTaken updates the BTB after a taken branch resolves: an existing
+// entry is refreshed with the new target (indirect branches move), otherwise
+// the LRU way of the set is replaced. Not-taken branches must NOT be passed
+// here — the paper's policy never allocates or modifies on not-taken.
+func (b *BTB) RecordTaken(pc, target isa.Addr, kind isa.Kind) {
+	set, tag := b.setOf(pc), b.tagOf(pc)
+	b.clock++
+	victim, victimStamp := 0, ^uint64(0)
+	for w := 0; w < b.cfg.Assoc; w++ {
+		s := &b.slots[set*b.cfg.Assoc+w]
+		if s.valid && s.tag == tag {
+			s.target = target
+			s.kind = kind
+			s.stamp = b.clock
+			return
+		}
+		if !s.valid {
+			if victimStamp != 0 {
+				victim, victimStamp = w, 0
+			}
+			continue
+		}
+		if s.stamp < victimStamp {
+			victim, victimStamp = w, s.stamp
+		}
+	}
+	s := &b.slots[set*b.cfg.Assoc+victim]
+	*s = slot{tag: tag, target: target, kind: kind, valid: true, stamp: b.clock}
+}
+
+// HitRate returns hits/lookups, or 0 before any lookup.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// Reset empties the BTB and clears statistics.
+func (b *BTB) Reset() {
+	for i := range b.slots {
+		b.slots[i] = slot{}
+	}
+	b.clock = 0
+	b.lookups = 0
+	b.hits = 0
+}

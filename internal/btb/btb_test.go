@@ -1,0 +1,235 @@
+package btb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{128, 1}, true},
+		{Config{128, 4}, true},
+		{Config{256, 2}, true},
+		{Config{0, 1}, false},
+		{Config{100, 1}, false},
+		{Config{128, 3}, false},
+		{Config{128, 0}, false},
+		{Config{2, 4}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if got := (Config{128, 1}).String(); got != "128-entry direct BTB" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Config{256, 4}).String(); got != "256-entry 4-way BTB" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTakenOnlyAllocation(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 1})
+	pc := isa.Addr(0x1000)
+	if _, hit := b.Lookup(pc); hit {
+		t.Error("cold lookup hit")
+	}
+	b.RecordTaken(pc, 0x2000, isa.CondBranch)
+	e, hit := b.Lookup(pc)
+	if !hit || e.Target != 0x2000 || e.Kind != isa.CondBranch {
+		t.Fatalf("after RecordTaken: %+v hit=%v", e, hit)
+	}
+}
+
+func TestEntryRetainedOnNotTaken(t *testing.T) {
+	// The paper's policy: a not-taken execution does not touch the BTB,
+	// so the taken target stays available. The engine simply never
+	// calls RecordTaken for not-taken branches; the entry must persist
+	// across other lookups.
+	b := New(Config{Entries: 16, Assoc: 1})
+	pc := isa.Addr(0x1000)
+	b.RecordTaken(pc, 0x2000, isa.CondBranch)
+	for i := 0; i < 10; i++ {
+		b.Lookup(pc) // not-taken executions only look up
+	}
+	e, hit := b.Probe(pc)
+	if !hit || e.Target != 0x2000 {
+		t.Error("entry lost without a conflicting allocation")
+	}
+}
+
+func TestIndirectTargetRefresh(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 1})
+	pc := isa.Addr(0x1000)
+	b.RecordTaken(pc, 0x2000, isa.IndirectJump)
+	b.RecordTaken(pc, 0x3000, isa.IndirectJump)
+	e, _ := b.Probe(pc)
+	if e.Target != 0x3000 {
+		t.Errorf("indirect target not refreshed: %v", e.Target)
+	}
+}
+
+func TestTagDisambiguation(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 1})
+	pc := isa.Addr(0x1000)
+	alias := pc + 16*4 // same set (16 sets, word-indexed), different tag
+	b.RecordTaken(pc, 0x2000, isa.CondBranch)
+	if _, hit := b.Probe(alias); hit {
+		t.Error("aliasing address hit a tagged entry")
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 1})
+	pc := isa.Addr(0x1000)
+	alias := pc + 16*4
+	b.RecordTaken(pc, 0x2000, isa.CondBranch)
+	b.RecordTaken(alias, 0x4000, isa.UncondBranch)
+	if _, hit := b.Probe(pc); hit {
+		t.Error("direct-mapped conflict did not evict")
+	}
+	e, hit := b.Probe(alias)
+	if !hit || e.Target != 0x4000 || e.Kind != isa.UncondBranch {
+		t.Error("replacing entry wrong")
+	}
+}
+
+func TestLRUWithin4Way(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 4}) // 4 sets
+	// Five branches mapping to set 0: word-index multiples of 4.
+	pcs := make([]isa.Addr, 5)
+	for i := range pcs {
+		pcs[i] = isa.Addr(0x1000 + i*4*4*4) // word = 0x400+16i, set 0
+	}
+	for _, pc := range pcs[:4] {
+		b.RecordTaken(pc, 0x2000, isa.CondBranch)
+	}
+	b.Lookup(pcs[0]) // refresh oldest
+	b.RecordTaken(pcs[4], 0x2000, isa.CondBranch)
+	if _, hit := b.Probe(pcs[1]); hit {
+		t.Error("LRU victim (pcs[1]) still resident")
+	}
+	if _, hit := b.Probe(pcs[0]); !hit {
+		t.Error("refreshed entry evicted")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 1})
+	if b.HitRate() != 0 {
+		t.Error("HitRate nonzero before lookups")
+	}
+	b.Lookup(0x1000)
+	b.RecordTaken(0x1000, 0x2000, isa.Call)
+	b.Lookup(0x1000)
+	if got := b.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(Config{Entries: 16, Assoc: 2})
+	b.RecordTaken(0x1000, 0x2000, isa.Call)
+	b.Lookup(0x1000)
+	b.Reset()
+	if _, hit := b.Probe(0x1000); hit {
+		t.Error("contents survived Reset")
+	}
+	if b.HitRate() != 0 {
+		t.Error("stats survived Reset")
+	}
+}
+
+// refBTB is a straightforward map+LRU-list model for cross-checking.
+type refBTB struct {
+	cfg  Config
+	sets [][]refEntry
+}
+
+type refEntry struct {
+	word   uint32
+	target isa.Addr
+	kind   isa.Kind
+}
+
+func newRefBTB(cfg Config) *refBTB {
+	return &refBTB{cfg: cfg, sets: make([][]refEntry, cfg.Entries/cfg.Assoc)}
+}
+
+func (r *refBTB) setOf(pc isa.Addr) int {
+	return int(pc.Word()) % len(r.sets)
+}
+
+func (r *refBTB) lookup(pc isa.Addr) (Entry, bool) {
+	s := r.sets[r.setOf(pc)]
+	for i, e := range s {
+		if e.word == pc.Word() {
+			copy(s[1:i+1], s[:i])
+			s[0] = e
+			return Entry{Target: e.target, Kind: e.kind}, true
+		}
+	}
+	return Entry{}, false
+}
+
+func (r *refBTB) recordTaken(pc, target isa.Addr, kind isa.Kind) {
+	set := r.setOf(pc)
+	s := r.sets[set]
+	for i, e := range s {
+		if e.word == pc.Word() {
+			e.target, e.kind = target, kind
+			copy(s[1:i+1], s[:i])
+			s[0] = e
+			return
+		}
+	}
+	s = append([]refEntry{{pc.Word(), target, kind}}, s...)
+	if len(s) > r.cfg.Assoc {
+		s = s[:r.cfg.Assoc]
+	}
+	r.sets[set] = s
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4} {
+		cfg := Config{Entries: 64, Assoc: assoc}
+		b := New(cfg)
+		ref := newRefBTB(cfg)
+		rng := rand.New(rand.NewSource(int64(assoc)))
+		for i := 0; i < 50000; i++ {
+			pc := isa.Addr(uint32(rng.Intn(1024)*4) + 0x1000)
+			if rng.Intn(2) == 0 {
+				got, hitGot := b.Lookup(pc)
+				want, hitWant := ref.lookup(pc)
+				if hitGot != hitWant || (hitGot && got != want) {
+					t.Fatalf("assoc=%d step=%d lookup(%v): got %+v/%v want %+v/%v",
+						assoc, i, pc, got, hitGot, want, hitWant)
+				}
+			} else {
+				target := isa.Addr(uint32(rng.Intn(1024)*4) + 0x8000)
+				kind := isa.Kind(1 + rng.Intn(4))
+				b.RecordTaken(pc, target, kind)
+				ref.recordTaken(pc, target, kind)
+			}
+		}
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid config did not panic")
+		}
+	}()
+	New(Config{Entries: 100, Assoc: 1})
+}

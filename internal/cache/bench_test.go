@@ -1,0 +1,35 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(MustGeometry(16*1024, 32, 2))
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	c := New(MustGeometry(16*1024, 32, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(isa.Addr(uint32(i*4) & 0xfffffc))
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	c := New(MustGeometry(16*1024, 32, 4))
+	for a := isa.Addr(0); a < 16*1024; a += 32 {
+		c.Access(a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Probe(isa.Addr(uint32(i*32) & 0x3fff))
+	}
+}

@@ -1,0 +1,152 @@
+package cache
+
+import "repro/internal/isa"
+
+// Cache is an instruction cache with true-LRU replacement. It tracks only
+// tags (the simulator never needs instruction bytes) and counts accesses and
+// misses.
+type Cache struct {
+	geom Geometry
+
+	// Flattened [set][way] arrays.
+	tags  []uint32 // line address resident in the slot
+	valid []bool
+	stamp []uint64 // LRU clock; larger = more recently used
+
+	clock uint64
+
+	accesses uint64
+	misses   uint64
+
+	// onReplace, if set, is invoked when a fill replaces the contents of
+	// (set, way) — including filling a previously invalid slot. The
+	// NLS-cache couples predictor state to cache lines and must discard
+	// it when the line is replaced.
+	onReplace func(set, way int)
+}
+
+// New builds an empty cache with the given geometry.
+func New(g Geometry) *Cache {
+	n := g.NumSets() * g.Assoc()
+	return &Cache{
+		geom:  g,
+		tags:  make([]uint32, n),
+		valid: make([]bool, n),
+		stamp: make([]uint64, n),
+	}
+}
+
+// Geometry returns the cache's geometry.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// SetOnReplace registers a callback invoked whenever a fill replaces the
+// line in (set, way).
+func (c *Cache) SetOnReplace(fn func(set, way int)) { c.onReplace = fn }
+
+func (c *Cache) slot(set, way int) int { return set*c.geom.Assoc() + way }
+
+// Probe looks up the line containing address a without changing any cache
+// state (no LRU update, no fill, no statistics). It returns the way where
+// the line resides.
+func (c *Cache) Probe(a isa.Addr) (way int, hit bool) {
+	line := c.geom.LineAddr(a)
+	set := c.geom.SetOfLine(line)
+	for w := 0; w < c.geom.Assoc(); w++ {
+		s := c.slot(set, w)
+		if c.valid[s] && c.tags[s] == line {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Access performs a fetch of the line containing a: on a hit it refreshes
+// LRU state; on a miss it fills the line into the LRU way of its set. It
+// returns whether the access hit and the way where the line now resides.
+func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
+	c.accesses++
+	line := c.geom.LineAddr(a)
+	set := c.geom.SetOfLine(line)
+	c.clock++
+	// Hit check and LRU victim search in one pass.
+	victim, victimStamp := 0, ^uint64(0)
+	for w := 0; w < c.geom.Assoc(); w++ {
+		s := c.slot(set, w)
+		if c.valid[s] && c.tags[s] == line {
+			c.stamp[s] = c.clock
+			return true, w
+		}
+		if !c.valid[s] {
+			// Prefer invalid slots; stamp 0 loses to any valid slot.
+			if victimStamp != 0 {
+				victim, victimStamp = w, 0
+			}
+			continue
+		}
+		if c.stamp[s] < victimStamp {
+			victim, victimStamp = w, c.stamp[s]
+		}
+	}
+	c.misses++
+	s := c.slot(set, victim)
+	c.tags[s] = line
+	c.valid[s] = true
+	c.stamp[s] = c.clock
+	if c.onReplace != nil {
+		c.onReplace(set, victim)
+	}
+	return false, victim
+}
+
+// Contains reports whether the line holding address a is resident, and if
+// so, in which way. It never mutates state.
+func (c *Cache) Contains(a isa.Addr) (way int, resident bool) {
+	return c.Probe(a)
+}
+
+// ResidentAt reports which line address currently occupies (set, way).
+func (c *Cache) ResidentAt(set, way int) (lineAddr uint32, ok bool) {
+	s := c.slot(set, way)
+	if !c.valid[s] {
+		return 0, false
+	}
+	return c.tags[s], true
+}
+
+// HoldsAt reports whether the slot (set, way) currently holds the line
+// containing address a. This is the check an NLS pointer prediction needs:
+// the predicted location must contain the target's line for the fetch to be
+// correct.
+func (c *Cache) HoldsAt(set, way int, a isa.Addr) bool {
+	if set < 0 || set >= c.geom.NumSets() || way < 0 || way >= c.geom.Assoc() {
+		return false
+	}
+	s := c.slot(set, way)
+	return c.valid[s] && c.tags[s] == c.geom.LineAddr(a)
+}
+
+// Accesses returns the number of Access calls.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of Access calls that missed.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset empties the cache and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.stamp[i] = 0
+		c.tags[i] = 0
+	}
+	c.clock = 0
+	c.accesses = 0
+	c.misses = 0
+}

@@ -1,0 +1,300 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	cases := []struct {
+		size, line, assoc int
+		ok                bool
+	}{
+		{8192, 32, 1, true},
+		{8192, 32, 2, true},
+		{8192, 32, 4, true},
+		{0, 32, 1, false},
+		{8000, 32, 1, false}, // not a power of two
+		{8192, 3, 1, false},
+		{8192, 2, 1, false}, // line smaller than an instruction
+		{8192, 32, 3, false},
+		{8192, 32, 0, false},
+		{32, 32, 4, false}, // too small for associativity
+	}
+	for _, c := range cases {
+		_, err := NewGeometry(c.size, c.line, c.assoc)
+		if (err == nil) != c.ok {
+			t.Errorf("NewGeometry(%d,%d,%d) err=%v, want ok=%v", c.size, c.line, c.assoc, err, c.ok)
+		}
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := MustGeometry(16*1024, 32, 2)
+	if g.NumSets() != 256 {
+		t.Errorf("NumSets = %d, want 256", g.NumSets())
+	}
+	if g.NumLines() != 512 {
+		t.Errorf("NumLines = %d, want 512", g.NumLines())
+	}
+	if g.InstrsPerLine() != 8 {
+		t.Errorf("InstrsPerLine = %d, want 8", g.InstrsPerLine())
+	}
+	if g.IndexBits() != 8 || g.OffsetBits() != 3 || g.WayBits() != 1 {
+		t.Errorf("bits = %d/%d/%d, want 8/3/1", g.IndexBits(), g.OffsetBits(), g.WayBits())
+	}
+	if g.NLSPointerBits() != 12 {
+		t.Errorf("NLSPointerBits = %d, want 12", g.NLSPointerBits())
+	}
+}
+
+func TestGeometryAddressDecomposition(t *testing.T) {
+	g := MustGeometry(8*1024, 32, 1) // 256 sets
+	a := isa.Addr(0x0001_2345) &^ 3  // word aligned
+	if got := g.LineAddr(a); got != uint32(a)>>5 {
+		t.Errorf("LineAddr = %#x", got)
+	}
+	if got := g.SetIndex(a); got != int((uint32(a)>>5)&255) {
+		t.Errorf("SetIndex = %d", got)
+	}
+	// Instruction offset: bits [4:2].
+	if got := g.InstrOffset(isa.Addr(0x100c)); got != 3 {
+		t.Errorf("InstrOffset(0x100c) = %d, want 3", got)
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	if got := MustGeometry(8192, 32, 1).String(); got != "8KB direct" {
+		t.Errorf("String = %q", got)
+	}
+	if got := MustGeometry(32768, 32, 4).String(); got != "32KB 4-way" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDirectMappedBasics(t *testing.T) {
+	c := New(MustGeometry(1024, 32, 1)) // 32 sets
+	a := isa.Addr(0x1000)
+	if hit, _ := c.Access(a); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(a); !hit {
+		t.Error("warm access missed")
+	}
+	// Same line, different instruction: hit.
+	if hit, _ := c.Access(a + 4); !hit {
+		t.Error("same-line access missed")
+	}
+	// Conflicting line (same set, different tag): evicts.
+	conflict := a + 1024
+	if hit, _ := c.Access(conflict); hit {
+		t.Error("conflicting access hit")
+	}
+	if hit, _ := c.Access(a); hit {
+		t.Error("evicted line still resident")
+	}
+	if c.Accesses() != 5 || c.Misses() != 3 {
+		t.Errorf("accesses=%d misses=%d, want 5/3", c.Accesses(), c.Misses())
+	}
+}
+
+func TestLRUOrder2Way(t *testing.T) {
+	c := New(MustGeometry(2048, 32, 2)) // 32 sets, 2 ways
+	a := isa.Addr(0x1000)
+	b := a + 2048 // same set
+	d := a + 4096 // same set
+	c.Access(a)   // miss, fills
+	c.Access(b)   // miss, fills other way
+	c.Access(a)   // refresh a: b becomes LRU
+	c.Access(d)   // evicts b
+	if _, hit := c.Probe(b); hit {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, hit := c.Probe(a); !hit {
+		t.Error("a should still be resident (MRU)")
+	}
+	if _, hit := c.Probe(d); !hit {
+		t.Error("d should be resident")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := New(MustGeometry(2048, 32, 2))
+	a := isa.Addr(0x1000)
+	b := a + 2048
+	d := a + 4096
+	c.Access(a)
+	c.Access(b)
+	// Probing a must NOT refresh it.
+	c.Probe(a)
+	c.Access(d) // should evict a (it is LRU despite the probe)
+	if _, hit := c.Probe(a); hit {
+		t.Error("Probe refreshed LRU state")
+	}
+	if before := c.Accesses(); before != 3 {
+		t.Errorf("Probe counted as access: %d", before)
+	}
+}
+
+func TestHoldsAt(t *testing.T) {
+	c := New(MustGeometry(1024, 32, 1))
+	a := isa.Addr(0x1000)
+	_, way := c.Access(a)
+	set := c.Geometry().SetIndex(a)
+	if !c.HoldsAt(set, way, a) {
+		t.Error("HoldsAt false for resident line")
+	}
+	if !c.HoldsAt(set, way, a+4) {
+		t.Error("HoldsAt should be true for any address in the line")
+	}
+	if c.HoldsAt(set, way, a+1024) {
+		t.Error("HoldsAt true for conflicting line")
+	}
+	if c.HoldsAt(-1, 0, a) || c.HoldsAt(set, 5, a) || c.HoldsAt(10000, 0, a) {
+		t.Error("HoldsAt true for out-of-range slot")
+	}
+}
+
+func TestResidentAt(t *testing.T) {
+	c := New(MustGeometry(1024, 32, 1))
+	if _, ok := c.ResidentAt(0, 0); ok {
+		t.Error("empty slot reported resident")
+	}
+	a := isa.Addr(0x1000)
+	_, way := c.Access(a)
+	line, ok := c.ResidentAt(c.Geometry().SetIndex(a), way)
+	if !ok || line != c.Geometry().LineAddr(a) {
+		t.Errorf("ResidentAt = %#x/%v", line, ok)
+	}
+}
+
+func TestOnReplaceCallback(t *testing.T) {
+	c := New(MustGeometry(1024, 32, 1))
+	var calls []struct{ set, way int }
+	c.SetOnReplace(func(set, way int) {
+		calls = append(calls, struct{ set, way int }{set, way})
+	})
+	a := isa.Addr(0x1000)
+	c.Access(a)        // fill: callback fires
+	c.Access(a)        // hit: no callback
+	c.Access(a + 1024) // replace: callback fires
+	if len(calls) != 2 {
+		t.Fatalf("callback fired %d times, want 2", len(calls))
+	}
+	want := c.Geometry().SetIndex(a)
+	for _, call := range calls {
+		if call.set != want || call.way != 0 {
+			t.Errorf("callback got (%d,%d), want (%d,0)", call.set, call.way, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(MustGeometry(1024, 32, 2))
+	c.Access(0x1000)
+	c.Access(0x2000)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Error("stats not cleared")
+	}
+	if _, hit := c.Probe(0x1000); hit {
+		t.Error("contents not cleared")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(MustGeometry(1024, 32, 1))
+	if c.MissRate() != 0 {
+		t.Error("MissRate nonzero before accesses")
+	}
+	c.Access(0x1000)
+	c.Access(0x1000)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", got)
+	}
+}
+
+// refCache is a trivially correct per-set LRU model used to cross-check the
+// packed implementation under random workloads.
+type refCache struct {
+	g    Geometry
+	sets []([]uint32) // MRU first
+}
+
+func newRef(g Geometry) *refCache {
+	return &refCache{g: g, sets: make([][]uint32, g.NumSets())}
+}
+
+func (r *refCache) access(a isa.Addr) bool {
+	line := r.g.LineAddr(a)
+	set := r.g.SetOfLine(line)
+	s := r.sets[set]
+	for i, l := range s {
+		if l == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	s = append([]uint32{line}, s...)
+	if len(s) > r.g.Assoc() {
+		s = s[:r.g.Assoc()]
+	}
+	r.sets[set] = s
+	return false
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4} {
+		g := MustGeometry(4096, 32, assoc)
+		c := New(g)
+		ref := newRef(g)
+		rng := rand.New(rand.NewSource(int64(assoc)))
+		for i := 0; i < 50000; i++ {
+			// Addresses over 4x the cache size with locality bursts.
+			base := isa.Addr(uint32(rng.Intn(16384)) &^ 3)
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				a := base + isa.Addr(4*j)
+				hit, _ := c.Access(a)
+				if want := ref.access(a); hit != want {
+					t.Fatalf("assoc=%d step=%d addr=%v: hit=%v ref=%v", assoc, i, a, hit, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSetPredictor(t *testing.T) {
+	c := New(MustGeometry(2048, 32, 2))
+	sp := NewSetPredictor(c)
+	if sp.Accuracy() != 1 {
+		t.Error("initial accuracy should be 1")
+	}
+	// Line A at set 0; its successor B lands in some way. First crossing
+	// with B resident: prediction (initialized 0) scored.
+	a := isa.Addr(0x1000)
+	b := isa.Addr(0x1020)
+	_, wa := c.Access(a)
+	_, wb := c.Access(b)
+	sa := c.Geometry().SetIndex(a)
+	sp.Observe(sa, wa, wb, true)
+	if sp.Predictions() != 1 {
+		t.Fatalf("predictions = %d", sp.Predictions())
+	}
+	// Trained: the next crossing predicts wb.
+	if got := sp.PredictNext(sa, wa); got != wb {
+		t.Errorf("PredictNext = %d, want %d", got, wb)
+	}
+	sp.Observe(sa, wa, wb, true)
+	if sp.Accuracy() <= 0.4 {
+		t.Errorf("accuracy after training = %v", sp.Accuracy())
+	}
+	// A non-resident successor is not scored.
+	n := sp.Predictions()
+	sp.Observe(sa, wa, 0, false)
+	if sp.Predictions() != n {
+		t.Error("miss crossing was scored")
+	}
+}

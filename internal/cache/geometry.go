@@ -1,0 +1,130 @@
+// Package cache implements the instruction cache simulator used by both the
+// NLS and BTB fetch architectures: direct-mapped, 2-way, and 4-way LRU
+// caches with 32-byte lines, as simulated in the paper (§5.1).
+//
+// Terminology note: the paper calls the ways of an associative cache "sets"
+// ("In a multi-associative instruction cache, the destination line may be in
+// any set. The set field is used to indicate where the predicted line is
+// located"). This package uses the conventional terms — a *set* is a row of
+// the cache selected by the index bits, and a *way* is one of the Assoc
+// slots within a set. The NLS "set field" of the paper is the way index
+// here.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Geometry describes the shape of an instruction cache and provides the
+// address-decomposition helpers shared by the cache and the NLS predictors.
+type Geometry struct {
+	sizeBytes int
+	lineBytes int
+	assoc     int
+
+	numSets   int
+	lineShift uint
+	setMask   uint32
+}
+
+// NewGeometry validates and builds a cache geometry. Sizes and associativity
+// must be powers of two, and the line must hold at least one instruction.
+func NewGeometry(sizeBytes, lineBytes, assoc int) (Geometry, error) {
+	var g Geometry
+	switch {
+	case sizeBytes <= 0 || bits.OnesCount(uint(sizeBytes)) != 1:
+		return g, fmt.Errorf("cache: size %d is not a positive power of two", sizeBytes)
+	case lineBytes < isa.InstrBytes || bits.OnesCount(uint(lineBytes)) != 1:
+		return g, fmt.Errorf("cache: line size %d invalid", lineBytes)
+	case assoc <= 0 || bits.OnesCount(uint(assoc)) != 1:
+		return g, fmt.Errorf("cache: associativity %d is not a positive power of two", assoc)
+	case sizeBytes < lineBytes*assoc:
+		return g, fmt.Errorf("cache: size %d too small for %d-byte lines at associativity %d",
+			sizeBytes, lineBytes, assoc)
+	}
+	g.sizeBytes = sizeBytes
+	g.lineBytes = lineBytes
+	g.assoc = assoc
+	g.numSets = sizeBytes / lineBytes / assoc
+	g.lineShift = uint(bits.TrailingZeros(uint(lineBytes)))
+	g.setMask = uint32(g.numSets - 1)
+	return g, nil
+}
+
+// MustGeometry is NewGeometry that panics on error, for tests and literals.
+func MustGeometry(sizeBytes, lineBytes, assoc int) Geometry {
+	g, err := NewGeometry(sizeBytes, lineBytes, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// SizeBytes returns the total cache capacity in bytes.
+func (g Geometry) SizeBytes() int { return g.sizeBytes }
+
+// LineBytes returns the line size in bytes.
+func (g Geometry) LineBytes() int { return g.lineBytes }
+
+// Assoc returns the associativity (1 for direct mapped).
+func (g Geometry) Assoc() int { return g.assoc }
+
+// NumSets returns the number of sets (rows).
+func (g Geometry) NumSets() int { return g.numSets }
+
+// NumLines returns the total number of lines (sets × ways). The size of an
+// NLS predictor's line field grows with log2 of this value (§6 of the
+// paper).
+func (g Geometry) NumLines() int { return g.numSets * g.assoc }
+
+// InstrsPerLine returns how many instructions fit in one line (8 for the
+// paper's 32-byte lines).
+func (g Geometry) InstrsPerLine() int { return g.lineBytes / isa.InstrBytes }
+
+// LineAddr returns the line address (address with the offset bits removed)
+// identifying the memory block containing a.
+func (g Geometry) LineAddr(a isa.Addr) uint32 { return uint32(a) >> g.lineShift }
+
+// SetIndex returns the set (row) that address a maps to.
+func (g Geometry) SetIndex(a isa.Addr) int {
+	return int(g.LineAddr(a) & g.setMask)
+}
+
+// SetOfLine returns the set a line address maps to.
+func (g Geometry) SetOfLine(lineAddr uint32) int { return int(lineAddr & g.setMask) }
+
+// InstrOffset returns the index of the instruction within its line
+// (0..InstrsPerLine-1). This is the low-order portion of the NLS line field.
+func (g Geometry) InstrOffset(a isa.Addr) int {
+	return int(uint32(a)>>2) & (g.InstrsPerLine() - 1)
+}
+
+// IndexBits returns log2(NumSets), the number of bits selecting a set.
+func (g Geometry) IndexBits() int { return bits.TrailingZeros(uint(g.numSets)) }
+
+// OffsetBits returns log2(InstrsPerLine), the bits selecting an instruction
+// within a line.
+func (g Geometry) OffsetBits() int { return bits.TrailingZeros(uint(g.InstrsPerLine())) }
+
+// WayBits returns log2(Assoc), the bits of the NLS set ("way") field. Zero
+// for a direct-mapped cache, where the field is not needed.
+func (g Geometry) WayBits() int { return bits.TrailingZeros(uint(g.assoc)) }
+
+// NLSPointerBits returns the number of bits an NLS predictor needs to
+// identify a target instruction in this cache: set index + instruction
+// offset + way. Together with the 2-bit type field this sizes an NLS entry.
+func (g Geometry) NLSPointerBits() int {
+	return g.IndexBits() + g.OffsetBits() + g.WayBits()
+}
+
+// String describes the geometry, e.g. "16KB 2-way 32B-line".
+func (g Geometry) String() string {
+	assoc := fmt.Sprintf("%d-way", g.assoc)
+	if g.assoc == 1 {
+		assoc = "direct"
+	}
+	return fmt.Sprintf("%dKB %s", g.sizeBytes/1024, assoc)
+}

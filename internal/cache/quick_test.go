@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// Property tests (testing/quick) on the cache's structural invariants.
+
+// After any access sequence: at most Assoc distinct lines per set, every
+// resident line maps to its own set, and a just-accessed line is resident.
+func TestQuickCacheInvariants(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4} {
+		g := MustGeometry(2048, 32, assoc)
+		f := func(words []uint16) bool {
+			c := New(g)
+			for _, w := range words {
+				a := isa.Addr(uint32(w) * 4)
+				_, way := c.Access(a)
+				if way < 0 || way >= g.Assoc() {
+					return false
+				}
+				// The line just accessed must be resident at the
+				// reported way.
+				if !c.HoldsAt(g.SetIndex(a), way, a) {
+					return false
+				}
+			}
+			// Every resident line decodes back to its own set.
+			for set := 0; set < g.NumSets(); set++ {
+				for way := 0; way < g.Assoc(); way++ {
+					line, ok := c.ResidentAt(set, way)
+					if ok && g.SetOfLine(line) != set {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("assoc %d: %v", assoc, err)
+		}
+	}
+}
+
+// Misses never exceed accesses, and re-running the same sequence on a
+// fresh cache reproduces the same counts (determinism).
+func TestQuickCacheCountsDeterministic(t *testing.T) {
+	g := MustGeometry(1024, 32, 2)
+	f := func(words []uint16) bool {
+		run := func() (uint64, uint64) {
+			c := New(g)
+			for _, w := range words {
+				c.Access(isa.Addr(uint32(w) * 4))
+			}
+			return c.Accesses(), c.Misses()
+		}
+		a1, m1 := run()
+		a2, m2 := run()
+		return a1 == a2 && m1 == m2 && m1 <= a1 && a1 == uint64(len(words))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A probe between accesses never changes subsequent hit/miss behaviour.
+func TestQuickProbePure(t *testing.T) {
+	g := MustGeometry(1024, 32, 2)
+	f := func(words []uint16, probes []uint16) bool {
+		plain := New(g)
+		probed := New(g)
+		for i, w := range words {
+			a := isa.Addr(uint32(w) * 4)
+			h1, _ := plain.Access(a)
+			if i < len(probes) {
+				probed.Probe(isa.Addr(uint32(probes[i]) * 4))
+			}
+			h2, _ := probed.Access(a)
+			if h1 != h2 {
+				return false
+			}
+		}
+		return plain.Misses() == probed.Misses()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package cache
+
+// SetPredictor implements the second approach of §4.2 of the paper: every
+// cache line carries a "set field" predicting the way where its fall-through
+// successor line resides. On a sequential fetch that crosses a line
+// boundary, the previous line's field predicts the way of the next access,
+// so only one way is driven and the tag check can move to the decode stage,
+// making an associative cache behave like a direct-mapped one on the common
+// path.
+//
+// The predictor tracks its own accuracy; a wrong prediction means the other
+// way(s) must be probed, which the paper notes costs like a misfetch. This
+// mechanism is evaluated as an ablation (examples/setprediction), separate
+// from the core BEP results, exactly as the paper leaves it ("these are
+// beyond the scope of this paper" for >2-way recovery).
+type SetPredictor struct {
+	c    *Cache
+	next []uint8 // [set*assoc+way] predicted way of the line's fall-through successor
+
+	predictions uint64
+	correct     uint64
+}
+
+// NewSetPredictor attaches a fall-through way predictor to a cache.
+func NewSetPredictor(c *Cache) *SetPredictor {
+	return &SetPredictor{
+		c:    c,
+		next: make([]uint8, c.geom.NumSets()*c.geom.Assoc()),
+	}
+}
+
+// PredictNext returns the predicted way of the fall-through successor of the
+// line at (set, way).
+func (p *SetPredictor) PredictNext(set, way int) int {
+	return int(p.next[p.c.slot(set, way)])
+}
+
+// Observe records a sequential line crossing: the line at (prevSet, prevWay)
+// fell through and the successor line actually resided in (or was filled
+// into) way actualWay. It scores the previous prediction and trains the
+// field. resident indicates the successor was already in the cache; a miss
+// is not scored as a wrong way prediction (the fetch stalls regardless).
+func (p *SetPredictor) Observe(prevSet, prevWay, actualWay int, resident bool) {
+	s := p.c.slot(prevSet, prevWay)
+	if resident {
+		p.predictions++
+		if int(p.next[s]) == actualWay {
+			p.correct++
+		}
+	}
+	p.next[s] = uint8(actualWay)
+}
+
+// Accuracy returns the fraction of scored predictions that named the right
+// way, or 1 before any prediction (a direct-mapped cache is always right).
+func (p *SetPredictor) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 1
+	}
+	return float64(p.correct) / float64(p.predictions)
+}
+
+// Predictions returns the number of scored (resident-successor) crossings.
+func (p *SetPredictor) Predictions() uint64 { return p.predictions }

@@ -1,0 +1,192 @@
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// This file provides a small structured-program DSL that lowers to basic
+// blocks. Workload generators compose Stmt trees (straight-line code,
+// loops, conditionals, calls, switches) and LowerProc produces a Proc with
+// all block indices and branch targets resolved. Generating *structured*
+// programs — rather than random block graphs — is what gives traces the
+// loop trip counts, call nesting, and correlated conditional outcomes that
+// real programs exhibit and that the paper's predictors exploit.
+
+// Stmt is a structured program statement.
+type Stmt interface{ isStmt() }
+
+// Straight is n plain (non-branch) instructions.
+type Straight struct{ N int }
+
+// Loop executes Body exactly Trip times, terminated by a conditional
+// backedge with BehaviorLoop dynamics (taken Trip-1 times, then not taken).
+type Loop struct {
+	Trip int
+	Body []Stmt
+}
+
+// While executes Body repeatedly, continuing after each iteration with
+// probability P (a biased conditional backedge).
+type While struct {
+	P    float64
+	Body []Stmt
+}
+
+// If lowers to a conditional branch that *skips* Then when taken: Cond's
+// taken-probability is the probability that Then does NOT execute. When
+// Else is non-nil, the taken path runs Else instead.
+type If struct {
+	Cond Behavior
+	Then []Stmt
+	Else []Stmt
+}
+
+// CallTo is a direct procedure call.
+type CallTo struct{ Callee ProcID }
+
+// Switch is an indirect jump dispatching among Cases according to Behavior
+// (an interpreter dispatch, a virtual call, a jump table).
+type Switch struct {
+	Behavior Behavior
+	Cases    [][]Stmt
+}
+
+func (Straight) isStmt() {}
+func (Loop) isStmt()     {}
+func (While) isStmt()    {}
+func (If) isStmt()       {}
+func (CallTo) isStmt()   {}
+func (Switch) isStmt()   {}
+
+// lowerer accumulates blocks for one procedure.
+type lowerer struct {
+	pid    ProcID
+	blocks []*Block
+	curLen int // straight-line instructions awaiting a block
+}
+
+// flushFall closes the pending straight-line instructions into a
+// fall-through block, if any.
+func (l *lowerer) flushFall() {
+	if l.curLen > 0 {
+		l.blocks = append(l.blocks, &Block{NumInstrs: l.curLen})
+		l.curLen = 0
+	}
+}
+
+// flushTerm closes the pending instructions plus a terminator into a block
+// and returns it for target patching.
+func (l *lowerer) flushTerm(t Term) *Block {
+	b := &Block{NumInstrs: l.curLen + 1, Term: t}
+	l.blocks = append(l.blocks, b)
+	l.curLen = 0
+	return b
+}
+
+// nextIdx returns the index the next created block will get. After a flush
+// this is the landing point of any forward branch.
+func (l *lowerer) nextIdx() int { return len(l.blocks) }
+
+func (l *lowerer) here(idx int) BlockID { return BlockID{Proc: l.pid, Index: idx} }
+
+func (l *lowerer) lower(stmts []Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Straight:
+			if s.N < 0 {
+				panic(fmt.Sprintf("cfg: Straight with negative length %d", s.N))
+			}
+			l.curLen += s.N
+
+		case Loop:
+			if s.Trip < 1 {
+				panic(fmt.Sprintf("cfg: Loop with trip %d", s.Trip))
+			}
+			l.flushFall()
+			head := l.nextIdx()
+			l.lower(s.Body)
+			l.flushTerm(Term{
+				Kind:     isa.CondBranch,
+				Target:   l.here(head),
+				Behavior: LoopBehavior(s.Trip),
+			})
+
+		case While:
+			l.flushFall()
+			head := l.nextIdx()
+			l.lower(s.Body)
+			l.flushTerm(Term{
+				Kind:     isa.CondBranch,
+				Target:   l.here(head),
+				Behavior: BiasBehavior(s.P),
+			})
+
+		case If:
+			cond := l.flushTerm(Term{Kind: isa.CondBranch, Behavior: s.Cond})
+			l.lower(s.Then)
+			if s.Else != nil {
+				overElse := l.flushTerm(Term{Kind: isa.UncondBranch})
+				cond.Term.Target = l.here(l.nextIdx())
+				l.lower(s.Else)
+				l.flushFall()
+				overElse.Term.Target = l.here(l.nextIdx())
+			} else {
+				l.flushFall()
+				cond.Term.Target = l.here(l.nextIdx())
+			}
+
+		case CallTo:
+			l.flushTerm(Term{Kind: isa.Call, Callee: s.Callee})
+
+		case Switch:
+			if len(s.Cases) == 0 {
+				panic("cfg: Switch with no cases")
+			}
+			sw := l.flushTerm(Term{Kind: isa.IndirectJump, Behavior: s.Behavior})
+			jumps := make([]*Block, 0, len(s.Cases))
+			starts := make([]BlockID, 0, len(s.Cases))
+			for _, c := range s.Cases {
+				starts = append(starts, l.here(l.nextIdx()))
+				l.lower(c)
+				jumps = append(jumps, l.flushTerm(Term{Kind: isa.UncondBranch}))
+			}
+			join := l.here(l.nextIdx())
+			for _, j := range jumps {
+				j.Term.Target = join
+			}
+			sw.Term.IndirectTargets = starts
+
+		default:
+			panic(fmt.Sprintf("cfg: unknown statement %T", s))
+		}
+	}
+}
+
+// LowerProc lowers a statement body into a procedure with the given ID and
+// name. A Return terminator is appended, so every procedure returns after
+// its body.
+func LowerProc(pid ProcID, name string, body []Stmt) *Proc {
+	l := &lowerer{pid: pid}
+	l.lower(body)
+	l.flushTerm(Term{Kind: isa.Return})
+	return &Proc{Name: name, Blocks: l.blocks}
+}
+
+// BuildProgram assembles, validates, and lays out a program from procedure
+// bodies. bodies[i] becomes ProcID(i); entry names the start procedure.
+func BuildProgram(name string, entry ProcID, names []string, bodies [][]Stmt) (*Program, error) {
+	if len(names) != len(bodies) {
+		return nil, fmt.Errorf("cfg: %d names for %d bodies", len(names), len(bodies))
+	}
+	p := &Program{Name: name, Entry: entry}
+	for i, body := range bodies {
+		p.Procs = append(p.Procs, LowerProc(ProcID(i), names[i], body))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p.Layout()
+	return p, nil
+}

@@ -1,0 +1,114 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// randomStmts generates a random structured statement tree — the
+// property-test input for the lowering pass.
+func randomStmts(rng *rand.Rand, depth, budget *int) []Stmt {
+	var out []Stmt
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n && *budget > 0; i++ {
+		*budget--
+		switch k := rng.Intn(6); {
+		case k == 0 && depth != nil && *depth > 0:
+			d := *depth - 1
+			out = append(out, Loop{Trip: 1 + rng.Intn(9), Body: randomStmts(rng, &d, budget)})
+		case k == 1 && depth != nil && *depth > 0:
+			d := *depth - 1
+			stmt := If{Cond: BiasBehavior(rng.Float64()), Then: randomStmts(rng, &d, budget)}
+			if rng.Intn(2) == 0 {
+				d2 := *depth - 1
+				stmt.Else = randomStmts(rng, &d2, budget)
+			}
+			out = append(out, stmt)
+		case k == 2 && depth != nil && *depth > 0:
+			d := *depth - 1
+			cases := make([][]Stmt, 2+rng.Intn(3))
+			for j := range cases {
+				dj := d
+				cases[j] = randomStmts(rng, &dj, budget)
+			}
+			out = append(out, Switch{
+				Behavior: Behavior{Kind: BehaviorIndirectWeighted},
+				Cases:    cases,
+			})
+		case k == 3 && depth != nil && *depth > 0:
+			d := *depth - 1
+			out = append(out, While{P: rng.Float64() * 0.9, Body: randomStmts(rng, &d, budget)})
+		case k == 4:
+			out = append(out, CallTo{Callee: 1})
+		default:
+			out = append(out, Straight{N: 1 + rng.Intn(8)})
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Straight{N: 1})
+	}
+	return out
+}
+
+// TestQuickLoweringAlwaysValidates: any random statement tree lowers to a
+// program that passes full structural validation and lays out without
+// overlap.
+func TestQuickLoweringAlwaysValidates(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		depth, budget := 3, 40
+		body := randomStmts(rng, &depth, &budget)
+		helperDepth, helperBudget := 2, 10
+		helper := randomStmts(rng, &helperDepth, &helperBudget)
+		// Strip calls from the helper so the call graph stays a DAG.
+		for i, s := range helper {
+			if _, ok := s.(CallTo); ok {
+				helper[i] = Straight{N: 2}
+			}
+		}
+		p, err := BuildProgram("quick", 0, []string{"main", "helper"},
+			[][]Stmt{body, helper})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Layout invariants: contiguity inside procs, no overlap.
+		for _, pr := range p.Procs {
+			for i := 1; i < len(pr.Blocks); i++ {
+				prev := pr.Blocks[i-1]
+				if pr.Blocks[i].Addr != prev.Addr+isa.Addr(prev.NumInstrs*isa.InstrBytes) {
+					t.Fatalf("seed %d: blocks not contiguous", seed)
+				}
+			}
+		}
+		// Every conditional has a behavior and a resolvable target.
+		for _, pr := range p.Procs {
+			for _, b := range pr.Blocks {
+				if b.Term.Kind == isa.CondBranch && b.Term.Behavior.Kind == BehaviorNone {
+					t.Fatalf("seed %d: conditional without behavior", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickLoweringDeterministic: lowering the same tree twice produces
+// structurally identical programs.
+func TestQuickLoweringDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	depth, budget := 3, 30
+	body := randomStmts(rng, &depth, &budget)
+	a := LowerProc(0, "p", body)
+	b := LowerProc(0, "p", body)
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatal("block counts differ")
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].NumInstrs != b.Blocks[i].NumInstrs ||
+			a.Blocks[i].Term.Kind != b.Blocks[i].Term.Kind ||
+			a.Blocks[i].Term.Target != b.Blocks[i].Term.Target {
+			t.Fatalf("block %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+func BenchmarkTableLookup(b *testing.B) {
+	g := cache.MustGeometry(16*1024, 32, 1)
+	tab := NewTable(1024, g)
+	tab.Update(0x1000, isa.CondBranch, true, 0x2000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(isa.Addr(uint32(i*4) & 0xffff))
+	}
+}
+
+func BenchmarkTableUpdate(b *testing.B) {
+	g := cache.MustGeometry(16*1024, 32, 1)
+	tab := NewTable(1024, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Update(isa.Addr(uint32(i*4)&0xffff), isa.CondBranch, i%2 == 0,
+			isa.Addr(uint32(i*8)&0xffff), 0)
+	}
+}
+
+func BenchmarkPointsTo(b *testing.B) {
+	g := cache.MustGeometry(16*1024, 32, 2)
+	c := cache.New(g)
+	target := isa.Addr(0x2000)
+	_, way := c.Access(target)
+	e := Entry{Type: TypeOther, Set: uint16(g.SetIndex(target)),
+		Offset: uint8(g.InstrOffset(target)), Way: uint8(way)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PointsTo(c, target)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+func TestTypeForKind(t *testing.T) {
+	cases := map[isa.Kind]EntryType{
+		isa.Return:       TypeReturn,
+		isa.CondBranch:   TypeCond,
+		isa.UncondBranch: TypeOther,
+		isa.IndirectJump: TypeOther,
+		isa.Call:         TypeOther,
+		isa.NonBranch:    TypeInvalid,
+	}
+	for k, want := range cases {
+		if got := TypeForKind(k); got != want {
+			t.Errorf("TypeForKind(%v) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestEntryTypeString(t *testing.T) {
+	for typ, want := range map[EntryType]string{
+		TypeInvalid: "invalid", TypeReturn: "return", TypeCond: "cond", TypeOther: "other",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("String(%d) = %q", typ, got)
+		}
+	}
+}
+
+func TestEntryBits(t *testing.T) {
+	// 8K direct: 256 sets (8 bits) + 3 offset bits + 0 way bits + 2 type
+	// bits = 13.
+	if got := EntryBits(cache.MustGeometry(8*1024, 32, 1)); got != 13 {
+		t.Errorf("EntryBits(8K direct) = %d, want 13", got)
+	}
+	// 32K 4-way: 256 sets (8) + 3 + 2 way bits + 2 = 15.
+	if got := EntryBits(cache.MustGeometry(32*1024, 32, 4)); got != 15 {
+		t.Errorf("EntryBits(32K 4-way) = %d, want 15", got)
+	}
+}
+
+func TestTableUpdateRules(t *testing.T) {
+	g := cache.MustGeometry(8*1024, 32, 1)
+	tab := NewTable(1024, g)
+	pc := isa.Addr(0x1000)
+	target := isa.Addr(0x2008)
+
+	// Taken conditional: type and pointer both written.
+	tab.Update(pc, isa.CondBranch, true, target, 0)
+	e := tab.Lookup(pc)
+	if e.Type != TypeCond {
+		t.Fatalf("type = %v", e.Type)
+	}
+	if int(e.Set) != g.SetIndex(target) || int(e.Offset) != g.InstrOffset(target) {
+		t.Fatalf("pointer = set %d off %d", e.Set, e.Offset)
+	}
+
+	// Not-taken execution: the type is refreshed but the pointer to the
+	// taken target must be preserved (§4).
+	tab.Update(pc, isa.CondBranch, false, 0, 0)
+	e2 := tab.Lookup(pc)
+	if e2 != e {
+		t.Errorf("not-taken update changed the entry: %+v -> %+v", e, e2)
+	}
+}
+
+func TestTableTagless(t *testing.T) {
+	g := cache.MustGeometry(8*1024, 32, 1)
+	tab := NewTable(512, g)
+	pc := isa.Addr(0x1000)
+	alias := pc + 512*4 // same index mod 512 words
+	tab.Update(pc, isa.UncondBranch, true, 0x4000, 0)
+	e := tab.Lookup(alias)
+	if e.Type != TypeOther {
+		t.Error("tag-less table should return the aliasing branch's entry")
+	}
+}
+
+func TestTableIndexUsesWordAddress(t *testing.T) {
+	g := cache.MustGeometry(8*1024, 32, 1)
+	tab := NewTable(1024, g)
+	tab.Update(0x1000, isa.Call, true, 0x4000, 0)
+	if tab.Lookup(0x1004).Type != TypeInvalid {
+		t.Error("adjacent instruction unexpectedly shares an entry")
+	}
+}
+
+func TestPointsToTracksResidency(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	c := cache.New(g)
+	target := isa.Addr(0x2008)
+	_, way := c.Access(target)
+	e := Entry{Type: TypeOther, Set: uint16(g.SetIndex(target)), Offset: uint8(g.InstrOffset(target)), Way: uint8(way)}
+	if !e.PointsTo(c, target) {
+		t.Fatal("PointsTo false for resident target")
+	}
+	// Displace the target's line: the pointer goes stale.
+	c.Access(target + 1024)
+	if e.PointsTo(c, target) {
+		t.Error("PointsTo true after the target line was displaced")
+	}
+	// Wrong offset within the line: points at a different instruction.
+	c.Access(target)
+	bad := e
+	bad.Offset++
+	if bad.PointsTo(c, target) {
+		t.Error("PointsTo true with wrong instruction offset")
+	}
+}
+
+func TestPointsToWrongWay(t *testing.T) {
+	g := cache.MustGeometry(2048, 32, 2)
+	c := cache.New(g)
+	target := isa.Addr(0x2000)
+	_, way := c.Access(target)
+	e := Entry{Type: TypeOther, Set: uint16(g.SetIndex(target)), Offset: 0, Way: uint8(1 - way)}
+	if e.PointsTo(c, target) {
+		t.Error("PointsTo true with wrong way prediction")
+	}
+}
+
+func TestTableSizeBits(t *testing.T) {
+	g := cache.MustGeometry(8*1024, 32, 1)
+	if got := NewTable(1024, g).SizeBits(); got != 1024*13 {
+		t.Errorf("SizeBits = %d", got)
+	}
+}
+
+func TestTableBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTable(100) did not panic")
+		}
+	}()
+	NewTable(100, cache.MustGeometry(8*1024, 32, 1))
+}
+
+func TestLineCoupledSlotMapping(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	c := cache.New(g)
+	l := NewLineCoupled(c, 2)        // predictor 0 covers insns 0-3, 1 covers 4-7
+	branchA := isa.Addr(0x1000)      // offset 0 -> slot 0
+	branchB := isa.Addr(0x1000 + 16) // offset 4 -> slot 1
+	c.Access(branchA)
+	set := g.SetIndex(branchA)
+	l.Update(branchA, isa.UncondBranch, true, 0x2000, 0)
+	l.Update(branchB, isa.CondBranch, true, 0x3000, 0)
+	ea := l.Lookup(branchA, set, 0)
+	eb := l.Lookup(branchB, set, 0)
+	if ea.Type != TypeOther || eb.Type != TypeCond {
+		t.Errorf("slots shared: %v / %v", ea.Type, eb.Type)
+	}
+}
+
+func TestLineCoupledInvalidationOnReplace(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	c := cache.New(g)
+	l := NewLineCoupled(c, 2)
+	branch := isa.Addr(0x1000)
+	c.Access(branch)
+	l.Update(branch, isa.Call, true, 0x2000, 0)
+	set := g.SetIndex(branch)
+	if l.Lookup(branch, set, 0).Type != TypeOther {
+		t.Fatal("entry not written")
+	}
+	// Replace the branch's line: predictor state must be discarded.
+	c.Access(branch + 1024)
+	if l.Lookup(branch, set, 0).Type != TypeInvalid {
+		t.Error("prediction state survived line replacement")
+	}
+}
+
+func TestLineCoupledDropsUpdateWhenNotResident(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	c := cache.New(g)
+	l := NewLineCoupled(c, 2)
+	branch := isa.Addr(0x1000)
+	// The branch's line is not in the cache at all: update is dropped.
+	l.Update(branch, isa.Call, true, 0x2000, 0)
+	c.Access(branch)
+	if l.Lookup(branch, g.SetIndex(branch), 0).Type != TypeInvalid {
+		t.Error("update applied for a non-resident branch line")
+	}
+}
+
+func TestLineCoupledSizeLinearInCache(t *testing.T) {
+	small := NewLineCoupled(cache.New(cache.MustGeometry(8*1024, 32, 1)), 2)
+	big := NewLineCoupled(cache.New(cache.MustGeometry(16*1024, 32, 1)), 2)
+	if big.SizeBits() <= small.SizeBits() {
+		t.Error("NLS-cache size should grow with cache size")
+	}
+	// Roughly 2x entries; per-entry bits grow by one index bit.
+	if ratio := float64(big.SizeBits()) / float64(small.SizeBits()); ratio < 2 || ratio > 2.4 {
+		t.Errorf("size ratio 16K/8K = %v, want just over 2", ratio)
+	}
+}
+
+func TestLineCoupledBadPerLinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLineCoupled(3) did not panic")
+		}
+	}()
+	NewLineCoupled(cache.New(cache.MustGeometry(1024, 32, 1)), 3)
+}
+
+func TestJohnsonUpdateOnEveryExecution(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	c := cache.New(g)
+	j := NewJohnson(c)
+	branch := isa.Addr(0x1000)
+	fall := branch.Next()
+	target := isa.Addr(0x1100) // set 8: no conflict with the branch's set-0 line
+	c.Access(branch)
+	c.Access(target)
+	c.Access(fall)
+	set := g.SetIndex(branch)
+
+	// Taken execution points the successor at the target.
+	j.Update(branch, target, 0)
+	e := j.Lookup(branch, set, 0)
+	if !e.Valid || !e.PointsTo(c, target) {
+		t.Fatal("successor pointer not at target after taken")
+	}
+	// Not-taken execution re-points at the fall-through — Johnson's
+	// one-bit behaviour (§6.2).
+	j.Update(branch, fall, 0)
+	e = j.Lookup(branch, set, 0)
+	if !e.PointsTo(c, fall) {
+		t.Error("successor pointer not re-pointed at fall-through")
+	}
+}
+
+func TestJohnsonInvalidationOnReplace(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	c := cache.New(g)
+	j := NewJohnson(c)
+	branch := isa.Addr(0x1000)
+	c.Access(branch)
+	j.Update(branch, 0x2000, 0)
+	c.Access(branch + 1024) // replace
+	if j.Lookup(branch, g.SetIndex(branch), 0).Valid {
+		t.Error("Johnson pointer survived line replacement")
+	}
+}
+
+func TestJohnsonPerLine(t *testing.T) {
+	c := cache.New(cache.MustGeometry(1024, 32, 1))
+	j := NewJohnson(c)
+	if j.PerLine() != 2 { // 8 instructions per line / 4 per predictor
+		t.Errorf("PerLine = %d, want 2", j.PerLine())
+	}
+}

@@ -1,0 +1,107 @@
+// Package core implements the paper's contribution: next cache line and set
+// (NLS) prediction. An NLS predictor is a pointer into the instruction cache
+// naming the line, the instruction within the line, and — for associative
+// caches — the way (the paper's "set") where a branch's target instruction
+// resides, together with a 2-bit branch-type field that selects the fetch
+// mechanism (§4).
+//
+// Two organizations are provided, matching the paper:
+//
+//   - Table: the NLS-table, a tag-less direct-mapped buffer of NLS entries
+//     indexed by the branch address, decoupled from the cache (§4.1). This
+//     is the design the paper advocates.
+//   - LineCoupled: the NLS-cache, k predictors attached to every cache line
+//     and discarded when the line is replaced (Johnson's organization,
+//     evaluated with 2 predictors per 8-instruction line as in §5.1).
+//
+// A third variant, JohnsonCoupled, reproduces the related-work design
+// (§6.2): one successor pointer per four instructions updated on every
+// branch execution, giving implicit one-bit direction prediction, as in the
+// TFP (MIPS R8000).
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// EntryType is the NLS type field (2 bits). It selects the prediction
+// source for the next fetch (§4's table): invalid entries predict nothing,
+// returns use the return stack, conditional branches arbitrate between the
+// NLS pointer and the fall-through line using the PHT, and all other branch
+// kinds always use the NLS pointer.
+type EntryType uint8
+
+const (
+	// TypeInvalid marks an unused entry ("00" in the paper).
+	TypeInvalid EntryType = iota
+	// TypeReturn predicts via the return address stack.
+	TypeReturn
+	// TypeCond predicts via the NLS pointer, conditional on the PHT.
+	TypeCond
+	// TypeOther (unconditional, call, indirect) always uses the pointer.
+	TypeOther
+)
+
+// String names the type field value.
+func (t EntryType) String() string {
+	switch t {
+	case TypeInvalid:
+		return "invalid"
+	case TypeReturn:
+		return "return"
+	case TypeCond:
+		return "cond"
+	case TypeOther:
+		return "other"
+	}
+	return "?"
+}
+
+// TypeForKind maps an instruction kind to the NLS type field written at
+// update time.
+func TypeForKind(k isa.Kind) EntryType {
+	switch k {
+	case isa.Return:
+		return TypeReturn
+	case isa.CondBranch:
+		return TypeCond
+	case isa.UncondBranch, isa.IndirectJump, isa.Call:
+		return TypeOther
+	}
+	return TypeInvalid
+}
+
+// Entry is one NLS predictor: the type field plus the cache pointer. Set
+// and Offset together are the paper's "line field" (set index high bits,
+// instruction-within-line low bits); Way is the paper's "set field".
+type Entry struct {
+	Type   EntryType
+	Set    uint16
+	Offset uint8
+	Way    uint8
+}
+
+// PointsTo reports whether the entry's pointer currently identifies the
+// instruction at target: the set and offset must decompose target's address
+// and the predicted cache slot must actually hold target's line right now.
+// A pointer whose line has been displaced from the cache does NOT point to
+// the target — the fetch would return the wrong line and misfetch (§7:
+// "a branch destination that has been displaced from the instruction cache
+// causes a misfetch penalty").
+func (e Entry) PointsTo(c *cache.Cache, target isa.Addr) bool {
+	g := c.Geometry()
+	return int(e.Set) == g.SetIndex(target) &&
+		int(e.Offset) == g.InstrOffset(target) &&
+		c.HoldsAt(int(e.Set), int(e.Way), target)
+}
+
+// pointerFor builds the pointer fields for a target resident in way of its
+// set.
+func pointerFor(g cache.Geometry, target isa.Addr, way int) (set uint16, off, w uint8) {
+	return uint16(g.SetIndex(target)), uint8(g.InstrOffset(target)), uint8(way)
+}
+
+// EntryBits returns the storage cost in bits of one NLS entry for the given
+// cache geometry: 2 type bits + index bits + offset bits + way bits.
+func EntryBits(g cache.Geometry) int { return 2 + g.NLSPointerBits() }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// LineCoupled is the NLS-cache organization: k NLS predictors attached to
+// every instruction cache line, sharing the line's address tag. Predictor
+// slot j of a line covers instructions [j·(instrsPerLine/k),
+// (j+1)·(instrsPerLine/k)) of that line; the paper found 2 predictors per
+// 8-instruction line most effective, the first covering the first four
+// instructions (§5.1).
+//
+// Because the predictors are coupled to the cache, their state is discarded
+// when the line is replaced — the organization's central weakness (§4.1,
+// §6.1) — and a lookup is only possible for a branch whose line is
+// currently resident (which it always is at fetch time, since the branch
+// was just fetched from the cache).
+type LineCoupled struct {
+	c           *cache.Cache
+	perLine     int
+	instrsPer   int // instructions covered by one predictor slot
+	entries     []Entry
+	slotsPerSet int
+}
+
+// NewLineCoupled attaches perLine NLS predictors to every line of the
+// cache. perLine must divide the instructions-per-line count. The
+// constructor registers a replacement hook on the cache to discard
+// predictor state when lines are replaced.
+func NewLineCoupled(c *cache.Cache, perLine int) *LineCoupled {
+	g := c.Geometry()
+	if perLine <= 0 || g.InstrsPerLine()%perLine != 0 {
+		panic(fmt.Sprintf("core: %d predictors per line does not divide %d instructions",
+			perLine, g.InstrsPerLine()))
+	}
+	l := &LineCoupled{
+		c:           c,
+		perLine:     perLine,
+		instrsPer:   g.InstrsPerLine() / perLine,
+		entries:     make([]Entry, g.NumSets()*g.Assoc()*perLine),
+		slotsPerSet: g.Assoc() * perLine,
+	}
+	c.SetOnReplace(l.invalidateLine)
+	return l
+}
+
+// invalidateLine discards the predictors of the line at (set, way),
+// modelling the loss of prediction state on replacement.
+func (l *LineCoupled) invalidateLine(set, way int) {
+	base := set*l.slotsPerSet + way*l.perLine
+	for i := 0; i < l.perLine; i++ {
+		l.entries[base+i] = Entry{}
+	}
+}
+
+// slotFor maps a branch resident at (set, way) with the given
+// instruction-offset-in-line to its predictor slot index.
+func (l *LineCoupled) slotFor(set, way, offset int) int {
+	return set*l.slotsPerSet + way*l.perLine + offset/l.instrsPer
+}
+
+// Lookup returns the NLS entry covering the branch at pc, which must be
+// resident at (set, way) of the cache (the fetch that delivered the branch
+// establishes this).
+func (l *LineCoupled) Lookup(pc isa.Addr, set, way int) Entry {
+	return l.entries[l.slotFor(set, way, l.c.Geometry().InstrOffset(pc))]
+}
+
+// Update trains the predictor covering the branch at pc after it resolves.
+// If the branch's line is no longer resident (it was displaced between
+// fetch and update), the update is dropped — the state would have been
+// discarded with the line anyway. Type is always written; the pointer only
+// on taken branches, as for the NLS-table.
+func (l *LineCoupled) Update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, targetWay int) {
+	way, resident := l.c.Probe(pc)
+	if !resident {
+		return
+	}
+	g := l.c.Geometry()
+	e := &l.entries[l.slotFor(g.SetIndex(pc), way, g.InstrOffset(pc))]
+	e.Type = TypeForKind(kind)
+	if taken {
+		e.Set, e.Offset, e.Way = pointerFor(g, target, targetWay)
+	}
+}
+
+// PerLine returns the number of predictors per cache line.
+func (l *LineCoupled) PerLine() int { return l.perLine }
+
+// SizeBits returns the predictor storage cost in bits. The tag is shared
+// with the cache line, so only the entries themselves are counted — this is
+// why NLS-cache cost grows linearly with cache size (§6).
+func (l *LineCoupled) SizeBits() int {
+	return len(l.entries) * EntryBits(l.c.Geometry())
+}
+
+// Name identifies the organization for reports.
+func (l *LineCoupled) Name() string {
+	return fmt.Sprintf("NLS-cache (%d/line)", l.perLine)
+}
+
+// Reset invalidates all predictors (the cache is reset separately).
+func (l *LineCoupled) Reset() {
+	for i := range l.entries {
+		l.entries[i] = Entry{}
+	}
+}

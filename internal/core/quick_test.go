@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// Property tests (testing/quick) over the NLS data structures.
+
+// Any sequence of updates leaves every entry with a valid type and a
+// pointer inside the cache geometry.
+func TestQuickTableEntriesStayInRange(t *testing.T) {
+	g := cache.MustGeometry(8*1024, 32, 2)
+	tab := NewTable(256, g)
+	f := func(ops []struct {
+		PC     uint16
+		Kind   uint8
+		Taken  bool
+		Target uint16
+		Way    uint8
+	}) bool {
+		for _, op := range ops {
+			kind := isa.Kind(op.Kind % uint8(isa.NumKinds))
+			way := int(op.Way) % g.Assoc()
+			tab.Update(isa.Addr(op.PC)&^3, kind, op.Taken,
+				isa.Addr(op.Target)&^3, way)
+		}
+		for _, op := range ops {
+			e := tab.Lookup(isa.Addr(op.PC) &^ 3)
+			if e.Type > TypeOther {
+				return false
+			}
+			if int(e.Set) >= g.NumSets() || int(e.Offset) >= g.InstrsPerLine() ||
+				int(e.Way) >= g.Assoc() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A taken update immediately followed by a lookup with the target resident
+// at the recorded way always points at the target.
+func TestQuickUpdateThenPointsTo(t *testing.T) {
+	g := cache.MustGeometry(4*1024, 32, 1)
+	f := func(pcWord, tgtWord uint16) bool {
+		c := cache.New(g)
+		tab := NewTable(512, g)
+		pc := isa.Addr(uint32(pcWord) * 4)
+		target := isa.Addr(uint32(tgtWord) * 4)
+		_, way := c.Access(target)
+		tab.Update(pc, isa.UncondBranch, true, target, way)
+		return tab.Lookup(pc).PointsTo(c, target)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PointsTo never reports true for a target whose line is absent.
+func TestQuickPointsToRequiresResidency(t *testing.T) {
+	g := cache.MustGeometry(4*1024, 32, 1)
+	f := func(tgtWord uint16, set uint16, off, way uint8) bool {
+		c := cache.New(g) // empty cache
+		e := Entry{
+			Type:   TypeOther,
+			Set:    set % uint16(g.NumSets()),
+			Offset: off % uint8(g.InstrsPerLine()),
+			Way:    way % uint8(g.Assoc()),
+		}
+		return !e.PointsTo(c, isa.Addr(uint32(tgtWord)*4))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The line-coupled organization never returns a valid entry for a line the
+// cache has replaced.
+func TestQuickLineCoupledInvalidation(t *testing.T) {
+	g := cache.MustGeometry(1024, 32, 1)
+	f := func(branchWord uint16, evictions []uint16) bool {
+		c := cache.New(g)
+		l := NewLineCoupled(c, 2)
+		branch := isa.Addr(uint32(branchWord) * 4)
+		c.Access(branch)
+		l.Update(branch, isa.Call, true, 0x2000, 0)
+		evicted := false
+		for _, w := range evictions {
+			a := isa.Addr(uint32(w) * 4)
+			if g.SetIndex(a) == g.SetIndex(branch) && g.LineAddr(a) != g.LineAddr(branch) {
+				evicted = true
+			}
+			c.Access(a)
+		}
+		if !evicted {
+			return true // branch line may still be resident; nothing to check
+		}
+		// After eviction the state must be invalid even if the line
+		// returns.
+		c.Access(branch)
+		return l.Lookup(branch, g.SetIndex(branch), 0).Type == TypeInvalid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

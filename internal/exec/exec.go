@@ -1,0 +1,258 @@
+// Package exec executes synthetic programs (package cfg), emitting the
+// instruction traces that drive the fetch simulators. Execution is a real
+// walk of the control-flow graph — loop counters count, call stacks nest,
+// indirect dispatches sample their target distributions — so the emitted
+// traces carry the temporal structure (correlated branch outcomes,
+// call/return pairing, instruction locality) that the paper's predictors
+// and caches respond to.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// maxCallDepth bounds the software call stack. Recursion deeper than this
+// stops pushing frames (the deepest returns then pop earlier frames), which
+// keeps traces well-formed under pathological recursion while still letting
+// the 32-entry RAS overflow realistically on deep call chains.
+const maxCallDepth = 4096
+
+// frame is a saved return position: execution resumes at block resume of
+// proc, which is the block following the call site.
+type frame struct {
+	proc   cfg.ProcID
+	resume int
+	addr   isa.Addr
+}
+
+// siteState is the per-branch-site dynamic state.
+type siteState struct {
+	loopCount  int
+	patternPos int
+	lastTarget int // for sticky indirect dispatch
+}
+
+// Executor walks a program. It implements trace.Source, so it can either
+// stream records or be collected into a trace.Trace. State persists across
+// Run calls: a long trace can be drawn in chunks.
+type Executor struct {
+	prog *cfg.Program
+	rng  *xrand.Rng
+
+	// Flattened block metadata, indexed by global block index.
+	state      []siteState
+	globalBase []int // per proc, index of its first block in state
+
+	// ProcCounts tallies procedure entries, usable as the profile for
+	// the restructuring ablation (cfg.HotFirstOrder).
+	ProcCounts []uint64
+
+	stack []frame
+	proc  cfg.ProcID
+	block int
+	instr int // next instruction offset within the current block
+
+	restarts uint64
+}
+
+// New builds an executor for a validated, laid-out program.
+func New(p *cfg.Program, seed uint64) (*Executor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.LaidOut() {
+		return nil, fmt.Errorf("exec: program %q has no layout", p.Name)
+	}
+	e := &Executor{
+		prog:       p,
+		rng:        xrand.New(seed),
+		globalBase: make([]int, len(p.Procs)),
+		ProcCounts: make([]uint64, len(p.Procs)),
+		proc:       p.Entry,
+	}
+	n := 0
+	for i, pr := range p.Procs {
+		e.globalBase[i] = n
+		n += len(pr.Blocks)
+	}
+	e.state = make([]siteState, n)
+	e.ProcCounts[p.Entry]++
+	return e, nil
+}
+
+// Restarts reports how many times the program returned from its entry
+// procedure and was restarted (the implicit outer driver loop).
+func (e *Executor) Restarts() uint64 { return e.restarts }
+
+func (e *Executor) global(p cfg.ProcID, b int) int { return e.globalBase[p] + b }
+
+// Run implements trace.Source: it emits up to n records and returns how
+// many were produced (always n; a program never exhausts — the entry
+// procedure restarts when it returns).
+func (e *Executor) Run(n int, emit func(trace.Record)) int {
+	emitted := 0
+	for emitted < n {
+		blk := e.prog.Procs[e.proc].Blocks[e.block]
+		// Plain instructions before the terminator. The cursor
+		// e.instr makes Run resumable: a budget that ends mid-block
+		// continues at the right instruction on the next call.
+		plain := blk.NumInstrs
+		if blk.Term.Kind != isa.NonBranch {
+			plain--
+		}
+		for e.instr < plain && emitted < n {
+			emit(trace.Record{PC: blk.Addr + isa.Addr(e.instr*isa.InstrBytes), Kind: isa.NonBranch})
+			e.instr++
+			emitted++
+		}
+		if e.instr < plain || (emitted >= n && blk.Term.Kind != isa.NonBranch) {
+			break // budget exhausted before the terminator
+		}
+		e.instr = 0
+		switch blk.Term.Kind {
+		case isa.NonBranch:
+			e.block++
+
+		case isa.CondBranch:
+			taken := e.evalCond(blk)
+			rec := trace.Record{PC: blk.TermAddr(), Kind: isa.CondBranch, Taken: taken}
+			if taken {
+				rec.Target = e.prog.Block(blk.Term.Target).Addr
+				emit(rec)
+				emitted++
+				e.proc, e.block = blk.Term.Target.Proc, blk.Term.Target.Index
+				continue
+			}
+			emit(rec)
+			emitted++
+			e.block++
+
+		case isa.UncondBranch:
+			t := blk.Term.Target
+			emit(trace.Record{PC: blk.TermAddr(), Kind: isa.UncondBranch, Taken: true,
+				Target: e.prog.Block(t).Addr})
+			emitted++
+			e.proc, e.block = t.Proc, t.Index
+
+		case isa.Call:
+			callee := blk.Term.Callee
+			target := e.prog.Procs[callee].Blocks[0].Addr
+			emit(trace.Record{PC: blk.TermAddr(), Kind: isa.Call, Taken: true, Target: target})
+			emitted++
+			if len(e.stack) < maxCallDepth {
+				e.stack = append(e.stack, frame{
+					proc:   e.proc,
+					resume: e.block + 1,
+					addr:   blk.TermAddr().Next(),
+				})
+			}
+			e.proc, e.block = callee, 0
+			e.ProcCounts[callee]++
+
+		case isa.Return:
+			var target isa.Addr
+			if len(e.stack) > 0 {
+				f := e.stack[len(e.stack)-1]
+				e.stack = e.stack[:len(e.stack)-1]
+				target = f.addr
+				emit(trace.Record{PC: blk.TermAddr(), Kind: isa.Return, Taken: true, Target: target})
+				emitted++
+				e.proc, e.block = f.proc, f.resume
+			} else {
+				// Returning from the entry procedure: restart at
+				// the program entry — the implicit driver loop.
+				target = e.prog.EntryAddr()
+				emit(trace.Record{PC: blk.TermAddr(), Kind: isa.Return, Taken: true, Target: target})
+				emitted++
+				e.proc, e.block = e.prog.Entry, 0
+				e.restarts++
+				e.ProcCounts[e.prog.Entry]++
+			}
+
+		case isa.IndirectJump:
+			ti := e.evalIndirect(blk)
+			t := blk.Term.IndirectTargets[ti]
+			emit(trace.Record{PC: blk.TermAddr(), Kind: isa.IndirectJump, Taken: true,
+				Target: e.prog.Block(t).Addr})
+			emitted++
+			e.proc, e.block = t.Proc, t.Index
+		}
+	}
+	return emitted
+}
+
+// evalCond decides a conditional branch's outcome from its behavior.
+func (e *Executor) evalCond(blk *cfg.Block) bool {
+	st := &e.state[e.global(e.proc, e.block)]
+	switch b := blk.Term.Behavior; b.Kind {
+	case cfg.BehaviorLoop:
+		st.loopCount++
+		if st.loopCount >= b.Trip {
+			st.loopCount = 0
+			return false
+		}
+		return true
+	case cfg.BehaviorBias:
+		return e.rng.Bool(b.P)
+	case cfg.BehaviorPattern:
+		v := b.Pattern[st.patternPos]
+		st.patternPos = (st.patternPos + 1) % len(b.Pattern)
+		return v
+	}
+	return false
+}
+
+// evalIndirect picks an indirect jump's target index from its behavior.
+func (e *Executor) evalIndirect(blk *cfg.Block) int {
+	st := &e.state[e.global(e.proc, e.block)]
+	b := blk.Term.Behavior
+	switch b.Kind {
+	case cfg.BehaviorIndirectSticky:
+		if e.rng.Bool(b.P) {
+			return st.lastTarget
+		}
+		st.lastTarget = e.sampleWeighted(b.Weights, len(blk.Term.IndirectTargets))
+		return st.lastTarget
+	case cfg.BehaviorIndirectWeighted:
+		st.lastTarget = e.sampleWeighted(b.Weights, len(blk.Term.IndirectTargets))
+		return st.lastTarget
+	}
+	return 0
+}
+
+// sampleWeighted samples an index from weights (uniform over n when weights
+// is empty).
+func (e *Executor) sampleWeighted(weights []float64, n int) int {
+	if len(weights) == 0 {
+		return e.rng.Intn(n)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := e.rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Trace builds a complete trace of n instructions, carrying the program's
+// static conditional-site count for Table 1.
+func Trace(p *cfg.Program, seed uint64, n int) (*trace.Trace, error) {
+	e, err := New(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := trace.Collect(p.Name, e, n)
+	t.StaticCondSites = p.StaticCondSites()
+	return t, nil
+}

@@ -1,0 +1,283 @@
+package exec_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func loopProgram(t *testing.T) *cfg.Program {
+	t.Helper()
+	p, err := cfg.BuildProgram("loop", 0, []string{"main"}, [][]cfg.Stmt{{
+		cfg.Straight{N: 2},
+		cfg.Loop{Trip: 5, Body: []cfg.Stmt{cfg.Straight{N: 3}}},
+		cfg.Straight{N: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTraceChainsAndValidates(t *testing.T) {
+	p := loopProgram(t)
+	tr, err := exec.Trace(p, 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("trace length %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopTripCountExact(t *testing.T) {
+	p := loopProgram(t)
+	e, err := exec.New(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full main execution: 2 straight + 5×(3 body + backedge) +
+	// 1 straight + 1 return = 24 instructions.
+	var conds, condTaken int
+	e.Run(24, func(r trace.Record) {
+		if r.Kind == isa.CondBranch {
+			conds++
+			if r.Taken {
+				condTaken++
+			}
+		}
+	})
+	if conds != 5 || condTaken != 4 {
+		t.Errorf("backedge executed %d times, %d taken; want 5/4", conds, condTaken)
+	}
+}
+
+func TestRestartOnEntryReturn(t *testing.T) {
+	p := loopProgram(t)
+	e, err := exec.New(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var returns int
+	var lastTarget isa.Addr
+	e.Run(100, func(r trace.Record) {
+		if r.Kind == isa.Return {
+			returns++
+			lastTarget = r.Target
+		}
+	})
+	if returns == 0 {
+		t.Fatal("program never returned from main")
+	}
+	if e.Restarts() == 0 {
+		t.Error("restarts not counted")
+	}
+	if lastTarget != p.EntryAddr() {
+		t.Errorf("restart return targeted %v, want entry %v", lastTarget, p.EntryAddr())
+	}
+}
+
+func TestCallReturnPairing(t *testing.T) {
+	p, err := workload.CallTreeProgram(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := exec.New(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track that every non-restart return targets the instruction after
+	// its matching call.
+	var stack []isa.Addr
+	bad := 0
+	e.Run(20000, func(r trace.Record) {
+		switch r.Kind {
+		case isa.Call:
+			stack = append(stack, r.PC.Next())
+		case isa.Return:
+			if len(stack) > 0 {
+				want := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if r.Target != want {
+					bad++
+				}
+			}
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d returns did not match their calls", bad)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := workload.Li()
+	a := spec.MustTrace(20000)
+	b := spec.MustTrace(20000)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestRunResumable(t *testing.T) {
+	// Drawing a trace in chunks gives exactly the same records as one
+	// call, even when chunk boundaries fall mid-block.
+	p := loopProgram(t)
+	e1, _ := exec.New(p, 3)
+	var whole []trace.Record
+	e1.Run(997, func(r trace.Record) { whole = append(whole, r) })
+
+	e2, _ := exec.New(p, 3)
+	var chunked []trace.Record
+	for _, n := range []int{1, 2, 3, 5, 7, 11, 968} {
+		e2.Run(n, func(r trace.Record) { chunked = append(chunked, r) })
+	}
+	if len(whole) != len(chunked) {
+		t.Fatalf("lengths differ: %d vs %d", len(whole), len(chunked))
+	}
+	for i := range whole {
+		if whole[i] != chunked[i] {
+			t.Fatalf("diverge at %d: %+v vs %+v", i, whole[i], chunked[i])
+		}
+	}
+}
+
+func TestPatternBehaviorCycles(t *testing.T) {
+	p, err := cfg.BuildProgram("pat", 0, []string{"main"}, [][]cfg.Stmt{{
+		cfg.Loop{Trip: 100, Body: []cfg.Stmt{
+			cfg.Straight{N: 1},
+			cfg.If{Cond: cfg.PatternBehavior(true, false, false), Then: []cfg.Stmt{cfg.Straight{N: 1}}},
+		}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := exec.New(p, 1)
+	var outcomes []bool
+	e.Run(2000, func(r trace.Record) {
+		if r.Kind == isa.CondBranch && r.Target != p.EntryAddr() {
+			// Filter to the pattern site (the backedge targets the
+			// loop head; the pattern If jumps forward). Identify by
+			// behavior: the backedge is the block whose taken target
+			// is backward.
+			if r.Target > r.PC || !r.Taken {
+				outcomes = append(outcomes, r.Taken)
+			}
+		}
+	})
+	// The pattern site cycles T,F,F exactly.
+	if len(outcomes) < 30 {
+		t.Fatalf("too few pattern executions: %d", len(outcomes))
+	}
+	// Find the site's stream: outcomes contains both sites' not-taken
+	// records; simpler check: the fraction of taken among forward
+	// branches is 1/3.
+	taken := 0
+	for _, o := range outcomes {
+		if o {
+			taken++
+		}
+	}
+	frac := float64(taken) / float64(len(outcomes))
+	if frac < 0.25 || frac > 0.42 {
+		t.Errorf("pattern taken fraction = %v, want ~1/3", frac)
+	}
+}
+
+func TestIndirectTargetsAreDeclared(t *testing.T) {
+	p, err := workload.InterpreterProgram(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect declared indirect target addresses.
+	declared := map[isa.Addr]bool{}
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			if b.Term.Kind == isa.IndirectJump {
+				for _, tgt := range b.Term.IndirectTargets {
+					declared[p.Block(tgt).Addr] = true
+				}
+			}
+		}
+	}
+	e, _ := exec.New(p, 5)
+	bad := 0
+	e.Run(20000, func(r trace.Record) {
+		if r.Kind == isa.IndirectJump && !declared[r.Target] {
+			bad++
+		}
+	})
+	if bad != 0 {
+		t.Errorf("%d indirect jumps left the declared target set", bad)
+	}
+}
+
+func TestStickyIndirectRepeats(t *testing.T) {
+	p, err := cfg.BuildProgram("sticky", 0, []string{"main"}, [][]cfg.Stmt{{
+		cfg.Loop{Trip: 1000, Body: []cfg.Stmt{
+			cfg.Straight{N: 1},
+			cfg.Switch{
+				Behavior: cfg.Behavior{Kind: cfg.BehaviorIndirectSticky, P: 0.9},
+				Cases:    [][]cfg.Stmt{{cfg.Straight{N: 1}}, {cfg.Straight{N: 1}}, {cfg.Straight{N: 1}}},
+			},
+		}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := exec.New(p, 9)
+	var prev isa.Addr
+	repeats, total := 0, 0
+	e.Run(20000, func(r trace.Record) {
+		if r.Kind != isa.IndirectJump {
+			return
+		}
+		if total > 0 && r.Target == prev {
+			repeats++
+		}
+		prev = r.Target
+		total++
+	})
+	if total < 100 {
+		t.Fatalf("too few dispatches: %d", total)
+	}
+	if frac := float64(repeats) / float64(total-1); frac < 0.8 {
+		t.Errorf("sticky repeat fraction = %v, want > 0.8", frac)
+	}
+}
+
+func TestNewRejectsUnlaidProgram(t *testing.T) {
+	p := &cfg.Program{Name: "raw", Procs: []*cfg.Proc{
+		{Name: "main", Blocks: []*cfg.Block{{NumInstrs: 1, Term: cfg.Term{Kind: isa.Return}}}},
+	}}
+	if _, err := exec.New(p, 1); err == nil {
+		t.Error("executor accepted a program without layout")
+	}
+}
+
+func TestProcCountsProfile(t *testing.T) {
+	p, err := workload.CallTreeProgram(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := exec.New(p, 1)
+	e.Run(5000, func(trace.Record) {})
+	// Tier 1 is called twice per main execution, tier 2 four times.
+	if e.ProcCounts[1] == 0 || e.ProcCounts[2] == 0 {
+		t.Fatal("callee procs never entered")
+	}
+	if e.ProcCounts[2] < e.ProcCounts[1] {
+		t.Errorf("fan-out profile wrong: %v", e.ProcCounts[:3])
+	}
+}

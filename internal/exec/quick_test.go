@@ -1,0 +1,113 @@
+package exec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// randomProgram builds a random two-procedure structured program (main may
+// call helper; helper is leaf), the execution-side property-test input.
+func randomProgram(t *testing.T, seed int64) *cfg.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var gen func(depth, budget *int, allowCalls bool) []cfg.Stmt
+	gen = func(depth, budget *int, allowCalls bool) []cfg.Stmt {
+		var out []cfg.Stmt
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n && *budget > 0; i++ {
+			*budget--
+			switch k := rng.Intn(6); {
+			case k == 0 && *depth > 0:
+				d := *depth - 1
+				out = append(out, cfg.Loop{Trip: 1 + rng.Intn(8), Body: gen(&d, budget, allowCalls)})
+			case k == 1 && *depth > 0:
+				d := *depth - 1
+				out = append(out, cfg.If{
+					Cond: cfg.BiasBehavior(rng.Float64()),
+					Then: gen(&d, budget, allowCalls),
+				})
+			case k == 2 && *depth > 0:
+				d := *depth - 1
+				cases := make([][]cfg.Stmt, 2+rng.Intn(3))
+				for j := range cases {
+					dj := d
+					cases[j] = gen(&dj, budget, allowCalls)
+				}
+				out = append(out, cfg.Switch{
+					Behavior: cfg.Behavior{Kind: cfg.BehaviorIndirectSticky, P: rng.Float64()},
+					Cases:    cases,
+				})
+			case k == 3 && *depth > 0:
+				d := *depth - 1
+				out = append(out, cfg.While{P: rng.Float64() * 0.85, Body: gen(&d, budget, allowCalls)})
+			case k == 4 && allowCalls:
+				out = append(out, cfg.CallTo{Callee: 1})
+			default:
+				out = append(out, cfg.Straight{N: 1 + rng.Intn(6)})
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, cfg.Straight{N: 1})
+		}
+		return out
+	}
+	d1, b1 := 3, 30
+	d2, b2 := 2, 12
+	p, err := cfg.BuildProgram("quick", 0, []string{"main", "helper"},
+		[][]cfg.Stmt{gen(&d1, &b1, true), gen(&d2, &b2, false)})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return p
+}
+
+// TestQuickExecutionProducesValidTraces: any random structured program
+// executes into a perfectly chained trace whose taken targets all land on
+// laid-out instruction addresses, with balanced calls and returns.
+func TestQuickExecutionProducesValidTraces(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := randomProgram(t, seed)
+		e, err := exec.New(p, uint64(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := trace.Collect(p.Name, e, 5000)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Every PC in the trace lies inside the program's address span.
+		lo := cfg.BaseAddr
+		var hi isa.Addr
+		for _, pr := range p.Procs {
+			last := pr.Blocks[len(pr.Blocks)-1]
+			end := last.Addr + isa.Addr(last.NumInstrs*isa.InstrBytes)
+			if end > hi {
+				hi = end
+			}
+		}
+		var calls, rets int
+		for _, r := range tr.Records {
+			if r.PC < lo || r.PC >= hi {
+				t.Fatalf("seed %d: PC %v outside program [%v, %v)", seed, r.PC, lo, hi)
+			}
+			switch r.Kind {
+			case isa.Call:
+				calls++
+			case isa.Return:
+				rets++
+			}
+		}
+		// Every return is either matched to a call or is one of the
+		// entry-procedure restart returns; the residue is at most the
+		// live nesting depth when the trace window closed.
+		if d := calls - (rets - int(e.Restarts())); d < -2 || d > 2 {
+			t.Fatalf("seed %d: call/return imbalance %d calls, %d rets, %d restarts",
+				seed, calls, rets, e.Restarts())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPerLineSweepOrdering(t *testing.T) {
+	// §5.1: two predictors per line approach the NLS-table; one per
+	// line is worse (half the predictors, more intra-line conflicts).
+	r := runnerOn(300_000, workload.Gcc(), workload.Groff())
+	avgs, err := r.PerLineSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, ok1 := avgBEP(avgs, "NLS-cache 1/line", "8KB direct")
+	two, ok2 := avgBEP(avgs, "NLS-cache 2/line", "8KB direct")
+	four, ok4 := avgBEP(avgs, "NLS-cache 4/line", "8KB direct")
+	if !ok1 || !ok2 || !ok4 {
+		t.Fatal("missing sweep rows")
+	}
+	if two > one {
+		t.Errorf("2/line BEP %.4f should not exceed 1/line %.4f", two, one)
+	}
+	if four > two {
+		t.Errorf("4/line BEP %.4f should not exceed 2/line %.4f", four, two)
+	}
+}
+
+func TestCoupledSweepDecouplingWinsUnderPressure(t *testing.T) {
+	r := runnerOn(300_000, workload.Gcc(), workload.Espresso())
+	avgs, err := r.CoupledSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec32, ok1 := avgBEP(avgs, "32-entry direct BTB", "")
+	cpl32, ok2 := avgBEP(avgs, "coupled 32-entry BTB", "")
+	dec128, ok3 := avgBEP(avgs, "128-entry direct BTB", "")
+	cpl128, ok4 := avgBEP(avgs, "coupled 128-entry BTB", "")
+	johnson, ok5 := avgBEP(avgs, "Johnson 1-bit", "")
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		t.Fatal("missing sweep rows")
+	}
+	// The decoupling mechanism: shrinking the BTB costs the coupled
+	// design direction state (entries evicted fall back to static
+	// prediction) on top of the target state both designs lose, so
+	// decoupling's relative value must GROW as the BTB shrinks. (On
+	// these synthetic traces the tagged per-entry counters are strong
+	// enough that the coupled design wins in absolute terms — real
+	// SPEC92 branch streams reward global history more; see
+	// EXPERIMENTS.md — but the capacity mechanism is direction-
+	// independent.)
+	if (dec32 - cpl32) >= (dec128 - cpl128) {
+		t.Errorf("decoupling advantage should grow under pressure: gap@32 %.4f, gap@128 %.4f",
+			dec32-cpl32, dec128-cpl128)
+	}
+	if cpl32 <= cpl128 {
+		t.Errorf("coupled-32 BEP %.4f should be worse than coupled-128 %.4f", cpl32, cpl128)
+	}
+	// The one-bit successor-index design trails the 2-bit coupled BTB.
+	if johnson <= cpl128 {
+		t.Errorf("Johnson BEP %.4f should trail the coupled-128 BTB %.4f", johnson, cpl128)
+	}
+}
+
+func TestPHTSweep(t *testing.T) {
+	r := runnerOn(300_000, workload.Espresso())
+	rows, err := r.PHTSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(phtName, arch string) PHTRow {
+		for _, row := range rows {
+			if row.PHT == phtName && row.Arch == arch {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s", phtName, arch)
+		return PHTRow{}
+	}
+	gsh := get("gshare-4096", "1024 NLS-table")
+	bim := get("bimodal-4096", "1024 NLS-table")
+	one := get("1bit-4096", "1024 NLS-table")
+	static := get("static-not-taken", "1024 NLS-table")
+	// The dynamic predictors must land in the era-realistic band and
+	// beat the 1-bit and static baselines. (On these synthetic traces
+	// per-address and global-history predictors are closer than on real
+	// SPEC92 code — see EXPERIMENTS.md.)
+	for _, row := range []PHTRow{gsh, bim} {
+		if row.CondAcc < 0.80 {
+			t.Errorf("%s acc %.3f below 0.80", row.PHT, row.CondAcc)
+		}
+	}
+	if bim.CondAcc < one.CondAcc-0.02 {
+		t.Errorf("bimodal acc %.3f well below 1-bit %.3f", bim.CondAcc, one.CondAcc)
+	}
+	if static.CondAcc > one.CondAcc {
+		t.Errorf("static acc %.3f above 1-bit %.3f", static.CondAcc, one.CondAcc)
+	}
+	// BEP tracks accuracy inversely.
+	if gsh.BEP > static.BEP {
+		t.Errorf("gshare BEP %.4f worse than static %.4f", gsh.BEP, static.BEP)
+	}
+	// The PHT accuracy is the same for both architectures (the paper's
+	// methodological requirement) up to indirect/return differences.
+	btbRow := get("gshare-4096", "128-entry direct BTB")
+	if diff := gsh.CondAcc - btbRow.CondAcc; diff > 0.001 || diff < -0.001 {
+		t.Errorf("cond accuracy differs across architectures: %.4f vs %.4f",
+			gsh.CondAcc, btbRow.CondAcc)
+	}
+}
+
+func TestRenderPHTSweep(t *testing.T) {
+	r := runnerOn(100_000, workload.Li())
+	rows, err := r.PHTSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPHTSweep(rows)
+	if !strings.Contains(out, "gshare-4096") || !strings.Contains(out, "static-not-taken") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,286 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: Table 1 (traced-program attributes), Figure 3 (RBE area
+// costs), Figure 4 (NLS-cache vs NLS-table BEP), Figure 5 (BTB vs NLS-table
+// BEP averages), Figure 6 (BTB access times), Figure 7 (per-program BEP
+// comparison), and Figure 8 (CPI). See DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/metrics"
+	"repro/internal/pht"
+	"repro/internal/ras"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Paper-fixed parameters (§5.1): 32-byte lines, a 4096-entry gshare PHT and
+// a 32-entry return stack for every architecture, 2 NLS predictors per line
+// for the NLS-cache, and the three NLS-table sizes.
+const (
+	LineBytes  = 32
+	PHTEntries = 4096
+	RASDepth   = ras.DefaultDepth
+	NLSPerLine = 2
+
+	// PHTHistoryBits is the gshare global-history width. The paper XORs
+	// "the global history register" with the PC into the 4096-entry PHT
+	// without fixing the register's width; McFarling's TN-36 tunes
+	// history length separately from index width. Our synthetic traces
+	// carry more history entropy than real SPEC92 code (independent
+	// per-site generators), so a 6-bit history is the calibration that
+	// lands conditional accuracy in the paper-era 82–91% band; the full
+	// 12-bit history over-disperses PHT state on these traces. The
+	// accuracy is identical for the NLS and BTB architectures either
+	// way, which is what the paper's methodology requires (§5.1).
+	PHTHistoryBits = 6
+)
+
+// NLSTableSizes are the NLS-table sizes the paper evaluates.
+var NLSTableSizes = []int{512, 1024, 2048}
+
+// CacheSizesKB are the instruction cache sizes the paper simulates.
+var CacheSizesKB = []int{8, 16, 32}
+
+// PaperCaches returns the cache geometries of the paper's BEP figures:
+// 8K/16K/32K, direct-mapped and 4-way.
+func PaperCaches() []cache.Geometry {
+	var gs []cache.Geometry
+	for _, kb := range CacheSizesKB {
+		for _, assoc := range []int{1, 4} {
+			gs = append(gs, cache.MustGeometry(kb*1024, LineBytes, assoc))
+		}
+	}
+	return gs
+}
+
+// AllCaches returns every simulated cache configuration (§5.1 also includes
+// 2-way), for the extended sweeps.
+func AllCaches() []cache.Geometry {
+	var gs []cache.Geometry
+	for _, kb := range CacheSizesKB {
+		for _, assoc := range []int{1, 2, 4} {
+			gs = append(gs, cache.MustGeometry(kb*1024, LineBytes, assoc))
+		}
+	}
+	return gs
+}
+
+// BTBConfigs returns the paper's BTB organizations for the BEP figures
+// (128 and 256 entries, direct-mapped and 4-way).
+func BTBConfigs() []btb.Config {
+	return []btb.Config{
+		{Entries: 128, Assoc: 1},
+		{Entries: 128, Assoc: 4},
+		{Entries: 256, Assoc: 1},
+		{Entries: 256, Assoc: 4},
+	}
+}
+
+// newPHT builds the paper's direction predictor: 4096-entry gshare.
+func newPHT() pht.Predictor { return pht.NewGShare(PHTEntries, PHTHistoryBits) }
+
+// Factory builds a fetch engine for a given cache geometry. Factories keep
+// the architecture axis of the sweeps orthogonal to the cache axis.
+type Factory struct {
+	Name string
+	New  func(g cache.Geometry) fetch.Engine
+}
+
+// NLSTableFactory returns a factory for the NLS-table architecture.
+func NLSTableFactory(entries int) Factory {
+	return Factory{
+		Name: fmt.Sprintf("%d NLS-table", entries),
+		New: func(g cache.Geometry) fetch.Engine {
+			return fetch.NewNLSTableEngine(g, entries, newPHT(), RASDepth)
+		},
+	}
+}
+
+// NLSCacheFactory returns a factory for the NLS-cache architecture.
+func NLSCacheFactory(perLine int) Factory {
+	return Factory{
+		Name: "NLS-cache",
+		New: func(g cache.Geometry) fetch.Engine {
+			return fetch.NewNLSCacheEngine(g, perLine, newPHT(), RASDepth)
+		},
+	}
+}
+
+// BTBFactory returns a factory for the decoupled BTB architecture.
+func BTBFactory(cfg btb.Config) Factory {
+	return Factory{
+		Name: cfg.String(),
+		New: func(g cache.Geometry) fetch.Engine {
+			return fetch.NewBTBEngine(g, cfg, newPHT(), RASDepth)
+		},
+	}
+}
+
+// JohnsonFactory returns a factory for the Johnson successor-index baseline
+// (§6.2 related work).
+func JohnsonFactory() Factory {
+	return Factory{
+		Name: "Johnson 1-bit",
+		New:  func(g cache.Geometry) fetch.Engine { return fetch.NewJohnsonEngine(g) },
+	}
+}
+
+// Config drives a sweep: which programs, how many instructions each, and
+// the penalty assumptions.
+type Config struct {
+	Insns     int
+	Programs  []workload.Spec
+	Penalties metrics.Penalties
+}
+
+// DefaultConfig returns the paper's setup over all six analogues.
+func DefaultConfig(insns int) Config {
+	return Config{
+		Insns:     insns,
+		Programs:  workload.All(),
+		Penalties: metrics.Default(),
+	}
+}
+
+// Runner generates and caches the per-program traces and runs engine
+// sweeps over them in parallel.
+type Runner struct {
+	Cfg Config
+
+	once   sync.Once
+	traces []*trace.Trace
+	genErr error
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
+
+// Traces generates (once) and returns the per-program traces.
+func (r *Runner) Traces() ([]*trace.Trace, error) {
+	r.once.Do(func() {
+		r.traces = make([]*trace.Trace, len(r.Cfg.Programs))
+		var wg sync.WaitGroup
+		errs := make([]error, len(r.Cfg.Programs))
+		for i, s := range r.Cfg.Programs {
+			wg.Add(1)
+			go func(i int, s workload.Spec) {
+				defer wg.Done()
+				r.traces[i], errs[i] = s.Trace(r.Cfg.Insns)
+			}(i, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				r.genErr = err
+				return
+			}
+		}
+	})
+	return r.traces, r.genErr
+}
+
+// Result is the outcome of one (program, architecture, cache) simulation.
+type Result struct {
+	Program string
+	Arch    string
+	Cache   cache.Geometry
+	M       metrics.Counters
+}
+
+// BEP returns the result's branch execution penalty under the runner's
+// penalties.
+func (r *Runner) BEP(res Result) float64 { return res.M.BEP(r.Cfg.Penalties) }
+
+// Sweep runs every (program × factory × cache) combination in parallel and
+// returns the results in deterministic order: program-major, then factory,
+// then cache.
+func (r *Runner) Sweep(factories []Factory, caches []cache.Geometry) ([]Result, error) {
+	traces, err := r.Traces()
+	if err != nil {
+		return nil, err
+	}
+	n := len(traces) * len(factories) * len(caches)
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	idx := 0
+	for ti, t := range traces {
+		for fi, f := range factories {
+			for ci, g := range caches {
+				wg.Add(1)
+				go func(slot int, t *trace.Trace, f Factory, g cache.Geometry) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					e := f.New(g)
+					m := fetch.Run(e, t)
+					results[slot] = Result{Program: t.Name, Arch: f.Name, Cache: g, M: *m}
+				}(idx, t, f, g)
+				idx++
+				_ = ti
+				_ = fi
+				_ = ci
+			}
+		}
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// Average aggregates results over programs: for each (arch, cache) pair it
+// returns a Result whose metrics are the arithmetic means of the per-program
+// BEP components and CPI inputs, with Program set to "average". Order
+// follows first appearance.
+type Average struct {
+	Arch  string
+	Cache cache.Geometry
+	// Mean penalty components and rates over programs.
+	MfBEP, MpBEP, CPI, MissRate float64
+}
+
+// Averages computes per-(arch, cache) means over programs.
+func (r *Runner) Averages(results []Result) []Average {
+	type key struct {
+		arch  string
+		cache cache.Geometry
+	}
+	order := []key{}
+	sums := map[key]*Average{}
+	counts := map[key]int{}
+	for _, res := range results {
+		k := key{res.Arch, res.Cache}
+		a, ok := sums[k]
+		if !ok {
+			a = &Average{Arch: res.Arch, Cache: res.Cache}
+			sums[k] = a
+			order = append(order, k)
+		}
+		p := r.Cfg.Penalties
+		a.MfBEP += res.M.MisfetchBEP(p)
+		a.MpBEP += res.M.MispredictBEP(p)
+		a.CPI += res.M.CPI(p)
+		a.MissRate += res.M.ICacheMissRate()
+		counts[k]++
+	}
+	out := make([]Average, 0, len(order))
+	for _, k := range order {
+		a := sums[k]
+		c := float64(counts[k])
+		out = append(out, Average{
+			Arch: a.Arch, Cache: a.Cache,
+			MfBEP: a.MfBEP / c, MpBEP: a.MpBEP / c,
+			CPI: a.CPI / c, MissRate: a.MissRate / c,
+		})
+	}
+	return out
+}
+
+// BEP returns the average's total branch execution penalty.
+func (a Average) BEP() float64 { return a.MfBEP + a.MpBEP }

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/area"
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+func maxParallel() int {
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Table1 reproduces Table 1: the measured attributes of each generated
+// trace.
+func (r *Runner) Table1() (string, error) {
+	traces, err := r.Traces()
+	if err != nil {
+		return "", err
+	}
+	rows := make([]*trace.Stats, len(traces))
+	for i, t := range traces {
+		rows[i] = trace.ComputeStats(t)
+	}
+	return trace.FormatTable(rows), nil
+}
+
+// Fig3Row is one bar group of Figure 3.
+type Fig3Row struct {
+	Label string
+	RBE   float64
+}
+
+// Fig3 reproduces Figure 3: register-bit-equivalent costs for the NLS-cache
+// and the 512/1024/2048-entry NLS-tables at 8K–64K cache sizes, and for
+// 128- and 256-entry BTBs at associativities 1, 2, 4. No simulation — pure
+// area model.
+func Fig3() []Fig3Row {
+	var rows []Fig3Row
+	sizes := []int{8, 16, 32, 64}
+	for _, kb := range sizes {
+		g := cache.MustGeometry(kb*1024, LineBytes, 1)
+		rows = append(rows, Fig3Row{
+			Label: fmt.Sprintf("NLS-cache %dK", kb),
+			RBE:   area.NLSCacheRBE(NLSPerLine, g),
+		})
+	}
+	for _, entries := range NLSTableSizes {
+		for _, kb := range sizes {
+			g := cache.MustGeometry(kb*1024, LineBytes, 1)
+			rows = append(rows, Fig3Row{
+				Label: fmt.Sprintf("%d NLS-table %dK", entries, kb),
+				RBE:   area.NLSTableRBE(entries, g),
+			})
+		}
+	}
+	for _, entries := range []int{128, 256} {
+		for _, assoc := range []int{1, 2, 4} {
+			rows = append(rows, Fig3Row{
+				Label: fmt.Sprintf("%d BTB %d-way", entries, assoc),
+				RBE:   area.BTBRBE(btb.Config{Entries: entries, Assoc: assoc}),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFig3 formats Figure 3 as a table with bars.
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: register bit equivalent costs (RBE)\n")
+	max := 0.0
+	for _, r := range rows {
+		if r.RBE > max {
+			max = r.RBE
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s %9.0f %s\n", r.Label, r.RBE, bar(r.RBE, max, 40))
+	}
+	return b.String()
+}
+
+// Fig4 reproduces Figure 4: average BEP of the NLS-cache and the three
+// NLS-table sizes over the paper's cache configurations.
+func (r *Runner) Fig4() ([]Average, error) {
+	factories := []Factory{NLSCacheFactory(NLSPerLine)}
+	for _, n := range NLSTableSizes {
+		factories = append(factories, NLSTableFactory(n))
+	}
+	results, err := r.Sweep(factories, PaperCaches())
+	if err != nil {
+		return nil, err
+	}
+	return r.Averages(results), nil
+}
+
+// Fig5 reproduces Figure 5: average BEP of the four BTB organizations and
+// the 1024-entry NLS-table. BTB BEP is cache-independent, so BTBs run on a
+// single cache configuration; the NLS-table runs on all of them.
+func (r *Runner) Fig5() ([]Average, error) {
+	oneCache := []cache.Geometry{cache.MustGeometry(16*1024, LineBytes, 1)}
+	var btbFacts []Factory
+	for _, cfg := range BTBConfigs() {
+		btbFacts = append(btbFacts, BTBFactory(cfg))
+	}
+	btbRes, err := r.Sweep(btbFacts, oneCache)
+	if err != nil {
+		return nil, err
+	}
+	nlsRes, err := r.Sweep([]Factory{NLSTableFactory(1024)}, PaperCaches())
+	if err != nil {
+		return nil, err
+	}
+	return append(r.Averages(btbRes), r.Averages(nlsRes)...), nil
+}
+
+// Fig6Row is one bar of Figure 6.
+type Fig6Row struct {
+	Entries, Assoc int
+	NS             float64
+}
+
+// Fig6 reproduces Figure 6: estimated BTB access times.
+func Fig6() []Fig6Row {
+	var rows []Fig6Row
+	for _, entries := range []int{128, 256} {
+		for _, assoc := range []int{1, 2, 4} {
+			rows = append(rows, Fig6Row{entries, assoc, timing.BTBAccessNS(entries, assoc)})
+		}
+	}
+	return rows
+}
+
+// RenderFig6 formats Figure 6.
+func RenderFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: BTB access time (ns, CACTI-style model)\n")
+	for _, r := range rows {
+		way := fmt.Sprintf("%d-way", r.Assoc)
+		if r.Assoc == 1 {
+			way = "direct"
+		}
+		fmt.Fprintf(&b, "  %3d-entry %-6s %5.2f ns %s\n", r.Entries, way, r.NS, bar(r.NS, 8, 32))
+	}
+	return b.String()
+}
+
+// Fig7 reproduces Figure 7: per-program BEP comparison between the BTBs
+// (cache-independent, shown once) and the 1024-entry NLS-table on every
+// paper cache configuration. Results are keyed by program name.
+func (r *Runner) Fig7() (map[string][]Result, error) {
+	oneCache := []cache.Geometry{cache.MustGeometry(16*1024, LineBytes, 1)}
+	var btbFacts []Factory
+	for _, cfg := range BTBConfigs() {
+		btbFacts = append(btbFacts, BTBFactory(cfg))
+	}
+	btbRes, err := r.Sweep(btbFacts, oneCache)
+	if err != nil {
+		return nil, err
+	}
+	nlsRes, err := r.Sweep([]Factory{NLSTableFactory(1024)}, PaperCaches())
+	if err != nil {
+		return nil, err
+	}
+	byProg := map[string][]Result{}
+	for _, res := range append(btbRes, nlsRes...) {
+		byProg[res.Program] = append(byProg[res.Program], res)
+	}
+	return byProg, nil
+}
+
+// Fig8 reproduces Figure 8: average CPI for the BTB organizations and the
+// 1024-entry NLS-table over each cache configuration. Unlike BEP, CPI
+// depends on the cache for every architecture (the 5-cycle miss penalty),
+// so everything runs on all configurations.
+func (r *Runner) Fig8() ([]Average, error) {
+	var factories []Factory
+	for _, cfg := range BTBConfigs() {
+		factories = append(factories, BTBFactory(cfg))
+	}
+	factories = append(factories, NLSTableFactory(1024))
+	results, err := r.Sweep(factories, PaperCaches())
+	if err != nil {
+		return nil, err
+	}
+	return r.Averages(results), nil
+}
+
+// RenderAverages formats BEP averages as stacked misfetch/mispredict rows,
+// the textual equivalent of the paper's stacked bars.
+func RenderAverages(title string, avgs []Average) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("  arch                        cache        misfetch  mispredict   BEP\n")
+	max := 0.0
+	for _, a := range avgs {
+		if a.BEP() > max {
+			max = a.BEP()
+		}
+	}
+	for _, a := range avgs {
+		fmt.Fprintf(&b, "  %-26s %-12s %8.3f %10.3f %7.3f %s\n",
+			a.Arch, a.Cache, a.MfBEP, a.MpBEP, a.BEP(), bar(a.BEP(), max, 30))
+	}
+	return b.String()
+}
+
+// RenderCPI formats Figure 8.
+func RenderCPI(avgs []Average) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: cycles per instruction (single issue, 5-cycle miss penalty)\n")
+	b.WriteString("  arch                        cache          CPI   icache-miss%\n")
+	for _, a := range avgs {
+		fmt.Fprintf(&b, "  %-26s %-12s %6.3f %10.2f\n", a.Arch, a.Cache, a.CPI, 100*a.MissRate)
+	}
+	return b.String()
+}
+
+// RenderFig7 formats the per-program comparison.
+func RenderFig7(r *Runner, byProg map[string][]Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: per-program branch execution penalty\n")
+	names := make([]string, 0, len(byProg))
+	for n := range byProg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	p := r.Cfg.Penalties
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, res := range byProg[name] {
+			cacheLabel := res.Cache.String()
+			if strings.Contains(res.Arch, "BTB") {
+				cacheLabel = "(any)"
+			}
+			fmt.Fprintf(&b, "  %-26s %-12s mf=%6.3f mp=%6.3f BEP=%6.3f\n",
+				res.Arch, cacheLabel, res.M.MisfetchBEP(p), res.M.MispredictBEP(p), res.M.BEP(p))
+		}
+	}
+	return b.String()
+}
+
+// bar renders a proportional ASCII bar.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n)
+}

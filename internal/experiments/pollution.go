@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/metrics"
+)
+
+// PollutionRow compares an architecture with and without wrong-path fetch
+// pollution modelling.
+type PollutionRow struct {
+	Arch             string
+	CleanMissRate    float64
+	PollutedMissRate float64
+	CleanMisfetchBEP float64
+	PollutedMisfetch float64
+	CleanCPI         float64
+	PollutedCPI      float64
+}
+
+// PollutionSweep quantifies the §5.2 remark that the architectures "may
+// fetch different instructions, even for the same cache organization":
+// wrong-path fetches touch the cache, raising the miss rate — and, for the
+// NLS architecture only, feeding back into fetch prediction (displaced
+// lines invalidate pointers).
+func (r *Runner) PollutionSweep() ([]PollutionRow, error) {
+	traces, err := r.Traces()
+	if err != nil {
+		return nil, err
+	}
+	g := cache.MustGeometry(8*1024, LineBytes, 1)
+	p := r.Cfg.Penalties
+
+	type variant struct {
+		name string
+		mk   func(pollute bool) fetch.Engine
+	}
+	variants := []variant{
+		{"1024 NLS-table", func(pollute bool) fetch.Engine {
+			e := fetch.NewNLSTableEngine(g, 1024, newPHT(), RASDepth)
+			e.SetWrongPathPollution(pollute)
+			return e
+		}},
+		{"128-entry direct BTB", func(pollute bool) fetch.Engine {
+			e := fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, newPHT(), RASDepth)
+			e.SetWrongPathPollution(pollute)
+			return e
+		}},
+	}
+
+	var rows []PollutionRow
+	for _, v := range variants {
+		row := PollutionRow{Arch: v.name}
+		for _, pollute := range []bool{false, true} {
+			var miss, mf, cpi float64
+			for _, t := range traces {
+				m := fetch.Run(v.mk(pollute), t)
+				miss += m.ICacheMissRate()
+				mf += m.MisfetchBEP(p)
+				cpi += m.CPI(p)
+			}
+			n := float64(len(traces))
+			if pollute {
+				row.PollutedMissRate = miss / n
+				row.PollutedMisfetch = mf / n
+				row.PollutedCPI = cpi / n
+			} else {
+				row.CleanMissRate = miss / n
+				row.CleanMisfetchBEP = mf / n
+				row.CleanCPI = cpi / n
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderPollutionSweep formats the wrong-path ablation.
+func RenderPollutionSweep(rows []PollutionRow, p metrics.Penalties) string {
+	var b strings.Builder
+	b.WriteString("Ablation: wrong-path fetch pollution (8KB direct i-cache)\n")
+	b.WriteString("  arch                       miss% clean/poll   mf-BEP clean/poll    CPI clean/poll\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %6.2f / %-6.2f %10.4f / %-8.4f %7.3f / %-7.3f\n",
+			r.Arch, 100*r.CleanMissRate, 100*r.PollutedMissRate,
+			r.CleanMisfetchBEP, r.PollutedMisfetch,
+			r.CleanCPI, r.PollutedCPI)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestPollutionSweepDirections(t *testing.T) {
+	r := runnerOn(300_000, workload.Gcc())
+	rows, err := r.PollutionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		// Wrong-path fetches can only add accesses and misses.
+		if row.PollutedMissRate < row.CleanMissRate*0.99 {
+			t.Errorf("%s: pollution lowered the miss rate %.4f -> %.4f",
+				row.Arch, row.CleanMissRate, row.PollutedMissRate)
+		}
+		if row.PollutedCPI < row.CleanCPI*0.999 {
+			t.Errorf("%s: pollution lowered CPI %.4f -> %.4f",
+				row.Arch, row.CleanCPI, row.PollutedCPI)
+		}
+	}
+	// Only the NLS architecture's *fetch prediction* feels the
+	// pollution (displaced lines invalidate pointers); the BTB's
+	// misfetch accounting is cache-independent and must be unchanged.
+	for _, row := range rows {
+		if strings.Contains(row.Arch, "BTB") {
+			if row.PollutedMisfetch != row.CleanMisfetchBEP {
+				t.Errorf("BTB misfetch changed under pollution: %.5f -> %.5f",
+					row.CleanMisfetchBEP, row.PollutedMisfetch)
+			}
+		} else if row.PollutedMisfetch < row.CleanMisfetchBEP*0.98 {
+			// Pollution usually hurts NLS fetch prediction; the odd
+			// accidental-prefetch can move it a hair the other way,
+			// so only a material improvement is a bug.
+			t.Errorf("NLS misfetch improved materially under pollution: %.5f -> %.5f",
+				row.CleanMisfetchBEP, row.PollutedMisfetch)
+		}
+	}
+}
+
+func TestRenderPollutionSweep(t *testing.T) {
+	r := runnerOn(100_000, workload.Espresso())
+	rows, err := r.PollutionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPollutionSweep(rows, metrics.Default())
+	if !strings.Contains(out, "NLS-table") || !strings.Contains(out, "BTB") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWidthSweepShapes(t *testing.T) {
+	r := runnerOn(300_000, workload.Gcc(), workload.Li())
+	rows, err := r.WidthSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(arch string, width int) WidthRow {
+		for _, row := range rows {
+			if row.Arch == arch && row.Width == width {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%d", arch, width)
+		return WidthRow{}
+	}
+	nls := "1024 NLS-table"
+	btb := "128-entry direct BTB"
+
+	// IPC grows with width but sub-linearly; penalty share grows.
+	prevIPC, prevShare := 0.0, -1.0
+	for _, w := range []int{1, 2, 4, 8} {
+		row := get(nls, w)
+		if row.IPC <= prevIPC {
+			t.Errorf("width %d: IPC %v did not grow", w, row.IPC)
+		}
+		if row.PenaltyShare <= prevShare {
+			t.Errorf("width %d: penalty share %v did not grow", w, row.PenaltyShare)
+		}
+		prevIPC, prevShare = row.IPC, row.PenaltyShare
+	}
+	if eightX := get(nls, 8).IPC / get(nls, 1).IPC; eightX >= 8 {
+		t.Errorf("width-8 speedup %v should be sublinear", eightX)
+	}
+
+	// §8's implication: the NLS advantage over the equal-cost BTB does
+	// not shrink as fetch widens (the penalty events are
+	// width-independent, and they are the architectures' only
+	// difference).
+	gap1 := get(nls, 1).IPC - get(btb, 1).IPC
+	gap8 := get(nls, 8).IPC - get(btb, 8).IPC
+	if gap8 < gap1 {
+		t.Errorf("NLS IPC advantage shrank with width: %v -> %v", gap1, gap8)
+	}
+}
+
+func TestRenderWidthSweep(t *testing.T) {
+	r := runnerOn(100_000, workload.Espresso())
+	rows, err := r.WidthSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderWidthSweep(rows)
+	if !strings.Contains(out, "width") || !strings.Contains(out, "NLS-table") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,139 @@
+package fetch
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/pht"
+	"repro/internal/trace"
+)
+
+// BTBEngine simulates the decoupled BTB architecture of §3: a tagged,
+// set-associative BTB holding full target addresses and branch types for
+// taken branches, a separate PHT for conditional directions, and a return
+// stack.
+//
+// Because the BTB holds full addresses, its fetch predictions never depend
+// on instruction cache contents: a correct BTB target is a correct fetch
+// even if the target line is absent (the miss just starts a cycle earlier
+// than it would under NLS, §7). Consequently the BTB's branch execution
+// penalty is independent of the cache configuration — the property the
+// paper's Figure 7 calls out.
+type BTBEngine struct {
+	base
+	pollution
+	buf *btb.BTB
+}
+
+// NewBTBEngine builds a BTB architecture simulator. dir is shared-use: pass
+// a fresh predictor per engine.
+func NewBTBEngine(g cache.Geometry, cfg btb.Config, dir pht.Predictor, rasDepth int) *BTBEngine {
+	return &BTBEngine{
+		base: newBase(g, dir, rasDepth),
+		buf:  btb.New(cfg),
+	}
+}
+
+// BTB exposes the underlying buffer for tests.
+func (e *BTBEngine) BTB() *btb.BTB { return e.buf }
+
+// Name implements Engine.
+func (e *BTBEngine) Name() string {
+	return fmt.Sprintf("%s + %s", e.buf.Config(), e.icache.Geometry())
+}
+
+// Reset implements Engine.
+func (e *BTBEngine) Reset() {
+	e.resetBase()
+	e.buf.Reset()
+}
+
+// Step implements Engine, applying the accounting rules of DESIGN.md §6.
+func (e *BTBEngine) Step(rec trace.Record) {
+	e.access(rec)
+	if !rec.IsBreak() {
+		// Non-branches never hit the tagged BTB; the fall-through
+		// fetch is always correct.
+		return
+	}
+	e.m.Breaks++
+
+	entry, hit := e.buf.Lookup(rec.PC)
+
+	mfBefore, mpBefore := e.m.Misfetches, e.m.Mispredicts
+	switch rec.Kind {
+	case isa.CondBranch:
+		e.m.CondBranches++
+		dirRight := e.dir.Predict(rec.PC) == rec.Taken
+		if !dirRight {
+			e.m.CondDirWrong++
+			e.m.AddMispredict(rec.Kind)
+		} else if rec.Taken && !hit {
+			// Direction was predicted correctly but the target
+			// address was unavailable until decode.
+			e.m.AddMisfetch(rec.Kind)
+		}
+		// A hit entry for a direct conditional always carries the
+		// branch's (unique) target, so hit && dirRight && taken is a
+		// correct fetch.
+		e.dir.Update(rec.PC, rec.Taken)
+
+	case isa.UncondBranch:
+		if !hit {
+			e.m.AddMisfetch(rec.Kind)
+		}
+
+	case isa.Call:
+		if !hit {
+			e.m.AddMisfetch(rec.Kind)
+		}
+		e.rstack.Push(rec.PC.Next())
+
+	case isa.IndirectJump:
+		switch {
+		case !hit:
+			// No prediction: the register target is read at
+			// decode; the fall-through fetch is discarded.
+			e.m.AddMisfetch(rec.Kind)
+		case entry.Target != rec.Target:
+			// A stale predicted target is only disproved at
+			// execute.
+			e.m.AddMispredict(rec.Kind)
+		}
+
+	case isa.Return:
+		top, ok := e.rstack.Pop()
+		rasRight := ok && top == rec.Target
+		switch {
+		case hit && rasRight:
+			// Identified as a return, stack correct.
+		case !rasRight:
+			// The stack value was used (at fetch on a hit, at
+			// decode on a miss) and was wrong.
+			e.m.AddMispredict(rec.Kind)
+		default:
+			// Stack right but the instruction was not identified
+			// as a return until decode.
+			e.m.AddMisfetch(rec.Kind)
+		}
+	}
+
+	// Optional wrong-path pollution (wrongpath.go): approximate the
+	// wrong-path fetch as the predicted target on a hit, the
+	// fall-through otherwise.
+	if e.pollution.enabled &&
+		(e.m.Misfetches > mfBefore || e.m.Mispredicts > mpBefore) {
+		wp := rec.PC.Next()
+		if hit {
+			wp = entry.Target
+		}
+		e.pollute(wp, e.m.Mispredicts > mpBefore)
+	}
+
+	// Only taken branches enter or refresh the BTB (§3).
+	if rec.Taken {
+		e.buf.RecordTaken(rec.PC, rec.Target, rec.Kind)
+	}
+}

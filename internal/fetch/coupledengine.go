@@ -1,0 +1,202 @@
+package fetch
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// CoupledBTBEngine simulates the *coupled* BTB design of §2 — the Intel
+// Pentium organization: each BTB entry carries its own 2-bit saturating
+// direction counter, so dynamic direction prediction exists only for
+// branches resident in the BTB; a conditional that misses the BTB falls
+// back to static not-taken prediction.
+//
+// The paper (and its predecessor, Calder & Grunwald 1994) uses this design
+// as the baseline that the decoupled PHT improves on: under BTB capacity
+// pressure, evicting an entry also forgets the branch's direction history.
+// This engine exists for that ablation; the paper's own BTB results use
+// the decoupled BTBEngine.
+type CoupledBTBEngine struct {
+	base // dir predictor unused; counters live in the entries
+
+	cfg     btb.Config
+	sets    int
+	setMask uint32
+
+	tags    []uint32
+	targets []isa.Addr
+	kinds   []isa.Kind
+	counter []uint8 // 2-bit saturating, >=2 predicts taken
+	valid   []bool
+	stamp   []uint64
+	clock   uint64
+}
+
+// NewCoupledBTBEngine builds a coupled-BTB architecture simulator.
+func NewCoupledBTBEngine(g cache.Geometry, cfg btb.Config, rasDepth int) *CoupledBTBEngine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Entries / cfg.Assoc
+	return &CoupledBTBEngine{
+		base:    newBase(g, noDir{}, rasDepth),
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint32(sets - 1),
+		tags:    make([]uint32, cfg.Entries),
+		targets: make([]isa.Addr, cfg.Entries),
+		kinds:   make([]isa.Kind, cfg.Entries),
+		counter: make([]uint8, cfg.Entries),
+		valid:   make([]bool, cfg.Entries),
+		stamp:   make([]uint64, cfg.Entries),
+	}
+}
+
+// Name implements Engine.
+func (e *CoupledBTBEngine) Name() string {
+	return fmt.Sprintf("coupled %s + %s", e.cfg, e.icache.Geometry())
+}
+
+// Reset implements Engine.
+func (e *CoupledBTBEngine) Reset() {
+	e.resetBase()
+	for i := range e.valid {
+		e.valid[i] = false
+		e.stamp[i] = 0
+	}
+	e.clock = 0
+}
+
+func (e *CoupledBTBEngine) setOf(pc isa.Addr) int { return int(pc.Word() & e.setMask) }
+
+func (e *CoupledBTBEngine) tagOf(pc isa.Addr) uint32 {
+	t := pc.Word()
+	for s := e.sets; s > 1; s >>= 1 {
+		t >>= 1
+	}
+	return t
+}
+
+// find returns the slot index of pc's entry, or -1.
+func (e *CoupledBTBEngine) find(pc isa.Addr) int {
+	set, tag := e.setOf(pc), e.tagOf(pc)
+	for w := 0; w < e.cfg.Assoc; w++ {
+		s := set*e.cfg.Assoc + w
+		if e.valid[s] && e.tags[s] == tag {
+			return s
+		}
+	}
+	return -1
+}
+
+// insert allocates (or refreshes) an entry for a taken branch.
+func (e *CoupledBTBEngine) insert(pc, target isa.Addr, kind isa.Kind) int {
+	e.clock++
+	set, tag := e.setOf(pc), e.tagOf(pc)
+	victim, victimStamp := set*e.cfg.Assoc, ^uint64(0)
+	for w := 0; w < e.cfg.Assoc; w++ {
+		s := set*e.cfg.Assoc + w
+		if e.valid[s] && e.tags[s] == tag {
+			e.targets[s] = target
+			e.kinds[s] = kind
+			e.stamp[s] = e.clock
+			return s
+		}
+		if !e.valid[s] {
+			if victimStamp != 0 {
+				victim, victimStamp = s, 0
+			}
+			continue
+		}
+		if e.stamp[s] < victimStamp {
+			victim, victimStamp = s, e.stamp[s]
+		}
+	}
+	e.tags[victim] = tag
+	e.targets[victim] = target
+	e.kinds[victim] = kind
+	// New entries start weakly taken: the branch just executed taken.
+	e.counter[victim] = 2
+	e.valid[victim] = true
+	e.stamp[victim] = e.clock
+	return victim
+}
+
+// Step implements Engine.
+func (e *CoupledBTBEngine) Step(rec trace.Record) {
+	e.access(rec)
+	if !rec.IsBreak() {
+		return
+	}
+	e.m.Breaks++
+
+	slot := e.find(rec.PC)
+	if slot >= 0 {
+		e.clock++
+		e.stamp[slot] = e.clock
+	}
+
+	switch rec.Kind {
+	case isa.CondBranch:
+		e.m.CondBranches++
+		// Coupled prediction: the entry's counter if present, static
+		// not-taken otherwise — the defining weakness (§2: "branches
+		// that miss in the BTB must use less accurate static
+		// prediction").
+		predTaken := slot >= 0 && e.counter[slot] >= 2
+		dirRight := predTaken == rec.Taken
+		if !dirRight {
+			e.m.CondDirWrong++
+			e.m.AddMispredict(rec.Kind)
+		} else if rec.Taken && slot < 0 {
+			e.m.AddMisfetch(rec.Kind)
+		}
+		if slot >= 0 {
+			if rec.Taken {
+				if e.counter[slot] < 3 {
+					e.counter[slot]++
+				}
+			} else if e.counter[slot] > 0 {
+				e.counter[slot]--
+			}
+		}
+
+	case isa.UncondBranch:
+		if slot < 0 {
+			e.m.AddMisfetch(rec.Kind)
+		}
+
+	case isa.Call:
+		if slot < 0 {
+			e.m.AddMisfetch(rec.Kind)
+		}
+		e.rstack.Push(rec.PC.Next())
+
+	case isa.IndirectJump:
+		switch {
+		case slot < 0:
+			e.m.AddMisfetch(rec.Kind)
+		case e.targets[slot] != rec.Target:
+			e.m.AddMispredict(rec.Kind)
+		}
+
+	case isa.Return:
+		top, ok := e.rstack.Pop()
+		rasRight := ok && top == rec.Target
+		switch {
+		case slot >= 0 && rasRight:
+		case !rasRight:
+			e.m.AddMispredict(rec.Kind)
+		default:
+			e.m.AddMisfetch(rec.Kind)
+		}
+	}
+
+	if rec.Taken {
+		e.insert(rec.PC, rec.Target, rec.Kind)
+	}
+}

@@ -1,0 +1,104 @@
+// Package fetch implements the instruction fetch architectures the paper
+// compares: the decoupled BTB design (§3), the NLS-table and NLS-cache
+// designs (§4), and the Johnson successor-index baseline (§6.2). Each
+// engine consumes an instruction trace and accounts misfetches and
+// mispredictions per the paper's rules (see DESIGN.md §6):
+//
+//   - A branch is MISPREDICTED (4 cycles) when a predicted *value* was wrong
+//     and could only be verified at execute: a wrong PHT direction, a wrong
+//     return-stack target, or a wrong predicted indirect target.
+//   - A branch is MISFETCHED (1 cycle) when the fetch went down the wrong
+//     path but the correct next address became available at decode: the
+//     predictor failed to identify the branch or supply its target (BTB
+//     miss, invalid or aliased NLS entry), or — NLS only — the pointer
+//     named a cache location that no longer holds the target line.
+//   - A branch is never both ("a mispredicted branch is never counted as a
+//     misfetched branch and visa versa", §5.2).
+//
+// Both architectures share the same decoupled PHT and return stack so the
+// comparison isolates fetch (target) prediction, exactly as §5.1 sets up.
+package fetch
+
+import (
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/pht"
+	"repro/internal/ras"
+	"repro/internal/trace"
+)
+
+// Engine is a fetch architecture simulator consuming a trace one record at
+// a time.
+type Engine interface {
+	// Step processes one executed instruction.
+	Step(rec trace.Record)
+	// Counters returns the accumulated metrics. The returned pointer
+	// stays valid and updates as more records are stepped.
+	Counters() *metrics.Counters
+	// Name identifies the configuration, e.g. "1024 NLS-table, 8K direct".
+	Name() string
+	// Reset restores the engine to its initial (cold) state.
+	Reset()
+}
+
+// Run drives every record of a trace through the engine and returns its
+// counters.
+func Run(e Engine, t *trace.Trace) *metrics.Counters {
+	for _, r := range t.Records {
+		e.Step(r)
+	}
+	return e.Counters()
+}
+
+// RunSource drives up to n records from a trace source through the engine.
+func RunSource(e Engine, src trace.Source, n int) *metrics.Counters {
+	src.Run(n, e.Step)
+	return e.Counters()
+}
+
+// base bundles the structures shared by every architecture: the instruction
+// cache, the decoupled direction predictor, the return stack, and the
+// counters.
+type base struct {
+	icache *cache.Cache
+	dir    pht.Predictor
+	rstack *ras.Stack
+	m      metrics.Counters
+}
+
+func newBase(g cache.Geometry, dir pht.Predictor, rasDepth int) base {
+	if rasDepth <= 0 {
+		rasDepth = ras.DefaultDepth
+	}
+	return base{
+		icache: cache.New(g),
+		dir:    dir,
+		rstack: ras.New(rasDepth),
+	}
+}
+
+// access fetches the record's instruction from the i-cache, counting the
+// access, and returns where the line now resides.
+func (b *base) access(rec trace.Record) (hit bool, way int) {
+	b.m.Instructions++
+	return b.icache.Access(rec.PC)
+}
+
+// Counters implements Engine; it synchronizes the i-cache counters first.
+func (b *base) Counters() *metrics.Counters {
+	b.m.ICacheAccesses = b.icache.Accesses()
+	b.m.ICacheMisses = b.icache.Misses()
+	return &b.m
+}
+
+// resetBase clears the shared state.
+func (b *base) resetBase() {
+	b.icache.Reset()
+	b.dir.Reset()
+	b.rstack.Reset()
+	b.m.Reset()
+}
+
+// ICache exposes the engine's instruction cache (for inspection in tests
+// and the set-prediction ablation).
+func (b *base) ICache() *cache.Cache { return b.icache }

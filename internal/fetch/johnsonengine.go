@@ -1,0 +1,135 @@
+package fetch
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// JohnsonEngine simulates the related-work baseline of §6.2: Johnson's
+// cache-successor-index design as used by the TFP (MIPS R8000). One
+// successor pointer per four instructions is coupled to each cache line and
+// updated on every branch execution to the location execution continued at
+// — taken target or fall-through — giving implicit one-bit direction
+// prediction. There is no decoupled PHT, no type field, and no return
+// stack: every branch follows its pointer when one is valid.
+//
+// Comparing this engine with NLSEngine isolates the paper's two
+// improvements over Johnson: updating pointers only on taken branches, and
+// decoupling direction prediction into a two-level PHT.
+type JohnsonEngine struct {
+	base
+	store *core.JohnsonCoupled
+
+	pending struct {
+		active bool
+		pc     isa.Addr
+		next   isa.Addr
+	}
+}
+
+// NewJohnsonEngine builds the successor-index baseline. The base PHT slot
+// is unused (Johnson has no separate direction predictor); the RAS is
+// allocated but never consulted.
+func NewJohnsonEngine(g cache.Geometry) *JohnsonEngine {
+	e := &JohnsonEngine{base: newBase(g, noDir{}, 1)}
+	e.store = core.NewJohnson(e.icache)
+	return e
+}
+
+// noDir is a placeholder direction predictor for architectures without one.
+type noDir struct{}
+
+func (noDir) Predict(isa.Addr) bool { return false }
+func (noDir) Update(isa.Addr, bool) {}
+func (noDir) SizeBits() int         { return 0 }
+func (noDir) Name() string          { return "none" }
+func (noDir) Reset()                {}
+
+// Name implements Engine.
+func (e *JohnsonEngine) Name() string {
+	return fmt.Sprintf("%s + %s", e.store.Name(), e.icache.Geometry())
+}
+
+// Reset implements Engine.
+func (e *JohnsonEngine) Reset() {
+	e.resetBase()
+	e.store.Reset()
+	e.pending.active = false
+}
+
+// Step implements Engine.
+func (e *JohnsonEngine) Step(rec trace.Record) {
+	_, way := e.access(rec)
+
+	if e.pending.active {
+		if e.pending.next == rec.PC {
+			e.store.Update(e.pending.pc, e.pending.next, way)
+		}
+		e.pending.active = false
+	}
+
+	if !rec.IsBreak() {
+		return
+	}
+	e.m.Breaks++
+
+	g := e.icache.Geometry()
+	set := g.SetIndex(rec.PC)
+	entry := e.store.Lookup(rec.PC, set, way)
+
+	next := rec.Next()
+	var correct, followedPointer bool
+	if entry.Valid {
+		followedPointer = true
+		correct = entry.PointsTo(e.icache, next)
+	} else {
+		correct = next == rec.PC.Next()
+	}
+
+	switch rec.Kind {
+	case isa.CondBranch:
+		e.m.CondBranches++
+		// The pointer encodes the last direction: pointing at the
+		// fall-through location means "predict not taken".
+		fall := rec.PC.Next()
+		predictedTaken := followedPointer &&
+			!(int(entry.Set) == g.SetIndex(fall) && int(entry.Offset) == g.InstrOffset(fall))
+		dirRight := predictedTaken == rec.Taken
+		if !dirRight {
+			e.m.CondDirWrong++
+		}
+		if !correct {
+			if dirRight {
+				e.m.AddMisfetch(rec.Kind)
+			} else {
+				e.m.AddMispredict(rec.Kind)
+			}
+		}
+
+	case isa.UncondBranch, isa.Call:
+		if !correct {
+			e.m.AddMisfetch(rec.Kind)
+		}
+
+	case isa.IndirectJump, isa.Return:
+		// Moving targets with no stack: a wrong pointer is disproved
+		// at execute; a missing pointer redirects at decode.
+		if !correct {
+			if followedPointer {
+				e.m.AddMispredict(rec.Kind)
+			} else {
+				e.m.AddMisfetch(rec.Kind)
+			}
+		}
+	}
+
+	// Johnson updates the successor index on every branch execution
+	// (taken or not), deferring until the successor's way is known.
+	e.pending.active = true
+	e.pending.pc = rec.PC
+	e.pending.next = next
+}

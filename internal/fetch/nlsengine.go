@@ -1,0 +1,245 @@
+package fetch
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pht"
+	"repro/internal/trace"
+)
+
+// nlsStore abstracts the two NLS organizations (table and line-coupled) so
+// one engine implements the NLS fetch architecture for both. The set and
+// way arguments identify where the branch instruction itself resides in the
+// cache (known at fetch time, since the branch was just fetched); the
+// tag-less table ignores them.
+type nlsStore interface {
+	lookup(pc isa.Addr, set, way int) core.Entry
+	update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, targetWay int)
+	name() string
+	reset()
+	sizeBits() int
+}
+
+type tableStore struct{ t *core.Table }
+
+func (s tableStore) lookup(pc isa.Addr, _, _ int) core.Entry { return s.t.Lookup(pc) }
+func (s tableStore) update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, way int) {
+	s.t.Update(pc, kind, taken, target, way)
+}
+func (s tableStore) name() string  { return s.t.Name() }
+func (s tableStore) reset()        { s.t.Reset() }
+func (s tableStore) sizeBits() int { return s.t.SizeBits() }
+
+type coupledStore struct{ l *core.LineCoupled }
+
+func (s coupledStore) lookup(pc isa.Addr, set, way int) core.Entry {
+	return s.l.Lookup(pc, set, way)
+}
+func (s coupledStore) update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, way int) {
+	s.l.Update(pc, kind, taken, target, way)
+}
+func (s coupledStore) name() string  { return s.l.Name() }
+func (s coupledStore) reset()        { s.l.Reset() }
+func (s coupledStore) sizeBits() int { return s.l.SizeBits() }
+
+// predMode is the fetch mechanism selected by the NLS type field (§4's
+// type-field table).
+type predMode uint8
+
+const (
+	modeFallThrough predMode = iota // invalid entry, or PHT says not taken
+	modeRAS                         // type = return
+	modePointer                     // pointer followed (taken cond / other)
+)
+
+// NLSEngine simulates the NLS fetch architecture of §4 over either NLS
+// organization. The instruction fetched is assumed identifiable as branch
+// or non-branch during fetch (pre-decode bit, §4), so non-branches always
+// fetch the fall-through line correctly and branches consult their NLS
+// entry.
+type NLSEngine struct {
+	base
+	pollution
+	store nlsStore
+
+	// pending defers the pointer part of an NLS update for a taken
+	// branch until the target's fetch resolves its cache way: the
+	// hardware updates entries "after instructions are decoded and the
+	// branch type and destinations are resolved" (§4), by which time the
+	// destination's location is known.
+	pending struct {
+		active bool
+		pc     isa.Addr
+		kind   isa.Kind
+		target isa.Addr
+	}
+}
+
+// NewNLSTableEngine builds an NLS architecture using a tag-less NLS-table
+// with the given number of entries (§4.1).
+func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Predictor, rasDepth int) *NLSEngine {
+	e := &NLSEngine{base: newBase(g, dir, rasDepth)}
+	e.store = tableStore{core.NewTable(tableEntries, g)}
+	return e
+}
+
+// NewNLSCacheEngine builds an NLS architecture with predictors coupled to
+// cache lines (the NLS-cache of §4.1), perLine predictors per line.
+func NewNLSCacheEngine(g cache.Geometry, perLine int, dir pht.Predictor, rasDepth int) *NLSEngine {
+	e := &NLSEngine{base: newBase(g, dir, rasDepth)}
+	e.store = coupledStore{core.NewLineCoupled(e.icache, perLine)}
+	return e
+}
+
+// Name implements Engine.
+func (e *NLSEngine) Name() string {
+	return fmt.Sprintf("%s + %s", e.store.name(), e.icache.Geometry())
+}
+
+// PredictorSizeBits returns the storage cost of the NLS predictor state.
+func (e *NLSEngine) PredictorSizeBits() int { return e.store.sizeBits() }
+
+// Reset implements Engine.
+func (e *NLSEngine) Reset() {
+	e.resetBase()
+	e.store.reset()
+	e.pending.active = false
+}
+
+// Step implements Engine.
+func (e *NLSEngine) Step(rec trace.Record) {
+	hit, way := e.access(rec)
+	_ = hit
+
+	// Resolve the deferred update for the previous taken branch: this
+	// record IS its target, so the target line's way is now known. (The
+	// equality guard only matters for malformed, non-chained input.)
+	if e.pending.active {
+		if e.pending.target == rec.PC {
+			e.store.update(e.pending.pc, e.pending.kind, true, e.pending.target, way)
+		}
+		e.pending.active = false
+	}
+
+	if !rec.IsBreak() {
+		// Pre-decoded as non-branch: fall-through fetch, always
+		// correct (full fall-through address is precomputed, §4.2).
+		return
+	}
+	e.m.Breaks++
+
+	g := e.icache.Geometry()
+	set := g.SetIndex(rec.PC)
+	entry := e.store.lookup(rec.PC, set, way)
+
+	// Select the fetch mechanism from the type field (§4).
+	var mode predMode
+	switch entry.Type {
+	case core.TypeInvalid:
+		mode = modeFallThrough
+	case core.TypeReturn:
+		mode = modeRAS
+	case core.TypeCond:
+		if e.dir.Predict(rec.PC) {
+			mode = modePointer
+		} else {
+			mode = modeFallThrough
+		}
+	case core.TypeOther:
+		mode = modePointer
+	}
+
+	// Was the fetch correct? Fall-through and return-stack predictions
+	// carry full addresses (the fall-through address is precomputed and
+	// the RAS stores full addresses), so they are address-checked; the
+	// NLS pointer is a cache location and is correct only if the
+	// predicted slot currently holds the actual next instruction.
+	next := rec.Next()
+	var correct bool
+	switch mode {
+	case modeFallThrough:
+		correct = next == rec.PC.Next()
+	case modeRAS:
+		top, ok := e.rstack.Top()
+		correct = ok && top == next
+	case modePointer:
+		correct = entry.PointsTo(e.icache, next)
+	}
+
+	// Classify a wrong fetch by its root cause (DESIGN.md §6) and keep
+	// the architectural predictors trained.
+	mpBefore := e.m.Mispredicts
+	switch rec.Kind {
+	case isa.CondBranch:
+		e.m.CondBranches++
+		dirRight := e.dir.Predict(rec.PC) == rec.Taken
+		if !dirRight {
+			e.m.CondDirWrong++
+		}
+		if !correct {
+			if dirRight {
+				e.m.AddMisfetch(rec.Kind)
+			} else {
+				e.m.AddMispredict(rec.Kind)
+			}
+		}
+		e.dir.Update(rec.PC, rec.Taken)
+
+	case isa.UncondBranch:
+		if !correct {
+			e.m.AddMisfetch(rec.Kind)
+		}
+
+	case isa.Call:
+		if !correct {
+			e.m.AddMisfetch(rec.Kind)
+		}
+		e.rstack.Push(rec.PC.Next())
+
+	case isa.IndirectJump:
+		if !correct {
+			if mode == modePointer {
+				// A pointer was followed and disproved at
+				// execute.
+				e.m.AddMispredict(rec.Kind)
+			} else {
+				e.m.AddMisfetch(rec.Kind)
+			}
+		}
+
+	case isa.Return:
+		top, ok := e.rstack.Pop()
+		rasRight := ok && top == rec.Target
+		if !correct {
+			if rasRight {
+				// Not identified as a return until decode,
+				// but the stack had the right address there.
+				e.m.AddMisfetch(rec.Kind)
+			} else {
+				e.m.AddMispredict(rec.Kind)
+			}
+		}
+	}
+
+	// Optional wrong-path pollution: touch what the front end actually
+	// fetched before the redirect (see wrongpath.go).
+	if e.pollution.enabled && !correct {
+		if wp, ok := e.wrongPath(mode, entry, rec.PC); ok {
+			e.pollute(wp, e.m.Mispredicts > mpBefore)
+		}
+	}
+
+	// Train the NLS entry: type always; pointer only for taken branches
+	// (deferred until the target's way is known).
+	if rec.Taken {
+		e.pending.active = true
+		e.pending.pc = rec.PC
+		e.pending.kind = rec.Kind
+		e.pending.target = rec.Target
+	} else {
+		e.store.update(rec.PC, rec.Kind, false, 0, 0)
+	}
+}

@@ -1,0 +1,92 @@
+// Package isa defines the minimal instruction-set abstractions used by the
+// NLS/BTB fetch-prediction simulator: instruction kinds, addresses, and the
+// fixed geometry the paper assumes (4-byte instructions in a 32-bit address
+// space).
+//
+// The paper (Calder & Grunwald, "Next Cache Line and Set Prediction",
+// ISCA 1995) traces DEC Alpha programs; the simulator is ISA-agnostic and
+// only needs to classify each instruction as one of the break kinds in
+// Table 1 of the paper: conditional branch, unconditional branch, indirect
+// jump, procedure call, or procedure return.
+package isa
+
+import "fmt"
+
+// InstrBytes is the size of every instruction, as in the paper
+// ("32 byte cache lines and 4 byte instructions").
+const InstrBytes = 4
+
+// Addr is a 32-bit instruction address. The paper assumes a 32-bit address
+// space when costing the BTB.
+type Addr uint32
+
+// Next returns the address of the sequential (fall-through) successor.
+func (a Addr) Next() Addr { return a + InstrBytes }
+
+// Aligned reports whether the address is instruction-aligned.
+func (a Addr) Aligned() bool { return a%InstrBytes == 0 }
+
+// Word returns the instruction index of the address (address / 4). BTB and
+// NLS index functions hash on the word, not the raw byte address, because
+// the low two bits are always zero.
+func (a Addr) Word() uint32 { return uint32(a) / InstrBytes }
+
+// String formats the address as hexadecimal.
+func (a Addr) String() string { return fmt.Sprintf("0x%08x", uint32(a)) }
+
+// Kind classifies an instruction. Every executed instruction in a trace has
+// a Kind; kinds other than NonBranch are "breaks" in the paper's vocabulary.
+type Kind uint8
+
+const (
+	// NonBranch is any instruction that cannot change control flow.
+	NonBranch Kind = iota
+	// CondBranch is a conditional direct branch (taken or not taken).
+	CondBranch
+	// UncondBranch is an unconditional direct branch (always taken).
+	UncondBranch
+	// IndirectJump is a register-indirect jump (e.g. a switch dispatch).
+	IndirectJump
+	// Call is a direct procedure call; it pushes a return address.
+	Call
+	// Return is a procedure return; its target comes from the call stack.
+	Return
+
+	// NumKinds is the number of instruction kinds (for fixed-size tables).
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	NonBranch:    "non-branch",
+	CondBranch:   "cond",
+	UncondBranch: "uncond",
+	IndirectJump: "indirect",
+	Call:         "call",
+	Return:       "return",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsBranch reports whether the kind is a break in control flow. Note that a
+// not-taken conditional branch is still a branch: it is a break *site* even
+// when control falls through.
+func (k Kind) IsBranch() bool { return k != NonBranch && k < NumKinds }
+
+// AlwaysTaken reports whether the kind transfers control unconditionally.
+// Only conditional branches can fall through.
+func (k Kind) AlwaysTaken() bool {
+	switch k {
+	case UncondBranch, IndirectJump, Call, Return:
+		return true
+	}
+	return false
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k < NumKinds }

@@ -1,0 +1,95 @@
+package isa
+
+import "testing"
+
+func TestAddrNext(t *testing.T) {
+	if got := Addr(0x1000).Next(); got != 0x1004 {
+		t.Errorf("Next() = %v, want 0x1004", got)
+	}
+}
+
+func TestAddrAligned(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want bool
+	}{
+		{0, true}, {4, true}, {1, false}, {2, false}, {3, false}, {0xfffffffc, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Aligned(); got != c.want {
+			t.Errorf("Aligned(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestAddrWord(t *testing.T) {
+	if got := Addr(0x100c).Word(); got != 0x403 {
+		t.Errorf("Word() = %#x, want 0x403", got)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0xdeadbeec).String(); got != "0xdeadbeec" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestKindIsBranch(t *testing.T) {
+	if NonBranch.IsBranch() {
+		t.Error("NonBranch.IsBranch() = true")
+	}
+	for _, k := range []Kind{CondBranch, UncondBranch, IndirectJump, Call, Return} {
+		if !k.IsBranch() {
+			t.Errorf("%v.IsBranch() = false", k)
+		}
+	}
+	if Kind(200).IsBranch() {
+		t.Error("invalid kind reports IsBranch")
+	}
+}
+
+func TestKindAlwaysTaken(t *testing.T) {
+	cases := map[Kind]bool{
+		NonBranch:    false,
+		CondBranch:   false,
+		UncondBranch: true,
+		IndirectJump: true,
+		Call:         true,
+		Return:       true,
+	}
+	for k, want := range cases {
+		if got := k.AlwaysTaken(); got != want {
+			t.Errorf("%v.AlwaysTaken() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		NonBranch:    "non-branch",
+		CondBranch:   "cond",
+		UncondBranch: "uncond",
+		IndirectJump: "indirect",
+		Call:         "call",
+		Return:       "return",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "kind(42)" {
+		t.Errorf("invalid kind String() = %q", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("kind %d should be valid", k)
+		}
+	}
+	if Kind(NumKinds).Valid() {
+		t.Error("NumKinds should not be valid")
+	}
+}

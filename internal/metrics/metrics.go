@@ -1,0 +1,141 @@
+// Package metrics defines the performance accounting of §5.2 of the paper:
+// misfetch and mispredict rates, the branch execution penalty (BEP), and
+// cycles per instruction (CPI) for a single-issue machine.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Penalties holds the cycle costs of §5.2. The paper assumes a one-cycle
+// misfetch penalty, a four-cycle mispredict penalty, and a five-cycle
+// instruction-cache miss penalty.
+type Penalties struct {
+	Misfetch   float64
+	Mispredict float64
+	CacheMiss  float64
+}
+
+// Default returns the paper's penalty assumptions.
+func Default() Penalties {
+	return Penalties{Misfetch: 1, Mispredict: 4, CacheMiss: 5}
+}
+
+// Counters accumulates the raw event counts of one simulation.
+type Counters struct {
+	// Instructions is the number of instructions executed.
+	Instructions uint64
+	// Breaks is the number of executed control-transfer instructions.
+	Breaks uint64
+	// Misfetches counts branches whose next fetch had to wait for decode
+	// (target or type unavailable) although the direction was right.
+	Misfetches uint64
+	// Mispredicts counts branches whose predicted direction or target
+	// value was wrong, discovered at execute. A branch is never both
+	// misfetched and mispredicted (§5.2).
+	Mispredicts uint64
+	// MisfetchByKind / MispredictByKind break the penalties down by
+	// branch kind for diagnosis.
+	MisfetchByKind   [isa.NumKinds]uint64
+	MispredictByKind [isa.NumKinds]uint64
+	// CondBranches and CondDirWrong track raw PHT direction accuracy.
+	CondBranches uint64
+	CondDirWrong uint64
+	// ICacheAccesses and ICacheMisses are the instruction cache counters.
+	ICacheAccesses uint64
+	ICacheMisses   uint64
+}
+
+// AddMisfetch records a misfetched branch of the given kind.
+func (c *Counters) AddMisfetch(k isa.Kind) {
+	c.Misfetches++
+	c.MisfetchByKind[k]++
+}
+
+// AddMispredict records a mispredicted branch of the given kind.
+func (c *Counters) AddMispredict(k isa.Kind) {
+	c.Mispredicts++
+	c.MispredictByKind[k]++
+}
+
+// PctMisfetched returns %MfB: misfetched branches per 100 executed breaks.
+func (c *Counters) PctMisfetched() float64 {
+	if c.Breaks == 0 {
+		return 0
+	}
+	return 100 * float64(c.Misfetches) / float64(c.Breaks)
+}
+
+// PctMispredicted returns %MpB: mispredicted branches per 100 executed
+// breaks.
+func (c *Counters) PctMispredicted() float64 {
+	if c.Breaks == 0 {
+		return 0
+	}
+	return 100 * float64(c.Mispredicts) / float64(c.Breaks)
+}
+
+// BEP returns the branch execution penalty of Yeh & Patt as used in §5.2:
+//
+//	BEP = (%MfB × misfetch penalty + %MpB × mispredict penalty) / 100
+//
+// i.e. the average penalty cycles suffered per executed break.
+func (c *Counters) BEP(p Penalties) float64 {
+	return (c.PctMisfetched()*p.Misfetch + c.PctMispredicted()*p.Mispredict) / 100
+}
+
+// MisfetchBEP returns the misfetch component of the BEP (the upper part of
+// the paper's stacked bars).
+func (c *Counters) MisfetchBEP(p Penalties) float64 {
+	return c.PctMisfetched() * p.Misfetch / 100
+}
+
+// MispredictBEP returns the mispredict component of the BEP (the lower part
+// of the stacked bars).
+func (c *Counters) MispredictBEP(p Penalties) float64 {
+	return c.PctMispredicted() * p.Mispredict / 100
+}
+
+// ICacheMissRate returns misses per access.
+func (c *Counters) ICacheMissRate() float64 {
+	if c.ICacheAccesses == 0 {
+		return 0
+	}
+	return float64(c.ICacheMisses) / float64(c.ICacheAccesses)
+}
+
+// CondAccuracy returns the fraction of conditional branches whose direction
+// was predicted correctly.
+func (c *Counters) CondAccuracy() float64 {
+	if c.CondBranches == 0 {
+		return 0
+	}
+	return 1 - float64(c.CondDirWrong)/float64(c.CondBranches)
+}
+
+// CPI returns cycles per instruction for the single-issue machine of §5.2:
+//
+//	CPI = (#insns + BEP × #branches + #misses × miss penalty) / #insns
+//
+// CPI cannot be less than 1 and excludes data-cache and resource stalls.
+func (c *Counters) CPI(p Penalties) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	cycles := float64(c.Instructions) +
+		c.BEP(p)*float64(c.Breaks) +
+		float64(c.ICacheMisses)*p.CacheMiss
+	return cycles / float64(c.Instructions)
+}
+
+// Summary renders a one-line report.
+func (c *Counters) Summary(p Penalties) string {
+	return fmt.Sprintf("insns=%d breaks=%d %%MfB=%.2f %%MpB=%.2f BEP=%.3f CPI=%.3f icache-miss=%.2f%% cond-acc=%.2f%%",
+		c.Instructions, c.Breaks, c.PctMisfetched(), c.PctMispredicted(),
+		c.BEP(p), c.CPI(p), 100*c.ICacheMissRate(), 100*c.CondAccuracy())
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }

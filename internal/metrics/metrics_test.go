@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestBEPFormula(t *testing.T) {
+	// §5.2 example: a BEP of 0.5 means the average branch incurs a
+	// half-cycle penalty. With 100 breaks, 10 misfetches (1 cy) and 10
+	// mispredicts (4 cy): BEP = (10·1 + 10·4)/100 = 0.5.
+	var c Counters
+	c.Breaks = 100
+	for i := 0; i < 10; i++ {
+		c.AddMisfetch(isa.CondBranch)
+		c.AddMispredict(isa.CondBranch)
+	}
+	p := Default()
+	if !almost(c.PctMisfetched(), 10) || !almost(c.PctMispredicted(), 10) {
+		t.Fatalf("pct = %v/%v", c.PctMisfetched(), c.PctMispredicted())
+	}
+	if !almost(c.BEP(p), 0.5) {
+		t.Errorf("BEP = %v, want 0.5", c.BEP(p))
+	}
+	if !almost(c.MisfetchBEP(p), 0.1) || !almost(c.MispredictBEP(p), 0.4) {
+		t.Errorf("components = %v/%v", c.MisfetchBEP(p), c.MispredictBEP(p))
+	}
+	if !almost(c.MisfetchBEP(p)+c.MispredictBEP(p), c.BEP(p)) {
+		t.Error("components do not sum to BEP")
+	}
+}
+
+func TestCPIFormula(t *testing.T) {
+	// CPI = (insns + BEP·breaks + misses·5) / insns.
+	var c Counters
+	c.Instructions = 1000
+	c.Breaks = 100
+	c.ICacheMisses = 20
+	for i := 0; i < 10; i++ {
+		c.AddMispredict(isa.CondBranch) // BEP = 0.4
+	}
+	p := Default()
+	want := (1000.0 + 0.4*100 + 20*5) / 1000
+	if !almost(c.CPI(p), want) {
+		t.Errorf("CPI = %v, want %v", c.CPI(p), want)
+	}
+}
+
+func TestCPIFloorIsOne(t *testing.T) {
+	var c Counters
+	c.Instructions = 500
+	if got := c.CPI(Default()); !almost(got, 1) {
+		t.Errorf("penalty-free CPI = %v, want 1", got)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var c Counters
+	p := Default()
+	if c.PctMisfetched() != 0 || c.PctMispredicted() != 0 || c.BEP(p) != 0 ||
+		c.CPI(p) != 0 || c.ICacheMissRate() != 0 || c.CondAccuracy() != 0 {
+		t.Error("zero counters produced nonzero metrics")
+	}
+}
+
+func TestPerKindBreakdownConsistency(t *testing.T) {
+	var c Counters
+	c.Breaks = 10
+	c.AddMisfetch(isa.Call)
+	c.AddMisfetch(isa.Return)
+	c.AddMispredict(isa.IndirectJump)
+	var mf, mp uint64
+	for k := isa.Kind(0); k < isa.NumKinds; k++ {
+		mf += c.MisfetchByKind[k]
+		mp += c.MispredictByKind[k]
+	}
+	if mf != c.Misfetches || mp != c.Mispredicts {
+		t.Errorf("per-kind sums %d/%d != totals %d/%d", mf, mp, c.Misfetches, c.Mispredicts)
+	}
+}
+
+func TestCondAccuracy(t *testing.T) {
+	var c Counters
+	c.CondBranches = 200
+	c.CondDirWrong = 30
+	if !almost(c.CondAccuracy(), 0.85) {
+		t.Errorf("CondAccuracy = %v", c.CondAccuracy())
+	}
+}
+
+func TestICacheMissRate(t *testing.T) {
+	var c Counters
+	c.ICacheAccesses = 1000
+	c.ICacheMisses = 25
+	if !almost(c.ICacheMissRate(), 0.025) {
+		t.Errorf("miss rate = %v", c.ICacheMissRate())
+	}
+}
+
+func TestSummaryContainsKeyFields(t *testing.T) {
+	var c Counters
+	c.Instructions = 100
+	c.Breaks = 10
+	s := c.Summary(Default())
+	for _, field := range []string{"insns=100", "breaks=10", "BEP=", "CPI="} {
+		if !strings.Contains(s, field) {
+			t.Errorf("summary missing %q: %s", field, s)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.Instructions = 5
+	c.AddMisfetch(isa.Call)
+	c.Reset()
+	if c.Instructions != 0 || c.Misfetches != 0 || c.MisfetchByKind[isa.Call] != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestDefaultPenalties(t *testing.T) {
+	p := Default()
+	if p.Misfetch != 1 || p.Mispredict != 4 || p.CacheMiss != 5 {
+		t.Errorf("Default() = %+v, want the paper's 1/4/5", p)
+	}
+}

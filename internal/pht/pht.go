@@ -1,0 +1,266 @@
+// Package pht implements the conditional-branch direction predictors used by
+// both the NLS and BTB fetch architectures.
+//
+// The paper's decoupled design keeps direction prediction in a pattern
+// history table (PHT) separate from the target predictor, so that every
+// conditional branch — including ones that miss in the BTB or have an
+// invalid NLS entry — gets a dynamic prediction. The paper's configuration
+// is McFarling's two-level scheme (gshare): the global history register
+// XORed with the program counter indexes a 4096-entry table of 2-bit
+// saturating counters (§3). The other predictors here support the ablation
+// study: the pure-global degenerate scheme of Pan et al. (GAs), a
+// per-address bimodal table, a one-bit table (as coupled to the TFP/R8000
+// NLS-cache), and static predictors.
+package pht
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Predictor predicts conditional-branch directions. Implementations are
+// trained with the resolved outcome after each conditional branch executes.
+type Predictor interface {
+	// Predict returns true if the branch at pc is predicted taken.
+	Predict(pc isa.Addr) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc isa.Addr, taken bool)
+	// SizeBits returns the predictor's storage cost in bits.
+	SizeBits() int
+	// Name identifies the predictor for reports.
+	Name() string
+	// Reset restores the initial state.
+	Reset()
+}
+
+// counter2 operations: 2-bit saturating counter, 0-1 predict not taken,
+// 2-3 predict taken. Initialized to 1 (weakly not taken).
+const counterInit = 1
+
+func counterTaken(c uint8) bool { return c >= 2 }
+
+func counterUpdate(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func checkEntries(entries int) {
+	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
+		panic(fmt.Sprintf("pht: entries %d must be a positive power of two", entries))
+	}
+}
+
+// GShare is McFarling's combining predictor: index = (PC>>2 XOR global
+// history) mod entries, over 2-bit counters. This is the paper's PHT for
+// both architectures ("we XOR the global history register with the program
+// counter and use this to index into a 4096 entry (1KByte) PHT").
+type GShare struct {
+	table    []uint8
+	history  uint32
+	histBits uint
+	mask     uint32
+}
+
+// NewGShare builds a gshare predictor. histBits is clamped to
+// log2(entries); the paper uses a history as wide as the index.
+func NewGShare(entries int, histBits int) *GShare {
+	checkEntries(entries)
+	idxBits := bits.TrailingZeros(uint(entries))
+	if histBits <= 0 || histBits > idxBits {
+		histBits = idxBits
+	}
+	g := &GShare{
+		table:    make([]uint8, entries),
+		histBits: uint(histBits),
+		mask:     uint32(entries - 1),
+	}
+	g.Reset()
+	return g
+}
+
+func (g *GShare) index(pc isa.Addr) uint32 {
+	return (pc.Word() ^ g.history) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc isa.Addr) bool {
+	return counterTaken(g.table[g.index(pc)])
+}
+
+// Update implements Predictor. The global history shifts in the outcome of
+// every conditional branch.
+func (g *GShare) Update(pc isa.Addr, taken bool) {
+	i := g.index(pc)
+	g.table[i] = counterUpdate(g.table[i], taken)
+	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.history |= 1
+	}
+}
+
+// SizeBits implements Predictor (2 bits per counter plus the history
+// register).
+func (g *GShare) SizeBits() int { return 2*len(g.table) + int(g.histBits) }
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return fmt.Sprintf("gshare-%d", len(g.table)) }
+
+// Reset implements Predictor.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = counterInit
+	}
+	g.history = 0
+}
+
+// GAs is the degenerate two-level scheme of Pan et al.: the global history
+// register alone indexes the counter table.
+type GAs struct {
+	table    []uint8
+	history  uint32
+	histBits uint
+}
+
+// NewGAs builds a pure-global two-level predictor with log2(entries) history
+// bits.
+func NewGAs(entries int) *GAs {
+	checkEntries(entries)
+	g := &GAs{
+		table:    make([]uint8, entries),
+		histBits: uint(bits.TrailingZeros(uint(entries))),
+	}
+	g.Reset()
+	return g
+}
+
+// Predict implements Predictor.
+func (g *GAs) Predict(isa.Addr) bool { return counterTaken(g.table[g.history]) }
+
+// Update implements Predictor.
+func (g *GAs) Update(_ isa.Addr, taken bool) {
+	g.table[g.history] = counterUpdate(g.table[g.history], taken)
+	g.history = (g.history << 1) & uint32(len(g.table)-1)
+	if taken {
+		g.history |= 1
+	}
+}
+
+// SizeBits implements Predictor.
+func (g *GAs) SizeBits() int { return 2*len(g.table) + int(g.histBits) }
+
+// Name implements Predictor.
+func (g *GAs) Name() string { return fmt.Sprintf("GAs-%d", len(g.table)) }
+
+// Reset implements Predictor.
+func (g *GAs) Reset() {
+	for i := range g.table {
+		g.table[i] = counterInit
+	}
+	g.history = 0
+}
+
+// Bimodal is a per-address table of 2-bit counters (Smith's classic
+// predictor), indexed by PC alone.
+type Bimodal struct {
+	table []uint8
+	mask  uint32
+}
+
+// NewBimodal builds a bimodal predictor.
+func NewBimodal(entries int) *Bimodal {
+	checkEntries(entries)
+	b := &Bimodal{table: make([]uint8, entries), mask: uint32(entries - 1)}
+	b.Reset()
+	return b
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc isa.Addr) bool {
+	return counterTaken(b.table[pc.Word()&b.mask])
+}
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc isa.Addr, taken bool) {
+	i := pc.Word() & b.mask
+	b.table[i] = counterUpdate(b.table[i], taken)
+}
+
+// SizeBits implements Predictor.
+func (b *Bimodal) SizeBits() int { return 2 * len(b.table) }
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = counterInit
+	}
+}
+
+// OneBit is a per-address table of last-outcome bits — the prediction
+// coupled to the TFP (MIPS R8000) NLS-cache entries (§6.2).
+type OneBit struct {
+	table []bool
+	mask  uint32
+}
+
+// NewOneBit builds a one-bit last-outcome predictor.
+func NewOneBit(entries int) *OneBit {
+	checkEntries(entries)
+	return &OneBit{table: make([]bool, entries), mask: uint32(entries - 1)}
+}
+
+// Predict implements Predictor.
+func (o *OneBit) Predict(pc isa.Addr) bool { return o.table[pc.Word()&o.mask] }
+
+// Update implements Predictor.
+func (o *OneBit) Update(pc isa.Addr, taken bool) { o.table[pc.Word()&o.mask] = taken }
+
+// SizeBits implements Predictor.
+func (o *OneBit) SizeBits() int { return len(o.table) }
+
+// Name implements Predictor.
+func (o *OneBit) Name() string { return fmt.Sprintf("1bit-%d", len(o.table)) }
+
+// Reset implements Predictor.
+func (o *OneBit) Reset() {
+	for i := range o.table {
+		o.table[i] = false
+	}
+}
+
+// Static predicts a fixed direction for every branch.
+type Static struct {
+	Taken bool
+}
+
+// Predict implements Predictor.
+func (s Static) Predict(isa.Addr) bool { return s.Taken }
+
+// Update implements Predictor (no state).
+func (s Static) Update(isa.Addr, bool) {}
+
+// SizeBits implements Predictor.
+func (s Static) SizeBits() int { return 0 }
+
+// Name implements Predictor.
+func (s Static) Name() string {
+	if s.Taken {
+		return "static-taken"
+	}
+	return "static-not-taken"
+}
+
+// Reset implements Predictor (no state).
+func (s Static) Reset() {}

@@ -1,0 +1,56 @@
+package ras
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// Property test: for any interleaving of pushes and pops, the hardware
+// stack agrees with an unbounded software stack whenever nesting depth has
+// not exceeded capacity since the last time the stacks were provably in
+// sync — i.e. a wrap is the only divergence mechanism.
+func TestQuickMatchesUnboundedStackWithinCapacity(t *testing.T) {
+	f := func(ops []bool, addrs []uint16) bool {
+		s := New(8)
+		var ref []isa.Addr
+		overflowed := false
+		ai := 0
+		for _, push := range ops {
+			if push {
+				a := isa.Addr(0x1000)
+				if ai < len(addrs) {
+					a = isa.Addr(uint32(addrs[ai])*4 + 0x1000)
+					ai++
+				}
+				s.Push(a)
+				ref = append(ref, a)
+				if len(ref) > s.Cap() {
+					overflowed = true
+				}
+			} else {
+				got, ok := s.Pop()
+				var want isa.Addr
+				wantOK := len(ref) > 0
+				if wantOK {
+					want = ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+				}
+				if !overflowed {
+					if ok != wantOK || (ok && got != want) {
+						return false
+					}
+				}
+				if len(ref) == 0 && s.Depth() == 0 {
+					// Both empty: back in provable sync.
+					overflowed = false
+				}
+			}
+		}
+		return s.Depth() <= s.Cap()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

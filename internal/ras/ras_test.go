@@ -1,0 +1,115 @@
+package ras
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	s := New(8)
+	s.Push(0x1000)
+	s.Push(0x2000)
+	s.Push(0x3000)
+	for _, want := range []isa.Addr{0x3000, 0x2000, 0x1000} {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %v/%v, want %v", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop on empty stack succeeded")
+	}
+}
+
+func TestTopNonDestructive(t *testing.T) {
+	s := New(4)
+	if _, ok := s.Top(); ok {
+		t.Error("Top on empty stack succeeded")
+	}
+	s.Push(0x1000)
+	for i := 0; i < 3; i++ {
+		got, ok := s.Top()
+		if !ok || got != 0x1000 {
+			t.Fatalf("Top = %v/%v", got, ok)
+		}
+	}
+	if s.Depth() != 1 {
+		t.Errorf("Top consumed entries: depth %d", s.Depth())
+	}
+}
+
+func TestOverflowWrapsOverwritingOldest(t *testing.T) {
+	s := New(4)
+	for i := 1; i <= 6; i++ {
+		s.Push(isa.Addr(i * 0x1000))
+	}
+	if s.Depth() != 4 {
+		t.Fatalf("depth = %d, want capped at 4", s.Depth())
+	}
+	// The newest four survive: 6,5,4,3. Entries 1 and 2 are gone.
+	for _, want := range []isa.Addr{0x6000, 0x5000, 0x4000, 0x3000} {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %v/%v, want %v", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("wrapped entries resurrected")
+	}
+}
+
+func TestDeepCallReturnSequence(t *testing.T) {
+	// Balanced call/return nesting within capacity predicts perfectly.
+	s := New(DefaultDepth)
+	var addrs []isa.Addr
+	for i := 0; i < DefaultDepth; i++ {
+		a := isa.Addr(0x1000 + 4*i)
+		s.Push(a)
+		addrs = append(addrs, a)
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		got, ok := s.Pop()
+		if !ok || got != addrs[i] {
+			t.Fatalf("depth-%d return mispredicted", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(4)
+	s.Push(0x1000)
+	s.Reset()
+	if s.Depth() != 0 {
+		t.Error("Reset left entries")
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop after Reset succeeded")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	if got := New(32).SizeBits(); got != 32*30 {
+		t.Errorf("SizeBits = %d", got)
+	}
+}
+
+func TestCapAndDepth(t *testing.T) {
+	s := New(16)
+	if s.Cap() != 16 || s.Depth() != 0 {
+		t.Errorf("Cap/Depth = %d/%d", s.Cap(), s.Depth())
+	}
+	s.Push(1 * 4)
+	if s.Depth() != 1 {
+		t.Errorf("Depth = %d", s.Depth())
+	}
+}
+
+func TestZeroDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

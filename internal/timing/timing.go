@@ -1,0 +1,50 @@
+// Package timing estimates BTB access times in the spirit of the CACTI
+// model of Wilton & Jouppi, reproducing Figure 6 of the paper. The paper
+// uses the model to show that an associative BTB's access time is 30–40%
+// longer than a direct-mapped BTB of the same size, because the tag
+// comparison and way-select multiplexing sit on the critical path, whereas a
+// direct-mapped structure overlaps the tag check with driving the data out.
+//
+// This is a simplified analytic model — decoder, wordline/bitline, sense,
+// comparator, and output stages with constants calibrated to land in the
+// paper's reported range (roughly 4–7 ns for 128/256-entry BTBs in
+// mid-1990s process technology). As the paper notes for its own figure,
+// "the relative values between the BTB access times are more important than
+// the absolute values for a particular processor technology."
+package timing
+
+import "math"
+
+// Constants of the analytic model, in nanoseconds. Calibrated against the
+// paper's Figure 6 (128-entry direct-mapped ≈ 4.2 ns; 4-way ≈ 35% longer).
+const (
+	baseDelay      = 2.50 // fixed overhead: address drive + sense + output
+	decodePerBit   = 0.22 // row decoder, per index bit
+	bitlinePerKRow = 1.1  // bitline/wordline RC per 1024 rows (small here)
+	comparator     = 1.50 // tag comparator in series (associative only)
+	muxPerWayBit   = 0.35 // way-select multiplexor, per log2(ways)
+)
+
+// BTBAccessNS estimates the access time of a BTB with the given entry count
+// and associativity, in nanoseconds.
+func BTBAccessNS(entries, assoc int) float64 {
+	if entries <= 0 || assoc <= 0 || entries < assoc {
+		return math.NaN()
+	}
+	rows := entries / assoc
+	idxBits := math.Log2(float64(rows))
+	t := baseDelay + decodePerBit*idxBits + bitlinePerKRow*float64(rows)/1024
+	if assoc > 1 {
+		// The comparator output gates the way-select mux before data
+		// can be driven out; direct-mapped designs overlap the
+		// compare with the data drive instead.
+		t += comparator + muxPerWayBit*math.Log2(float64(assoc))
+	}
+	return t
+}
+
+// DirectRatio returns the access-time ratio of an associative BTB to a
+// direct-mapped BTB with the same entry count (the paper's 1.3–1.4×).
+func DirectRatio(entries, assoc int) float64 {
+	return BTBAccessNS(entries, assoc) / BTBAccessNS(entries, 1)
+}

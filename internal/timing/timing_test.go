@@ -1,0 +1,49 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssociativePenaltyInPaperBand(t *testing.T) {
+	// §6.3 / Figure 6: "the 4-way associative BTB access time is 30 to
+	// 40% longer than direct mapped BTBs of the same size."
+	for _, entries := range []int{128, 256} {
+		r := DirectRatio(entries, 4)
+		if r < 1.25 || r > 1.45 {
+			t.Errorf("%d entries: 4-way/direct = %.3f, want 1.3-1.4", entries, r)
+		}
+		r2 := DirectRatio(entries, 2)
+		if r2 <= 1.1 || r2 >= r {
+			t.Errorf("%d entries: 2-way ratio %.3f out of order with 4-way %.3f", entries, r2, r)
+		}
+	}
+}
+
+func TestAbsoluteTimesInPaperRange(t *testing.T) {
+	// Figure 6 plots roughly 4-7 ns for these configurations.
+	for _, entries := range []int{128, 256} {
+		for _, assoc := range []int{1, 2, 4} {
+			ns := BTBAccessNS(entries, assoc)
+			if ns < 3.5 || ns > 7.5 {
+				t.Errorf("%d-entry %d-way = %.2f ns, outside 3.5-7.5", entries, assoc, ns)
+			}
+		}
+	}
+}
+
+func TestMonotonicInEntries(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4} {
+		if BTBAccessNS(256, assoc) <= BTBAccessNS(128, assoc) {
+			t.Errorf("assoc %d: 256-entry not slower than 128-entry", assoc)
+		}
+	}
+}
+
+func TestInvalidInputsAreNaN(t *testing.T) {
+	for _, c := range [][2]int{{0, 1}, {128, 0}, {2, 4}} {
+		if !math.IsNaN(BTBAccessNS(c[0], c[1])) {
+			t.Errorf("BTBAccessNS(%d,%d) should be NaN", c[0], c[1])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func roundtrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestRoundtripBasic(t *testing.T) {
+	tr := statTrace()
+	tr.StaticCondSites = 1234
+	got := roundtrip(t, tr)
+	if got.Name != tr.Name || got.StaticCondSites != 1234 {
+		t.Errorf("metadata lost: %q %d", got.Name, got.StaticCondSites)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("record count %d != %d", len(got.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestRoundtripEmpty(t *testing.T) {
+	got := roundtrip(t, &Trace{Name: ""})
+	if got.Len() != 0 {
+		t.Errorf("empty trace read back %d records", got.Len())
+	}
+}
+
+// TestRoundtripRandomChains is a property test: random well-formed chained
+// traces survive the delta encoding exactly.
+func TestRoundtripRandomChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		tr := &Trace{Name: "prop"}
+		pc := isa.Addr(0x1000)
+		for i := 0; i < 200; i++ {
+			kind := isa.Kind(rng.Intn(int(isa.NumKinds)))
+			r := Record{PC: pc, Kind: kind}
+			switch {
+			case kind == isa.NonBranch:
+			case kind == isa.CondBranch && rng.Intn(2) == 0:
+				// not taken
+			default:
+				r.Taken = true
+				r.Target = isa.Addr(uint32(0x1000+4*rng.Intn(1<<16)) &^ 3)
+			}
+			tr.Append(r)
+			pc = r.Next()
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generator made invalid trace: %v", err)
+		}
+		got := roundtrip(t, tr)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("roundtripped trace invalid: %v", err)
+		}
+		for i := range tr.Records {
+			if got.Records[i] != tr.Records[i] {
+				t.Fatalf("trial %d record %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("XXXXjunkjunk")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{Name: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, statTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{3, 5, len(b) / 2, len(b) - 1} {
+		if _, err := Read(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// A mostly sequential trace should encode in much less than the
+	// 12+ bytes per in-memory record.
+	tr := &Trace{Name: "seq"}
+	pc := isa.Addr(0x1000)
+	for i := 0; i < 10000; i++ {
+		tr.Append(Record{PC: pc, Kind: isa.NonBranch})
+		pc = pc.Next()
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if perRec := float64(buf.Len()) / 10000; perRec > 1.5 {
+		t.Errorf("sequential trace encodes at %.2f bytes/record, want ~1", perRec)
+	}
+}

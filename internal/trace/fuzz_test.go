@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzRead exercises the binary trace parser with arbitrary bytes: it must
+// never panic, and anything it accepts must re-serialize to a byte stream
+// that parses back to the same trace.
+func FuzzRead(f *testing.F) {
+	// Seed with valid encodings.
+	var buf bytes.Buffer
+	if err := Write(&buf, statTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := Write(&buf, &Trace{Name: "empty"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("NLST"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-serialized trace failed to parse: %v", err)
+		}
+		if tr2.Name != tr.Name || len(tr2.Records) != len(tr.Records) {
+			t.Fatal("roundtrip changed the trace")
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("record %d changed in roundtrip", i)
+			}
+		}
+	})
+}
+
+// FuzzRecordValidate: Validate never panics on arbitrary records.
+func FuzzRecordValidate(f *testing.F) {
+	f.Add(uint32(0x1000), uint32(0x2000), uint8(1), true)
+	f.Fuzz(func(t *testing.T, pc, target uint32, kind uint8, taken bool) {
+		r := Record{PC: isa.Addr(pc), Target: isa.Addr(target), Kind: isa.Kind(kind), Taken: taken}
+		_ = r.Validate()
+		if r.Validate() == nil {
+			// Valid records have computable successors.
+			_ = r.Next()
+		}
+	})
+}

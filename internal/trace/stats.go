@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Stats reproduces the "Measured attributes of the traced programs" columns
+// of Table 1 in the paper for a trace.
+type Stats struct {
+	Name string
+	// Instructions is the total number of instructions traced.
+	Instructions uint64
+	// Breaks is the number of executed control-transfer instructions.
+	Breaks uint64
+	// BreaksByKind counts executed breaks per kind.
+	BreaksByKind [isa.NumKinds]uint64
+	// CondTaken is the number of taken executed conditional branches.
+	CondTaken uint64
+	// Q50, Q90, Q99, Q100 are the numbers of distinct conditional-branch
+	// sites that account for 50/90/99/100% of executed conditional
+	// branches, ordered by execution frequency (the Q columns of Table 1).
+	Q50, Q90, Q99, Q100 int
+	// StaticCondSites is the number of conditional-branch sites in the
+	// program, including never-executed ones, when the trace carries that
+	// metadata; otherwise it equals Q100.
+	StaticCondSites int
+}
+
+// PctBreaks returns the percentage of instructions that are breaks
+// (the "%Breaks" column).
+func (s *Stats) PctBreaks() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(s.Breaks) / float64(s.Instructions)
+}
+
+// PctCondTaken returns the percentage of executed conditional branches that
+// were taken (the "%Taken" column).
+func (s *Stats) PctCondTaken() float64 {
+	c := s.BreaksByKind[isa.CondBranch]
+	if c == 0 {
+		return 0
+	}
+	return 100 * float64(s.CondTaken) / float64(c)
+}
+
+// PctOfBreaks returns the percentage of breaks with the given kind (the
+// %CBr / %IJ / %Br / %Call / %Ret columns).
+func (s *Stats) PctOfBreaks(k isa.Kind) float64 {
+	if s.Breaks == 0 {
+		return 0
+	}
+	return 100 * float64(s.BreaksByKind[k]) / float64(s.Breaks)
+}
+
+// ComputeStats scans a trace and produces its Table 1 row.
+func ComputeStats(t *Trace) *Stats {
+	s := &Stats{Name: t.Name, StaticCondSites: t.StaticCondSites}
+	condCounts := make(map[isa.Addr]uint64)
+	for _, r := range t.Records {
+		s.Instructions++
+		if !r.IsBreak() {
+			continue
+		}
+		s.Breaks++
+		s.BreaksByKind[r.Kind]++
+		if r.Kind == isa.CondBranch {
+			condCounts[r.PC]++
+			if r.Taken {
+				s.CondTaken++
+			}
+		}
+	}
+	s.Q50, s.Q90, s.Q99, s.Q100 = quantileSites(condCounts)
+	if s.StaticCondSites == 0 {
+		s.StaticCondSites = s.Q100
+	}
+	return s
+}
+
+// quantileSites returns how many of the most frequently executed sites are
+// needed to cover 50/90/99/100% of all executions.
+func quantileSites(counts map[isa.Addr]uint64) (q50, q90, q99, q100 int) {
+	if len(counts) == 0 {
+		return 0, 0, 0, 0
+	}
+	freqs := make([]uint64, 0, len(counts))
+	var total uint64
+	for _, c := range counts {
+		freqs = append(freqs, c)
+		total += c
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+	var cum uint64
+	for i, c := range freqs {
+		cum += c
+		n := i + 1
+		if q50 == 0 && 100*cum >= 50*total {
+			q50 = n
+		}
+		if q90 == 0 && 100*cum >= 90*total {
+			q90 = n
+		}
+		if q99 == 0 && 100*cum >= 99*total {
+			q99 = n
+		}
+	}
+	q100 = len(freqs)
+	return q50, q90, q99, q100
+}
+
+// TableRow renders the stats as one row in the format of the paper's
+// Table 1.
+func (s *Stats) TableRow() string {
+	return fmt.Sprintf("%-10s %13d %7.2f %6d %6d %6d %7d %7d %8.2f %7.2f %5.2f %5.2f %6.2f %5.2f",
+		s.Name, s.Instructions, s.PctBreaks(),
+		s.Q50, s.Q90, s.Q99, s.Q100, s.StaticCondSites,
+		s.PctCondTaken(),
+		s.PctOfBreaks(isa.CondBranch), s.PctOfBreaks(isa.IndirectJump),
+		s.PctOfBreaks(isa.UncondBranch), s.PctOfBreaks(isa.Call),
+		s.PctOfBreaks(isa.Return))
+}
+
+// TableHeader returns the header line matching TableRow's columns.
+func TableHeader() string {
+	return fmt.Sprintf("%-10s %13s %7s %6s %6s %6s %7s %7s %8s %7s %5s %5s %6s %5s",
+		"Program", "#Insns", "%Brk", "Q-50", "Q-90", "Q-99", "Q-100",
+		"Static", "%Taken", "%CBr", "%IJ", "%Br", "%Call", "%Ret")
+}
+
+// FormatTable renders a full Table 1 for a set of stats rows.
+func FormatTable(rows []*Stats) string {
+	var b strings.Builder
+	b.WriteString(TableHeader())
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(r.TableRow())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

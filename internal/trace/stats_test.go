@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// statTrace builds a hand-constructed trace with known statistics: 10
+// instructions, 4 breaks (2 conds at distinct sites, 1 call, 1 return).
+func statTrace() *Trace {
+	tr := &Trace{Name: "hand"}
+	tr.Append(rec(0x1000, isa.NonBranch, false, 0))
+	tr.Append(rec(0x1004, isa.CondBranch, true, 0x2000)) // site A taken
+	tr.Append(rec(0x2000, isa.NonBranch, false, 0))
+	tr.Append(rec(0x2004, isa.Call, true, 0x3000))
+	tr.Append(rec(0x3000, isa.NonBranch, false, 0))
+	tr.Append(rec(0x3004, isa.Return, true, 0x2008))
+	tr.Append(rec(0x2008, isa.CondBranch, false, 0)) // site B not taken
+	tr.Append(rec(0x200c, isa.NonBranch, false, 0))
+	tr.Append(rec(0x2010, isa.NonBranch, false, 0))
+	tr.Append(rec(0x2014, isa.NonBranch, false, 0))
+	return tr
+}
+
+func TestComputeStatsCounts(t *testing.T) {
+	s := ComputeStats(statTrace())
+	if s.Instructions != 10 {
+		t.Errorf("Instructions = %d", s.Instructions)
+	}
+	if s.Breaks != 4 {
+		t.Errorf("Breaks = %d", s.Breaks)
+	}
+	if got := s.PctBreaks(); got != 40 {
+		t.Errorf("PctBreaks = %v", got)
+	}
+	if s.CondTaken != 1 || s.BreaksByKind[isa.CondBranch] != 2 {
+		t.Errorf("cond counts: taken=%d total=%d", s.CondTaken, s.BreaksByKind[isa.CondBranch])
+	}
+	if got := s.PctCondTaken(); got != 50 {
+		t.Errorf("PctCondTaken = %v", got)
+	}
+	if got := s.PctOfBreaks(isa.Call); got != 25 {
+		t.Errorf("PctOfBreaks(call) = %v", got)
+	}
+}
+
+func TestComputeStatsQuantiles(t *testing.T) {
+	// Three cond sites with execution counts 60, 30, 10: Q50 needs 1
+	// site, Q90 needs 2, Q99 and Q100 need all 3.
+	tr := &Trace{Name: "q"}
+	add := func(pc uint32, n int) {
+		for i := 0; i < n; i++ {
+			tr.Append(rec(pc, isa.CondBranch, true, pc)) // chaining unused here
+		}
+	}
+	add(0x1000, 60)
+	add(0x2000, 30)
+	add(0x3000, 10)
+	s := ComputeStats(tr)
+	if s.Q50 != 1 || s.Q90 != 2 || s.Q99 != 3 || s.Q100 != 3 {
+		t.Errorf("quantiles = %d/%d/%d/%d, want 1/2/3/3", s.Q50, s.Q90, s.Q99, s.Q100)
+	}
+}
+
+func TestStaticSitesFallback(t *testing.T) {
+	tr := statTrace()
+	s := ComputeStats(tr)
+	if s.StaticCondSites != 2 {
+		t.Errorf("fallback static = %d, want Q100=2", s.StaticCondSites)
+	}
+	tr.StaticCondSites = 99
+	s = ComputeStats(tr)
+	if s.StaticCondSites != 99 {
+		t.Errorf("explicit static = %d", s.StaticCondSites)
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	s := ComputeStats(&Trace{Name: "empty"})
+	if s.PctBreaks() != 0 || s.PctCondTaken() != 0 || s.PctOfBreaks(isa.Call) != 0 {
+		t.Error("empty trace produced nonzero percentages")
+	}
+	if s.Q50 != 0 || s.Q100 != 0 {
+		t.Error("empty trace produced nonzero quantiles")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]*Stats{ComputeStats(statTrace())})
+	if !strings.Contains(out, "hand") {
+		t.Errorf("table missing program name:\n%s", out)
+	}
+	if !strings.HasPrefix(out, TableHeader()) {
+		t.Error("table missing header")
+	}
+}

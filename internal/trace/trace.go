@@ -1,0 +1,130 @@
+// Package trace defines the instruction-trace representation consumed by the
+// fetch-prediction simulators, the statistics pass that reproduces Table 1 of
+// the paper, and a compact binary file format for saving and reloading
+// traces.
+//
+// A trace is the sequence of *executed* instructions of a program run. Each
+// record carries the instruction's address, its kind, whether it was taken
+// (for breaks), and its taken-target address. The simulator is trace-driven,
+// exactly as in the paper (§5, "We used trace driven simulation...").
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Record is one executed instruction.
+//
+// For a taken break, Target is the destination address. For a not-taken
+// conditional branch and for non-branches, Target is ignored and the next
+// instruction executes at PC+4.
+type Record struct {
+	PC     isa.Addr
+	Target isa.Addr
+	Kind   isa.Kind
+	Taken  bool
+}
+
+// Next returns the address of the instruction that actually executes after
+// this one.
+func (r Record) Next() isa.Addr {
+	if r.Taken {
+		return r.Target
+	}
+	return r.PC.Next()
+}
+
+// IsBreak reports whether the record is a control-transfer instruction
+// (taken or not).
+func (r Record) IsBreak() bool { return r.Kind.IsBranch() }
+
+// Validate reports structural problems with a record: misaligned addresses,
+// invalid kinds, or taken flags inconsistent with the kind.
+func (r Record) Validate() error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", uint8(r.Kind))
+	}
+	if !r.PC.Aligned() {
+		return fmt.Errorf("trace: misaligned PC %s", r.PC)
+	}
+	if r.Kind == isa.NonBranch && r.Taken {
+		return errors.New("trace: non-branch marked taken")
+	}
+	if r.Kind.AlwaysTaken() && !r.Taken {
+		return fmt.Errorf("trace: %s marked not taken", r.Kind)
+	}
+	if r.Taken && !r.Target.Aligned() {
+		return fmt.Errorf("trace: misaligned target %s", r.Target)
+	}
+	return nil
+}
+
+// Trace is an in-memory instruction trace plus identifying metadata.
+type Trace struct {
+	Name string
+	// StaticCondSites is the number of conditional-branch sites in the
+	// *program* (the "Static" column of Table 1), including sites that
+	// never executed. Zero when unknown; Stats then falls back to the
+	// number of distinct executed sites.
+	StaticCondSites int
+	Records         []Record
+}
+
+// Len returns the number of instructions in the trace.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Append adds a record to the trace.
+func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
+
+// Validate checks every record and the chaining invariant: each record's
+// actual successor must be the next record's PC.
+func (t *Trace) Validate() error {
+	for i, r := range t.Records {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		if i+1 < len(t.Records) && r.Next() != t.Records[i+1].PC {
+			return fmt.Errorf("record %d: successor %s but next record at %s",
+				i, r.Next(), t.Records[i+1].PC)
+		}
+	}
+	return nil
+}
+
+// A Source yields trace records one at a time. Run returns the number of
+// records produced, which may be less than n if the source is exhausted.
+type Source interface {
+	// Run invokes emit for up to n records.
+	Run(n int, emit func(Record)) int
+}
+
+// Collect drains up to n records from a source into a new Trace.
+func Collect(name string, src Source, n int) *Trace {
+	t := &Trace{Name: name, Records: make([]Record, 0, n)}
+	src.Run(n, func(r Record) { t.Append(r) })
+	return t
+}
+
+// SliceSource adapts a []Record to the Source interface, for tests and for
+// replaying saved traces.
+type SliceSource struct {
+	Records []Record
+	pos     int
+}
+
+// Run emits up to n records from the current position.
+func (s *SliceSource) Run(n int, emit func(Record)) int {
+	count := 0
+	for count < n && s.pos < len(s.Records) {
+		emit(s.Records[s.pos])
+		s.pos++
+		count++
+	}
+	return count
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }

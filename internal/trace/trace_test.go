@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func rec(pc uint32, kind isa.Kind, taken bool, target uint32) Record {
+	return Record{PC: isa.Addr(pc), Kind: kind, Taken: taken, Target: isa.Addr(target)}
+}
+
+func TestRecordNext(t *testing.T) {
+	r := rec(0x1000, isa.CondBranch, false, 0x2000)
+	if r.Next() != 0x1004 {
+		t.Errorf("not-taken Next() = %v", r.Next())
+	}
+	r.Taken = true
+	if r.Next() != 0x2000 {
+		t.Errorf("taken Next() = %v", r.Next())
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Record
+		ok   bool
+	}{
+		{"plain", rec(0x1000, isa.NonBranch, false, 0), true},
+		{"taken cond", rec(0x1000, isa.CondBranch, true, 0x2000), true},
+		{"not-taken cond", rec(0x1000, isa.CondBranch, false, 0), true},
+		{"call", rec(0x1000, isa.Call, true, 0x4000), true},
+		{"invalid kind", Record{PC: 0x1000, Kind: isa.Kind(99)}, false},
+		{"misaligned pc", rec(0x1001, isa.NonBranch, false, 0), false},
+		{"taken non-branch", rec(0x1000, isa.NonBranch, true, 0x2000), false},
+		{"not-taken uncond", rec(0x1000, isa.UncondBranch, false, 0), false},
+		{"not-taken return", rec(0x1000, isa.Return, false, 0), false},
+		{"misaligned target", rec(0x1000, isa.UncondBranch, true, 0x2001), false},
+	}
+	for _, c := range cases {
+		err := c.r.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestTraceValidateChaining(t *testing.T) {
+	tr := &Trace{Name: "t"}
+	tr.Append(rec(0x1000, isa.NonBranch, false, 0))
+	tr.Append(rec(0x1004, isa.UncondBranch, true, 0x2000))
+	tr.Append(rec(0x2000, isa.NonBranch, false, 0))
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	tr.Append(rec(0x9000, isa.NonBranch, false, 0)) // breaks the chain
+	if err := tr.Validate(); err == nil {
+		t.Fatal("broken chain accepted")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := &SliceSource{Records: []Record{
+		rec(0x1000, isa.NonBranch, false, 0),
+		rec(0x1004, isa.NonBranch, false, 0),
+		rec(0x1008, isa.NonBranch, false, 0),
+	}}
+	var got []Record
+	n := src.Run(2, func(r Record) { got = append(got, r) })
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("first Run emitted %d", n)
+	}
+	n = src.Run(5, func(r Record) { got = append(got, r) })
+	if n != 1 || len(got) != 3 {
+		t.Fatalf("second Run emitted %d (total %d)", n, len(got))
+	}
+	src.Reset()
+	if n := src.Run(10, func(Record) {}); n != 3 {
+		t.Fatalf("after Reset Run emitted %d", n)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	src := &SliceSource{Records: make([]Record, 10)}
+	for i := range src.Records {
+		src.Records[i] = rec(uint32(0x1000+4*i), isa.NonBranch, false, 0)
+	}
+	tr := Collect("c", src, 7)
+	if tr.Len() != 7 || tr.Name != "c" {
+		t.Fatalf("Collect produced %d records, name %q", tr.Len(), tr.Name)
+	}
+}

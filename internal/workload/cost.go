@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"repro/internal/cfg"
+)
+
+// This file implements the expected-cost model that keeps generated
+// programs' dynamic structure under control. Procedures are generated in
+// reverse ProcID order (leaves first), so when a call site is considered
+// the callee's expected cost per entry is already known; the generator
+// stops adding call volume when a procedure's expected subtree size would
+// exceed SubtreeBudget, and the driver adds call sites until a full driver
+// iteration costs about PassInsns instructions. Pinning the pass length is
+// what gives traces a realistic reuse cycle: every PassInsns instructions
+// the same code re-executes, which is what exercises BTB and NLS capacity
+// and the instruction cache the way the paper's programs did.
+
+// estCost returns the expected number of instructions one execution of the
+// statement sequence emits, using the generator's procCost table for call
+// targets. Self-recursion is handled by the caller (a multiplicative
+// factor), so CallTo of the procedure being generated costs only its call
+// instruction here.
+func (g *gen) estCost(stmts []cfg.Stmt, self cfg.ProcID) float64 {
+	total := 0.0
+	for _, s := range stmts {
+		total += g.estCostOne(s, self)
+	}
+	return total
+}
+
+func (g *gen) estCostOne(s cfg.Stmt, self cfg.ProcID) float64 {
+	switch s := s.(type) {
+	case cfg.Straight:
+		return float64(s.N)
+	case cfg.Loop:
+		return float64(s.Trip) * (g.estCost(s.Body, self) + 1)
+	case cfg.While:
+		p := s.P
+		if p >= 0.999 {
+			p = 0.999
+		}
+		return (g.estCost(s.Body, self) + 1) / (1 - p)
+	case cfg.If:
+		pSkip := takenFrac(s.Cond)
+		c := 1 + (1-pSkip)*g.estCost(s.Then, self)
+		if s.Else != nil {
+			// The then-arm ends in a jump over the else-arm.
+			c += (1 - pSkip) + pSkip*g.estCost(s.Else, self)
+		}
+		return c
+	case cfg.CallTo:
+		if s.Callee == self {
+			return 1 // recursion factor applied by the caller
+		}
+		return 1 + g.procCost[s.Callee] + 1 // call + body + return
+	case cfg.Switch:
+		total, wsum := 0.0, 0.0
+		for i, c := range s.Cases {
+			w := 1.0
+			if len(s.Behavior.Weights) == len(s.Cases) {
+				w = s.Behavior.Weights[i]
+			}
+			total += w * (g.estCost(c, self) + 1) // case + join jump
+			wsum += w
+		}
+		if wsum == 0 {
+			return 1
+		}
+		return 1 + total/wsum
+	}
+	return 0
+}
+
+// takenFrac returns the long-run taken fraction of a conditional behavior.
+func takenFrac(b cfg.Behavior) float64 {
+	switch b.Kind {
+	case cfg.BehaviorBias:
+		return b.P
+	case cfg.BehaviorLoop:
+		if b.Trip <= 0 {
+			return 0
+		}
+		return float64(b.Trip-1) / float64(b.Trip)
+	case cfg.BehaviorPattern:
+		if len(b.Pattern) == 0 {
+			return 0
+		}
+		k := 0
+		for _, t := range b.Pattern {
+			if t {
+				k++
+			}
+		}
+		return float64(k) / float64(len(b.Pattern))
+	}
+	return 0
+}

@@ -1,0 +1,604 @@
+// Package workload generates the benchmark-analogue programs whose traces
+// drive the experiments. The paper traced six programs (doduc, espresso,
+// gcc, li, cfront, groff — Table 1); we cannot rerun those binaries, so
+// each analogue here is a synthetic program whose *structure* is tuned to
+// reproduce the measured attributes the paper reports: the break density
+// (%Breaks), the branch-kind mix, the taken rate, the concentration of
+// execution over conditional sites (the Q columns), the static site count,
+// and the instruction working set relative to the simulated caches.
+//
+// Programs are built from the structured DSL of package cfg and executed by
+// package exec, so the traces carry real loop, call, and dispatch dynamics
+// rather than i.i.d. samples.
+package workload
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/cfg"
+	"repro/internal/xrand"
+)
+
+// Params shapes one generated program. The six analogue constructors in
+// specs.go each supply a calibrated Params.
+type Params struct {
+	// NumProcs is the number of procedures including the driver
+	// (ProcID 0). ColdFrac of the non-driver procedures are "cold":
+	// reachable only through rarely-taken guards, contributing static
+	// sites and instruction-cache pollution but little execution.
+	NumProcs int
+	ColdFrac float64
+
+	// Body shape: each procedure body is SegmentsMin..SegmentsMax
+	// top-level constructs; straight-line chunks run StraightMin..
+	// StraightMax instructions; construct nesting is bounded by
+	// MaxDepth.
+	SegmentsMin, SegmentsMax int
+	StraightMin, StraightMax int
+	MaxDepth                 int
+
+	// Construct mix (relative weights): loops, conditionals, calls,
+	// guarded self-recursion, indirect switches, cold-call guards, and
+	// plain straight chunks.
+	WLoop, WIf, WCall, WRecur, WSwitch, WColdGuard, WStraight float64
+
+	// Loop character: fixed trips in TripMin..TripMax, with WhileFrac of
+	// loops using a biased (variable-trip) backedge instead. LoopVolCap
+	// bounds the iteration *product* of a loop nest (outer trip × inner
+	// trip × ...), so no single innermost site soaks up the whole
+	// trace: it is the main lever on the Q-50/Q-90 execution
+	// concentration of Table 1. Zero means 200.
+	TripMin, TripMax int
+	WhileFrac        float64
+	WhileP           float64
+	LoopVolCap       float64
+
+	// Conditional character: If guards draw their skip-probability from
+	// BiasPool; PatternFrac of them use a short repeating pattern
+	// (learnable by a two-level predictor) instead. ElseFrac of If
+	// sites have an else arm (each executed then-arm ends in an
+	// unconditional jump over it — the main source of the %Br column).
+	BiasPool    []float64
+	PatternFrac float64
+	ElseFrac    float64
+
+	// Call graph: call sites pick callees by a Zipf(alpha) over the hot
+	// procedures, so low-numbered procedures are hot.
+	CallZipfAlpha float64
+	// RecurP is the continuation probability of a guarded recursive
+	// call (expected extra depth RecurP/(1-RecurP)).
+	RecurP float64
+	// CallLoopFrac is the probability a top-level call site is wrapped
+	// in a short (trip 2–4) loop, multiplying its dynamic call volume
+	// while keeping the call tree bounded. This is the lever for
+	// call-heavy analogues (li, cfront, groff).
+	CallLoopFrac float64
+
+	// Cold guards execute their cold call with probability ColdGuardP.
+	ColdGuardP float64
+
+	// Switch (indirect dispatch) character.
+	SwitchCasesMin, SwitchCasesMax int
+	SwitchSticky                   float64
+	SwitchZipfAlpha                float64
+
+	// Driver: the entry procedure loops DriverLoopTrip times over
+	// DriverCalls call sites before returning (and restarting).
+	DriverCalls    int
+	DriverLoopTrip int
+
+	// HotLoopTrips, when non-empty, adds a dominant nested loop to the
+	// driver with these trip counts (innermost last) — the doduc-like
+	// "three branches are 50% of execution" shape.
+	HotLoopTrips []int
+	// HotLoopLen is the straight-line length inside the innermost hot
+	// loop body.
+	HotLoopLen int
+
+	// InterpOps, when positive, adds an interpreter-style dispatch loop
+	// to the driver: a loop of InterpTrip iterations around a switch
+	// with InterpOps cases of ~InterpLen instructions each.
+	InterpOps, InterpLen, InterpTrip int
+
+	// SubtreeBudget caps the *expected* instructions one call of a
+	// procedure executes, subtree included (default 2500): the generator
+	// stops adding call volume to a procedure beyond it.
+	SubtreeBudget float64
+	// PassInsns targets the expected length of one full driver iteration
+	// (default 120000). The generator keeps adding driver call sites (up
+	// to DriverCalls) until the pass reaches it, so a multi-million-
+	// instruction trace spans many passes and the predictors and the
+	// cache see a realistic reuse cycle.
+	PassInsns float64
+}
+
+// gen carries the generation state for one program.
+type gen struct {
+	p          Params
+	rng        *xrand.Rng
+	hotZipf    *xrand.Zipf
+	numHot     int // procs 1..numHot are hot; the rest are cold
+	coldStart  int
+	numProcs   int
+	currentPID int
+	recurUsed  bool // at most one self-recursion site per procedure
+
+	// procCost[pid] is the expected instructions per entry of pid,
+	// subtree included; filled leaves-first (see cost.go). callSpend is
+	// the expected call-subtree cost committed to the procedure being
+	// generated so far, checked against SubtreeBudget.
+	procCost  []float64
+	callSpend float64
+}
+
+func newGen(p Params, seed uint64) *gen {
+	if p.SubtreeBudget <= 0 {
+		p.SubtreeBudget = 2500
+	}
+	if p.PassInsns <= 0 {
+		p.PassInsns = 120000
+	}
+	g := &gen{p: p, rng: xrand.New(seed), numProcs: p.NumProcs}
+	g.procCost = make([]float64, p.NumProcs)
+	cold := int(math.Round(float64(p.NumProcs-1) * p.ColdFrac))
+	if cold >= p.NumProcs-1 {
+		cold = p.NumProcs - 2
+	}
+	if cold < 0 {
+		cold = 0
+	}
+	g.coldStart = p.NumProcs - cold
+	g.numHot = g.coldStart - 1 // procs 1..coldStart-1
+	if g.numHot < 1 {
+		g.numHot = 1
+		g.coldStart = 2
+	}
+	g.hotZipf = xrand.NewZipf(g.rng, g.numHot, p.CallZipfAlpha)
+	return g
+}
+
+// numTiers stratifies the hot procedures into call tiers: a procedure only
+// calls procedures in strictly deeper tiers, so the direct call graph is a
+// DAG of depth at most numTiers and every call returns within a modest
+// window. Cycles exist only through the explicitly guarded self-recursion
+// sites. Real call graphs are mostly hierarchical in the same way
+// (drivers → phases → utilities → leaves).
+const numTiers = 6
+
+// tierOf returns the tier of a hot procedure (the driver is tier -1).
+func (g *gen) tierOf(pid int) int {
+	if pid == 0 {
+		return -1
+	}
+	t := (pid - 1) * numTiers / g.numHot
+	if t >= numTiers {
+		t = numTiers - 1
+	}
+	return t
+}
+
+// hotCallee picks a hot callee in a strictly deeper tier, Zipf-biased
+// toward the earliest (hottest) procedures of that range. Returns false
+// when the caller is in the deepest tier (a leaf).
+func (g *gen) hotCallee() (cfg.ProcID, bool) {
+	t := g.tierOf(g.currentPID)
+	if t >= numTiers-1 {
+		return 0, false
+	}
+	lo := 1 + (t+1)*g.numHot/numTiers
+	if lo <= g.currentPID {
+		// Tier-boundary rounding can place the caller at or past the
+		// next tier's start; keep the callee index strictly greater
+		// so the direct call graph stays acyclic.
+		lo = g.currentPID + 1
+	}
+	if lo > g.numHot {
+		return 0, false
+	}
+	span := g.numHot - lo + 1
+	c := cfg.ProcID(lo + g.hotZipf.Next()%span)
+	return c, true
+}
+
+// coldCallee picks a cold callee, also call-down within the cold range so
+// cold chains terminate. Returns false for the last cold procedure.
+func (g *gen) coldCallee() (cfg.ProcID, bool) {
+	lo := g.coldStart
+	if g.currentPID >= g.coldStart {
+		lo = g.currentPID + 1
+	}
+	if lo >= g.numProcs {
+		return 0, false
+	}
+	return cfg.ProcID(lo + g.rng.Intn(g.numProcs-lo)), true
+}
+
+// straightLen samples a straight-chunk length.
+func (g *gen) straightLen() int {
+	return g.rng.Range(g.p.StraightMin, g.p.StraightMax)
+}
+
+// alignedTrip samples a loop trip count from TripMin..TripMax restricted
+// to power-of-two-friendly values {2,4,6,8,12,16,24,32,48,64}. Commensurate
+// periods keep the global-history language small, so two-level predictor
+// state recurs and trains — mirroring how real loop nests expose repeating
+// history to gshare.
+func (g *gen) alignedTrip() int {
+	aligned := []int{2, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+	lo, hi := 0, len(aligned)-1
+	for lo < len(aligned)-1 && aligned[lo] < g.p.TripMin {
+		lo++
+	}
+	for hi > 0 && aligned[hi] > g.p.TripMax {
+		hi--
+	}
+	if hi < lo {
+		return g.p.TripMin
+	}
+	return aligned[g.rng.Range(lo, hi)]
+}
+
+// condBehavior samples an If guard behavior from the bias pool.
+//
+// Strongly biased sites (p < 0.25 or p > 0.75) become *deterministic*
+// duty-cycle patterns — e.g. p = 0.1 is one taken out of every ten
+// executions, evenly spread. Real biased branches are structured, not
+// i.i.d. coins: loop-carried state, input regularities. Determinism
+// matters doubly for a two-level predictor, because every i.i.d. site
+// injects noise into the *global history register* that scrambles the
+// (pc, history) index of every other branch; with deterministic sites the
+// history stream repeats and gshare trains. Mid-range sites stay truly
+// random — those are the genuinely data-dependent, hard-to-predict
+// branches. PatternFrac of sites use a short random-but-cyclic pattern
+// regardless of bias.
+func (g *gen) condBehavior() cfg.Behavior {
+	if g.rng.Bool(g.p.PatternFrac) {
+		n := 4
+		pat := make([]bool, n)
+		for i := range pat {
+			pat[i] = g.rng.Bool(0.5)
+		}
+		return cfg.PatternBehavior(pat...)
+	}
+	p := g.p.BiasPool[g.rng.Intn(len(g.p.BiasPool))]
+	if p >= 0.25 && p <= 0.75 {
+		return cfg.BiasBehavior(p)
+	}
+	// Power-of-two periods only: mutually commensurate cycles keep the
+	// global-history language small enough for the PHT to train (a
+	// period-17 site next to a period-16 site would produce histories
+	// that essentially never repeat).
+	period := 8
+	for minority := min(p, 1-p); period < 64 && 1/float64(period) > minority; {
+		period *= 2
+	}
+	return cfg.Behavior{Kind: cfg.BehaviorPattern, Pattern: dutyCycle(p, period)}
+}
+
+// dutyCycle builds a deterministic cyclic outcome sequence of the given
+// period whose taken fraction approximates p, with the minority outcome
+// spread evenly (Bresenham-style). For very small p the period stretches so
+// at least one taken still occurs per cycle.
+func dutyCycle(p float64, period int) []bool {
+	if p > 0.5 {
+		inv := dutyCycle(1-p, period)
+		for i := range inv {
+			inv[i] = !inv[i]
+		}
+		return inv
+	}
+	if p > 0 && p < 1/float64(period) {
+		period = int(1/p + 0.5)
+	}
+	k := int(p*float64(period) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	pat := make([]bool, period)
+	acc := 0
+	for i := range pat {
+		acc += k
+		if acc >= period {
+			acc -= period
+			pat[i] = true
+		}
+	}
+	return pat
+}
+
+// construct kinds, selected by the P.W* weights.
+type constructKind int
+
+const (
+	kLoop constructKind = iota
+	kIf
+	kCall
+	kRecur
+	kSwitch
+	kColdGuard
+	kStraight
+)
+
+func (g *gen) pickConstruct(depth int, cold bool) constructKind {
+	wl, wi, wc, wr, ws, wg, wst := g.p.WLoop, g.p.WIf, g.p.WCall, g.p.WRecur,
+		g.p.WSwitch, g.p.WColdGuard, g.p.WStraight
+	if depth <= 0 {
+		// Innermost level: no further loop or switch nesting, but
+		// conditionals remain — real inner loops are full of ifs.
+		wl, ws = 0, 0
+	}
+	if depth < g.p.MaxDepth {
+		// No call-producing constructs inside loop bodies: a call
+		// site inside a trip-k loop executes k times per procedure
+		// entry, which multiplies across the call hierarchy and
+		// makes the dynamic call tree supercritical (execution then
+		// sinks into one subtree and never spreads). Calls happen at
+		// procedure top level and in the driver's explicit call
+		// loops, which is where the call volume is controlled.
+		wc, wg, wr = 0, 0, 0
+	}
+	if cold {
+		// Cold procedures do not spawn further cold guards and call
+		// less (they sit at the leaves of rare paths).
+		wg = 0
+		wc *= 0.5
+		wr = 0
+	}
+	total := wl + wi + wc + wr + ws + wg + wst
+	u := g.rng.Float64() * total
+	for i, w := range []float64{wl, wi, wc, wr, ws, wg, wst} {
+		u -= w
+		if u < 0 {
+			return constructKind(i)
+		}
+	}
+	return kStraight
+}
+
+// construct produces one statement (possibly a nested subtree). vol is the
+// remaining loop-volume budget for this subtree.
+func (g *gen) construct(depth int, cold bool, vol float64) cfg.Stmt {
+	switch g.pickConstruct(depth, cold) {
+	case kLoop:
+		trip := g.alignedTrip()
+		if float64(trip) > vol {
+			trip = int(vol)
+		}
+		if trip < 4 {
+			// Never emit trip-2/3 loops: their backedges alternate
+			// too fast for a 2-bit counter and real inner loops
+			// that hot iterate more. Spend the volume on straight
+			// code instead.
+			return cfg.Straight{N: g.straightLen()}
+		}
+		if g.rng.Bool(g.p.WhileFrac) {
+			// A biased backedge with continuation probability p
+			// iterates 1/(1-p) times in expectation.
+			p := g.p.WhileP
+			if exp := 1 / (1 - p); exp > vol {
+				p = 1 - 1/vol
+			}
+			body := g.seq(depth-1, g.rng.Range(1, 2), cold, vol*(1-p))
+			return cfg.While{P: p, Body: body}
+		}
+		body := g.seq(depth-1, g.rng.Range(1, 2), cold, vol/float64(trip))
+		return cfg.Loop{Trip: trip, Body: body}
+	case kIf:
+		then := []cfg.Stmt{cfg.Straight{N: g.straightLen()}}
+		if depth > 0 {
+			then = g.seq(depth-1, 1, cold, vol)
+		}
+		stmt := cfg.If{Cond: g.condBehavior(), Then: then}
+		if g.rng.Bool(g.p.ElseFrac) {
+			stmt.Else = []cfg.Stmt{cfg.Straight{N: g.straightLen()}}
+		}
+		return stmt
+	case kCall:
+		c, ok := g.hotCallee()
+		if !ok {
+			return cfg.Straight{N: g.straightLen()}
+		}
+		calleeCost := g.procCost[c] + 2
+		if depth >= g.p.MaxDepth && g.rng.Bool(g.p.CallLoopFrac) {
+			// Trips of 4-8: a trip-2 call loop's backedge alternates
+			// taken/not-taken, the worst case for a 2-bit counter.
+			trip := 4 * (1 + g.rng.Intn(2))
+			if g.callSpend+float64(trip)*calleeCost > g.p.SubtreeBudget {
+				return cfg.Straight{N: g.straightLen()}
+			}
+			g.callSpend += float64(trip) * calleeCost
+			return cfg.Loop{
+				Trip: trip,
+				Body: []cfg.Stmt{cfg.Straight{N: g.straightLen()}, cfg.CallTo{Callee: c}},
+			}
+		}
+		if g.callSpend+calleeCost > g.p.SubtreeBudget {
+			return cfg.Straight{N: g.straightLen()}
+		}
+		g.callSpend += calleeCost
+		return cfg.CallTo{Callee: c}
+	case kRecur:
+		// Guarded self-recursion: recurse with probability RecurP
+		// (If skips Then when taken). One site per procedure keeps
+		// the expected number of recursive re-entries strictly
+		// subcritical — two sites at RecurP ≥ 0.5 would make the
+		// recursion a branching process with mean ≥ 1, and execution
+		// would sink into that procedure forever.
+		if g.recurUsed || g.currentPID == 0 {
+			return cfg.Straight{N: g.straightLen()}
+		}
+		g.recurUsed = true
+		return cfg.If{
+			Cond: cfg.BiasBehavior(1 - g.p.RecurP),
+			Then: []cfg.Stmt{cfg.CallTo{Callee: cfg.ProcID(g.currentPID)}},
+		}
+	case kSwitch:
+		ncases := g.rng.Range(g.p.SwitchCasesMin, g.p.SwitchCasesMax)
+		cases := make([][]cfg.Stmt, ncases)
+		weights := make([]float64, ncases)
+		for i := range cases {
+			cases[i] = []cfg.Stmt{cfg.Straight{N: g.straightLen()}}
+			weights[i] = 1 / math.Pow(float64(i+1), g.p.SwitchZipfAlpha)
+		}
+		kind := cfg.BehaviorIndirectWeighted
+		if g.p.SwitchSticky > 0 {
+			kind = cfg.BehaviorIndirectSticky
+		}
+		return cfg.Switch{
+			Behavior: cfg.Behavior{Kind: kind, P: g.p.SwitchSticky, Weights: weights},
+			Cases:    cases,
+		}
+	case kColdGuard:
+		c, ok := g.coldCallee()
+		if !ok {
+			return cfg.Straight{N: g.straightLen()}
+		}
+		// Expected cost is the cold subtree weighted by how rarely the
+		// guard fires.
+		if g.callSpend+g.p.ColdGuardP*(g.procCost[c]+2) > g.p.SubtreeBudget {
+			return cfg.Straight{N: g.straightLen()}
+		}
+		g.callSpend += g.p.ColdGuardP * (g.procCost[c] + 2)
+		period := int(1/g.p.ColdGuardP + 0.5)
+		return cfg.If{
+			// Deterministic rare guard: the cold call executes once
+			// per period. Keeping guards deterministic avoids
+			// injecting i.i.d. noise into the global history.
+			Cond: cfg.Behavior{Kind: cfg.BehaviorPattern, Pattern: dutyCycle(1-g.p.ColdGuardP, period)},
+			Then: []cfg.Stmt{cfg.CallTo{Callee: c}},
+		}
+	default:
+		return cfg.Straight{N: g.straightLen()}
+	}
+}
+
+// seq produces a sequence of n constructs, each preceded by a straight
+// chunk (real basic blocks carry computation between control points).
+func (g *gen) seq(depth, n int, cold bool, vol float64) []cfg.Stmt {
+	out := make([]cfg.Stmt, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, cfg.Straight{N: g.straightLen()})
+		out = append(out, g.construct(depth, cold, vol))
+	}
+	return out
+}
+
+// procBody generates a full procedure body and records its expected
+// per-entry cost (subtree included) in procCost.
+func (g *gen) procBody(pid int, cold bool) []cfg.Stmt {
+	g.currentPID = pid
+	g.recurUsed = false
+	g.callSpend = 0
+	n := g.rng.Range(g.p.SegmentsMin, g.p.SegmentsMax)
+	vol := g.p.LoopVolCap
+	if vol <= 0 {
+		vol = 200
+	}
+	body := g.seq(g.p.MaxDepth, n, cold, vol)
+	cost := g.estCost(body, cfg.ProcID(pid)) + 1 // + return
+	if g.recurUsed && g.p.RecurP < 1 {
+		// One guarded self-recursion site: each entry re-enters the
+		// body with probability RecurP, a geometric multiplier.
+		cost /= 1 - g.p.RecurP
+	}
+	g.procCost[pid] = cost
+	return body
+}
+
+// driverBody generates the entry procedure: the optional dominant hot loop,
+// the optional interpreter dispatch loop, and the main call loop.
+func (g *gen) driverBody() []cfg.Stmt {
+	g.currentPID = 0
+	var body []cfg.Stmt
+
+	if len(g.p.HotLoopTrips) > 0 {
+		// The innermost body carries a perfectly periodic 50%-taken
+		// conditional: together with the two inner backedges this
+		// gives a tiny set of sites covering most conditional
+		// executions (the doduc Q-50 = 3 shape) while keeping the
+		// overall taken rate near 50% and the sites learnable by a
+		// two-level predictor.
+		inner := []cfg.Stmt{
+			cfg.Straight{N: g.p.HotLoopLen},
+			cfg.If{
+				Cond: cfg.PatternBehavior(true, false),
+				Then: []cfg.Stmt{cfg.Straight{N: g.p.HotLoopLen / 2}},
+			},
+		}
+		for i := len(g.p.HotLoopTrips) - 1; i >= 0; i-- {
+			inner = []cfg.Stmt{cfg.Loop{Trip: g.p.HotLoopTrips[i], Body: inner}}
+		}
+		body = append(body, inner...)
+	}
+
+	if g.p.InterpOps > 0 {
+		ncases := g.p.InterpOps
+		cases := make([][]cfg.Stmt, ncases)
+		weights := make([]float64, ncases)
+		for i := range cases {
+			c := []cfg.Stmt{cfg.Straight{N: g.p.InterpLen}}
+			// A few opcodes call out to helper procedures, as a
+			// real interpreter's complex ops do.
+			if callee, ok := g.hotCallee(); ok && i%4 == 0 {
+				c = append(c, cfg.CallTo{Callee: callee})
+			}
+			cases[i] = c
+			weights[i] = 1 / math.Pow(float64(i+1), g.p.SwitchZipfAlpha)
+		}
+		dispatch := cfg.Switch{
+			Behavior: cfg.Behavior{
+				Kind:    cfg.BehaviorIndirectSticky,
+				P:       g.p.SwitchSticky,
+				Weights: weights,
+			},
+			Cases: cases,
+		}
+		body = append(body, cfg.Loop{
+			Trip: g.p.InterpTrip,
+			Body: []cfg.Stmt{cfg.Straight{N: 2}, dispatch},
+		})
+	}
+
+	// The main call loop: add sites until one driver pass reaches the
+	// PassInsns target (or the DriverCalls maximum), accounting for the
+	// fixed cost of the hot nest and interpreter loop generated above.
+	fixed := g.estCost(body, 0)
+	perIter := (g.p.PassInsns - fixed) / float64(g.p.DriverLoopTrip)
+	var callSeq []cfg.Stmt
+	iterCost := 0.0
+	for i := 0; i < g.p.DriverCalls && iterCost < perIter; i++ {
+		callee, ok := g.hotCallee()
+		if !ok {
+			break
+		}
+		n := g.straightLen()
+		callSeq = append(callSeq, cfg.Straight{N: n}, cfg.CallTo{Callee: callee})
+		iterCost += float64(n) + g.procCost[callee] + 2
+	}
+	body = append(body, cfg.Loop{Trip: g.p.DriverLoopTrip, Body: callSeq})
+	return body
+}
+
+// Generate builds a complete, validated, laid-out program from the
+// parameters.
+func Generate(name string, p Params, seed uint64) (*cfg.Program, error) {
+	g := newGen(p, seed)
+	names := make([]string, p.NumProcs)
+	bodies := make([][]cfg.Stmt, p.NumProcs)
+	// Leaves first: procedures call strictly higher ProcIDs, so
+	// generating in reverse order means every call site can consult its
+	// callee's already-computed expected cost (cost.go).
+	for i := p.NumProcs - 1; i >= 1; i-- {
+		cold := i >= g.coldStart
+		if cold {
+			names[i] = "cold_" + strconv.Itoa(i)
+		} else {
+			names[i] = "proc_" + strconv.Itoa(i)
+		}
+		bodies[i] = g.procBody(i, cold)
+	}
+	names[0] = "main"
+	bodies[0] = g.driverBody()
+	return cfg.BuildProgram(name, 0, names, bodies)
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strconv"
+
+	"repro/internal/cfg"
+)
+
+// Hand-built microworkloads with fully understood behaviour, used by tests
+// and examples. Unlike the Table-1 analogues they are small and
+// deterministic in structure (only biased sites consume randomness).
+
+// HotLoopProgram is a doduc-in-miniature: a triple-nested counted loop with
+// a couple of guards — a handful of branch sites carrying all execution.
+func HotLoopProgram() (*cfg.Program, error) {
+	body := []cfg.Stmt{
+		cfg.Straight{N: 4},
+		cfg.Loop{Trip: 50, Body: []cfg.Stmt{
+			cfg.Straight{N: 3},
+			cfg.Loop{Trip: 20, Body: []cfg.Stmt{
+				cfg.Straight{N: 2},
+				cfg.Loop{Trip: 10, Body: []cfg.Stmt{
+					cfg.Straight{N: 6},
+					cfg.If{Cond: cfg.BiasBehavior(0.9), Then: []cfg.Stmt{cfg.Straight{N: 3}}},
+				}},
+			}},
+		}},
+	}
+	return cfg.BuildProgram("hotloop", 0, []string{"main"}, [][]cfg.Stmt{body})
+}
+
+// CallTreeProgram builds a program of `levels` tiers of procedures, each
+// calling `fan` procedures of the next tier — a call/return stress test for
+// the return stack and the call-site predictors.
+func CallTreeProgram(levels, fan int) (*cfg.Program, error) {
+	if levels < 1 {
+		levels = 1
+	}
+	if fan < 1 {
+		fan = 1
+	}
+	// Procedure IDs: tier t occupies a contiguous range; tier 0 is main.
+	var names []string
+	var bodies [][]cfg.Stmt
+	// Number procedures breadth-first: one per tier per position, but
+	// share procedures within a tier to keep the program small: tier t
+	// has exactly one procedure called fan times by tier t-1.
+	for t := 0; t < levels; t++ {
+		name := "tier" + strconv.Itoa(t)
+		body := []cfg.Stmt{cfg.Straight{N: 4}}
+		if t+1 < levels {
+			for i := 0; i < fan; i++ {
+				body = append(body, cfg.Straight{N: 2}, cfg.CallTo{Callee: cfg.ProcID(t + 1)})
+			}
+		} else {
+			body = append(body, cfg.Straight{N: 6})
+		}
+		names = append(names, name)
+		bodies = append(bodies, body)
+	}
+	return cfg.BuildProgram("calltree", 0, names, bodies)
+}
+
+// InterpreterProgram is a li-in-miniature: a dispatch loop indirect-jumping
+// over ops handlers, a few of which call a shared helper.
+func InterpreterProgram(ops int) (*cfg.Program, error) {
+	if ops < 2 {
+		ops = 2
+	}
+	cases := make([][]cfg.Stmt, ops)
+	weights := make([]float64, ops)
+	for i := range cases {
+		c := []cfg.Stmt{cfg.Straight{N: 3 + i%5}}
+		if i%3 == 0 {
+			c = append(c, cfg.CallTo{Callee: 1})
+		}
+		cases[i] = c
+		weights[i] = 1 / float64(i+1)
+	}
+	main := []cfg.Stmt{
+		cfg.Loop{Trip: 100, Body: []cfg.Stmt{
+			cfg.Straight{N: 2},
+			cfg.Switch{
+				Behavior: cfg.Behavior{Kind: cfg.BehaviorIndirectSticky, P: 0.5, Weights: weights},
+				Cases:    cases,
+			},
+		}},
+	}
+	helper := []cfg.Stmt{
+		cfg.Straight{N: 3},
+		cfg.If{Cond: cfg.BiasBehavior(0.7), Then: []cfg.Stmt{cfg.Straight{N: 4}}},
+	}
+	return cfg.BuildProgram("interp", 0, []string{"main", "helper"}, [][]cfg.Stmt{main, helper})
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestAllAnaloguesBuildAndValidate(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := s.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := s.Trace(50000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Calibration bands: the generated traces must land in the qualitative
+// regime of the paper's Table 1 rows. The bands are deliberately loose —
+// the reproduction needs the *shape* (which programs are branchy,
+// call-heavy, concentrated, predictable), not decimal matches.
+func TestTable1Bands(t *testing.T) {
+	const n = 300000
+	type band struct{ lo, hi float64 }
+	checks := map[string]struct {
+		pctBreaks band
+		pctTaken  band
+		pctCBr    band
+		pctCall   band
+		q90Max    int // execution concentration
+		staticMin int
+	}{
+		"doduc-like":    {band{4, 12}, band{45, 72}, band{80, 100}, band{0.2, 9}, 200, 1200},
+		"espresso-like": {band{12, 24}, band{50, 72}, band{88, 100}, band{0.05, 5}, 400, 1500},
+		"gcc-like":      {band{10, 20}, band{48, 68}, band{70, 92}, band{2, 10}, 2200, 6000},
+		"li-like":       {band{13, 26}, band{42, 68}, band{55, 90}, band{4, 18}, 250, 800},
+		"cfront-like":   {band{9, 18}, band{45, 68}, band{65, 92}, band{2, 11}, 1500, 4500},
+		"groff-like":    {band{8, 20}, band{45, 68}, band{60, 92}, band{2, 11}, 1200, 2200},
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := checks[s.Name]
+			if !ok {
+				t.Fatalf("no bands for %s", s.Name)
+			}
+			st := trace.ComputeStats(s.MustTrace(n))
+			chk := func(name string, got float64, b band) {
+				if got < b.lo || got > b.hi {
+					t.Errorf("%s = %.2f outside [%v, %v]", name, got, b.lo, b.hi)
+				}
+			}
+			chk("%breaks", st.PctBreaks(), want.pctBreaks)
+			chk("%taken", st.PctCondTaken(), want.pctTaken)
+			chk("%cbr", st.PctOfBreaks(isa.CondBranch), want.pctCBr)
+			chk("%call", st.PctOfBreaks(isa.Call), want.pctCall)
+			if st.Q90 > want.q90Max {
+				t.Errorf("Q90 = %d exceeds %d", st.Q90, want.q90Max)
+			}
+			if st.StaticCondSites < want.staticMin {
+				t.Errorf("static sites = %d below %d", st.StaticCondSites, want.staticMin)
+			}
+			// Calls and returns must balance: the call DAG guarantees
+			// this within the trace window.
+			call, ret := st.PctOfBreaks(isa.Call), st.PctOfBreaks(isa.Return)
+			if diff := call - ret; diff < -1.5 || diff > 1.5 {
+				t.Errorf("call/ret imbalance: %.2f vs %.2f", call, ret)
+			}
+		})
+	}
+}
+
+func TestBranchyVsConcentratedContrast(t *testing.T) {
+	// The paper's central workload contrast: gcc-class programs expose
+	// far more active conditional sites than doduc/espresso/li.
+	const n = 300000
+	gcc := trace.ComputeStats(Gcc().MustTrace(n))
+	doduc := trace.ComputeStats(Doduc().MustTrace(n))
+	if gcc.Q90 < 4*doduc.Q90 {
+		t.Errorf("gcc Q90 (%d) not ≫ doduc Q90 (%d)", gcc.Q90, doduc.Q90)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("x", Gcc().Params, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("x", Gcc().Params, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBlocks() != b.NumBlocks() || a.NumInstrs() != b.NumInstrs() {
+		t.Error("same seed produced different programs")
+	}
+	c, err := Generate("x", Gcc().Params, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumInstrs() == c.NumInstrs() && a.NumBlocks() == c.NumBlocks() {
+		t.Error("different seeds produced identical programs (suspicious)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gcc"); !ok {
+		t.Error("short name lookup failed")
+	}
+	if _, ok := ByName("gcc-like"); !ok {
+		t.Error("full name lookup failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("bogus name resolved")
+	}
+}
+
+func TestPassLengthNearTarget(t *testing.T) {
+	// The driver-pass budget keeps the reuse cycle bounded: a 2M-instr
+	// trace must span several driver passes for every analogue.
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := s.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := exec.New(p, s.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 1_500_000
+			e.Run(n, func(trace.Record) {})
+			if e.Restarts() < 3 {
+				t.Errorf("only %d restarts in %d instructions: pass too long", e.Restarts(), n)
+			}
+		})
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	cases := []struct {
+		p      float64
+		period int
+	}{
+		{0.1, 8}, {0.25, 8}, {0.9, 16}, {0.05, 16}, {0.02, 8},
+	}
+	for _, c := range cases {
+		pat := dutyCycle(c.p, c.period)
+		if len(pat) == 0 {
+			t.Fatalf("empty pattern for p=%v", c.p)
+		}
+		taken := 0
+		for _, v := range pat {
+			if v {
+				taken++
+			}
+		}
+		frac := float64(taken) / float64(len(pat))
+		// Within one slot of the requested fraction.
+		if diff := frac - c.p; diff > 1.0/float64(len(pat))+1e-9 || diff < -1.0/float64(len(pat))-1e-9 {
+			t.Errorf("dutyCycle(%v, %d): fraction %v (len %d)", c.p, c.period, frac, len(pat))
+		}
+		// At least one of each outcome: the site must not be constant.
+		if taken == 0 || taken == len(pat) {
+			t.Errorf("dutyCycle(%v, %d) is constant", c.p, c.period)
+		}
+	}
+}
+
+func TestCostModelBoundsSubtrees(t *testing.T) {
+	// Expected per-entry procedure costs must respect the budget
+	// (within the slack of the final construct that crossed it).
+	params := Gcc().Params
+	g := newGen(params, 1)
+	names := make([]string, params.NumProcs)
+	_ = names
+	// Generate in the same order Generate does.
+	for i := params.NumProcs - 1; i >= 1; i-- {
+		g.procBody(i, i >= g.coldStart)
+	}
+	over := 0
+	for pid := 1; pid < params.NumProcs; pid++ {
+		if g.procCost[pid] > 3*params.SubtreeBudget {
+			over++
+		}
+	}
+	if over > 0 {
+		t.Errorf("%d procedures exceed 3x the subtree budget", over)
+	}
+}
+
+func TestMicroWorkloads(t *testing.T) {
+	for name, build := range map[string]func() (*cfg.Program, error){
+		"hotloop":  HotLoopProgram,
+		"calltree": func() (*cfg.Program, error) { return CallTreeProgram(4, 3) },
+		"interp":   func() (*cfg.Program, error) { return InterpreterProgram(12) },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := exec.Trace(p, 1, 20000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHotLoopConcentration(t *testing.T) {
+	p, err := HotLoopProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := exec.Trace(p, 1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.ComputeStats(tr)
+	if st.Q90 > 5 {
+		t.Errorf("hot loop Q90 = %d, want tiny", st.Q90)
+	}
+}

@@ -1,0 +1,175 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by the workload generators and executors.
+//
+// The simulator's experiments must be exactly reproducible across runs, Go
+// releases, and platforms, so we implement splitmix64 (for seeding) and
+// xoshiro256** (for the stream) directly rather than depending on math/rand,
+// whose stream is not guaranteed stable across Go versions.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Rng is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Rng struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a seed state and returns the next output. It is the
+// standard seeding recipe for xoshiro.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *Rng {
+	r := &Rng{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro requires a nonzero state; splitmix64 of any seed gives one
+	// with overwhelming probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rng) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rng) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded values.
+	thresh := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rng) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Range returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (r *Rng) Range(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1), i.e. the number of trials up to and including the first success
+// with success probability 1/m. Useful for basic-block lengths.
+func (r *Rng) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	u := r.Float64()
+	// Inverse CDF of the geometric distribution on {1, 2, ...}.
+	n := int(math.Ceil(math.Log1p(-u) / math.Log(1-1/m)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Zipf samples an index in [0, n) with probability proportional to
+// 1/(i+1)^alpha. It uses a cached weight table owned by the Zipfian struct;
+// for one-off use see NewZipf.
+type Zipf struct {
+	cdf []float64
+	rng *Rng
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent alpha, drawing
+// randomness from r. It panics if n <= 0.
+func NewZipf(r *Rng, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Next returns the next Zipf-distributed index in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of items the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Shuffle permutes the first n indices using swaps provided by swap.
+func (r *Rng) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

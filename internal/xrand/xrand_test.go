@@ -1,0 +1,194 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d identical values of 100", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnDistribution(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d samples, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(19)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(23)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range(3,5) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("Range(3,5) never produced %d", v)
+		}
+	}
+	if got := r.Range(7, 7); got != 7 {
+		t.Errorf("Range(7,7) = %d", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(29)
+	const trials = 200000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		v := r.Geometric(5)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-5) > 0.25 {
+		t.Errorf("Geometric(5) mean = %v", mean)
+	}
+	if got := r.Geometric(0.5); got != 1 {
+		t.Errorf("Geometric(0.5) = %d, want 1", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	if z.N() != 100 {
+		t.Errorf("N() = %d", z.N())
+	}
+}
+
+func TestZipfUniformAlphaZero(t *testing.T) {
+	r := New(37)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < trials/10*8/10 || c > trials/10*12/10 {
+			t.Errorf("alpha=0 bucket %d = %d, want about %d", i, c, trials/10)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(41)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("value %d duplicated after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
