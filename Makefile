@@ -1,0 +1,28 @@
+# Verification tiers. `make verify` is the full pre-merge gate; tier-1 is
+# `make build test` (the seed gate from ROADMAP.md), and `make race` is the
+# concurrency tier covering the broadcast sweep scheduler, Runner.Traces,
+# and the trace generators.
+
+GO ?= go
+
+.PHONY: build test race fuzz bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over the trace parser and the chunked iterator.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=20s ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzChunked -fuzztime=20s ./internal/trace
+
+# Sweep scheduler comparison (see EXPERIMENTS.md "Sweep throughput").
+bench:
+	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem .
+
+verify: build test race

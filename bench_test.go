@@ -17,6 +17,8 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/btb"
@@ -155,6 +157,108 @@ func BenchmarkEngines(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Sweep scheduler comparison: BenchmarkSweepBroadcast (the shared-replay
+// broadcaster behind Runner.Sweep) vs BenchmarkSweepPerCell (the legacy
+// scheduler: one full trace replay per cell). Both run the same
+// 6-program × 4-architecture × 6-cache matrix on traces of sweepBenchInsns
+// instructions, pre-generated once outside the timers, and report replayed
+// engine-steps as Mstep/s. Names are benchstat-friendly:
+//
+//	go test -run='^$' -bench='BenchmarkSweep(Broadcast|PerCell)$' -benchmem .
+const sweepBenchInsns = 2_000_000
+
+var (
+	sweepOnce   sync.Once
+	sweepRunner *experiments.Runner
+)
+
+// sweepBench returns the shared pre-generated runner and sweep matrix.
+func sweepBench(b *testing.B) (*experiments.Runner, []experiments.Factory, []cache.Geometry) {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepRunner = experiments.NewRunner(experiments.DefaultConfig(sweepBenchInsns))
+	})
+	chunked, err := sweepRunner.Chunked() // generates + chunks the traces
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ct := range chunked {
+		ct.RunLens(experiments.LineBytes) // pre-warm the memoized annotations
+	}
+	factories := []experiments.Factory{
+		experiments.NLSCacheFactory(experiments.NLSPerLine),
+		experiments.NLSTableFactory(1024),
+		experiments.BTBFactory(btb.Config{Entries: 128, Assoc: 1}),
+		experiments.JohnsonFactory(),
+	}
+	return sweepRunner, factories, experiments.PaperCaches()
+}
+
+// reportSweepRate reports simulation throughput: every cell steps its full
+// trace, regardless of how many times the records were *read*.
+func reportSweepRate(b *testing.B, cells int) {
+	steps := float64(cells) * float64(sweepBenchInsns) * float64(b.N)
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(steps/s/1e6, "Mstep/s")
+	}
+}
+
+func BenchmarkSweepBroadcast(b *testing.B) {
+	r, factories, caches := sweepBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		results, err := r.Sweep(factories, caches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(results)
+	}
+	b.StopTimer()
+	reportSweepRate(b, cells)
+}
+
+func BenchmarkSweepPerCell(b *testing.B) {
+	r, factories, caches := sweepBench(b)
+	traces, err := r.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		// The legacy scheduler: every (program × factory × cache) cell
+		// re-reads the whole materialized trace through Engine.Step
+		// under a bounded worker pool.
+		results := make([]experiments.Result, len(traces)*len(factories)*len(caches))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.NumCPU())
+		idx := 0
+		for _, t := range traces {
+			for _, f := range factories {
+				for _, g := range caches {
+					wg.Add(1)
+					sem <- struct{}{}
+					go func(slot int, t *trace.Trace, f experiments.Factory, g cache.Geometry) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						e := f.New(g)
+						m := fetch.Run(e, t)
+						results[slot] = experiments.Result{Program: t.Name, Arch: f.Name, Cache: g, M: *m}
+					}(idx, t, f, g)
+					idx++
+				}
+			}
+		}
+		wg.Wait()
+		cells = len(results)
+	}
+	b.StopTimer()
+	reportSweepRate(b, cells)
 }
 
 // BenchmarkTraceGeneration measures workload synthesis throughput.

@@ -6,6 +6,7 @@
 //
 //	nlssim -workload gcc -arch nls-table -entries 1024 -cache 16 -assoc 1
 //	nlssim -workload li  -arch btb -entries 128 -assoc 4 -breakdown
+//	nlssim -workload gcc -n 50000000 -stream    # O(chunk) memory, no materialized trace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/pht"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -34,16 +36,13 @@ func main() {
 		phtKind   = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, taken, nottaken")
 		phtSize   = flag.Int("phtsize", 4096, "PHT entries")
 		breakdown = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
+		stream    = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
 	)
 	flag.Parse()
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
 		fail(fmt.Errorf("unknown workload %q", *wl))
-	}
-	t, err := spec.Trace(*n)
-	if err != nil {
-		fail(err)
 	}
 
 	dir := newPHT(*phtKind, *phtSize)
@@ -68,9 +67,24 @@ func main() {
 		fail(fmt.Errorf("unknown architecture %q", *arch))
 	}
 
-	m := fetch.Run(engine, t)
+	var m *metrics.Counters
+	if *stream {
+		// Drive the engine chunk by chunk from the executor: the same
+		// records Trace(n) would materialize, never all resident.
+		src, err := spec.Source()
+		if err != nil {
+			fail(err)
+		}
+		m = fetch.RunChunks(engine, trace.NewSourceChunks(src, *n, trace.DefaultChunkRecords))
+	} else {
+		t, err := spec.Trace(*n)
+		if err != nil {
+			fail(err)
+		}
+		m = fetch.Run(engine, t)
+	}
 	p := metrics.Default()
-	fmt.Printf("%s on %s\n", engine.Name(), t.Name)
+	fmt.Printf("%s on %s\n", engine.Name(), spec.Name)
 	fmt.Printf("  %s\n", m.Summary(p))
 	fmt.Printf("  BEP breakdown: misfetch=%.3f mispredict=%.3f\n",
 		m.MisfetchBEP(p), m.MispredictBEP(p))

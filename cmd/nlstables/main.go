@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nlstables [-n insns] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|all]
+//	nlstables [-n insns] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|all] [-progress]
 package main
 
 import (
@@ -17,12 +17,19 @@ import (
 
 func main() {
 	var (
-		n   = flag.Int("n", 2_000_000, "instructions to simulate per program")
-		exp = flag.String("exp", "all", "experiment: table1, fig3..fig8, perline, coupled, pht, or all")
+		n        = flag.Int("n", 2_000_000, "instructions to simulate per program")
+		exp      = flag.String("exp", "all", "experiment: table1, fig3..fig8, perline, coupled, pht, or all")
+		progress = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
 	)
 	flag.Parse()
 
 	r := experiments.NewRunner(experiments.DefaultConfig(*n))
+	if *progress {
+		r.Progress = func(s experiments.SweepStats) {
+			fmt.Fprintf(os.Stderr, "  sweep: %d/%d cells, %.1fM records replayed, %.1f Mrec/s\n",
+				s.Cells, s.TotalCells, float64(s.Records)/1e6, s.RecordsPerSec()/1e6)
+		}
+	}
 
 	run := func(name string) {
 		switch name {

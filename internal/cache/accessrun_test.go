@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestAccessRunMatchesAccessLoop: AccessRun(set, way, n) on a resident line
+// leaves the cache in exactly the state n individual Access calls to that
+// line would — same counters, same LRU clock, same stamps — observable
+// through subsequent replacement decisions.
+func TestAccessRunMatchesAccessLoop(t *testing.T) {
+	g := MustGeometry(1024, 32, 2)
+	batched, looped := New(g), New(g)
+
+	// Warm both caches identically: two lines in set 0.
+	stride := isa.Addr(g.NumSets() * g.LineBytes()) // next line mapping to set 0
+	a := isa.Addr(0x0000)
+	b := a + stride
+	c := b + stride // third line, will need a victim in set 0
+	for _, ca := range []*Cache{batched, looped} {
+		ca.Access(a)
+		ca.Access(b)
+	}
+
+	// Touch a 5 more times: batched vs individually.
+	way, hit := batched.Probe(a)
+	if !hit {
+		t.Fatal("warmed line not resident")
+	}
+	batched.AccessRun(g.SetIndex(a), way, 5)
+	for i := 0; i < 5; i++ {
+		looped.Access(a)
+	}
+
+	if batched.Accesses() != looped.Accesses() || batched.Misses() != looped.Misses() {
+		t.Fatalf("counters diverge: batched %d/%d, looped %d/%d",
+			batched.Accesses(), batched.Misses(), looped.Accesses(), looped.Misses())
+	}
+
+	// b is now LRU in both; accessing c must evict b, not a, in both.
+	for _, tc := range []struct {
+		name string
+		c    *Cache
+	}{{"batched", batched}, {"looped", looped}} {
+		if hit, _ := tc.c.Access(c); hit {
+			t.Fatalf("%s: line c unexpectedly resident", tc.name)
+		}
+		if _, resident := tc.c.Probe(a); !resident {
+			t.Errorf("%s: MRU line a was evicted", tc.name)
+		}
+		if _, resident := tc.c.Probe(b); resident {
+			t.Errorf("%s: LRU line b survived", tc.name)
+		}
+	}
+}

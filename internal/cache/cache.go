@@ -18,6 +18,10 @@ type Cache struct {
 	accesses uint64
 	misses   uint64
 
+	// Slot of the most recent Access (hit or fill), for batched replay:
+	// a run of same-line fetches can refresh this slot without re-probing.
+	lastSet, lastWay int
+
 	// onReplace, if set, is invoked when a fill replaces the contents of
 	// (set, way) — including filling a previously invalid slot. The
 	// NLS-cache couples predictor state to cache lines and must discard
@@ -74,6 +78,7 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 		s := c.slot(set, w)
 		if c.valid[s] && c.tags[s] == line {
 			c.stamp[s] = c.clock
+			c.lastSet, c.lastWay = set, w
 			return true, w
 		}
 		if !c.valid[s] {
@@ -92,10 +97,29 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 	c.tags[s] = line
 	c.valid[s] = true
 	c.stamp[s] = c.clock
+	c.lastSet, c.lastWay = set, victim
 	if c.onReplace != nil {
 		c.onReplace(set, victim)
 	}
 	return false, victim
+}
+
+// LastSlot returns the (set, way) of the most recent Access. The line
+// accessed then is still resident there as long as no later Access has
+// evicted it — in particular, immediately after an Access it always is.
+func (c *Cache) LastSlot() (set, way int) { return c.lastSet, c.lastWay }
+
+// AccessRun applies n consecutive fetches that all hit the line resident in
+// (set, way): counters and LRU state end exactly as n individual Access
+// calls to that line would leave them (each access advances the LRU clock;
+// the slot's stamp is the clock after the last one). The caller must know
+// the line is resident and untouched since it learned (set, way) — the
+// batched replay path uses this for straight-line runs within one cache
+// line, where the preceding access proved residency.
+func (c *Cache) AccessRun(set, way int, n uint64) {
+	c.accesses += n
+	c.clock += n
+	c.stamp[c.slot(set, way)] = c.clock
 }
 
 // Contains reports whether the line holding address a is resident, and if
@@ -149,4 +173,5 @@ func (c *Cache) Reset() {
 	c.clock = 0
 	c.accesses = 0
 	c.misses = 0
+	c.lastSet, c.lastWay = 0, 0
 }

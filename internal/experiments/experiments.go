@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/btb"
 	"repro/internal/cache"
@@ -154,9 +155,20 @@ func DefaultConfig(insns int) Config {
 type Runner struct {
 	Cfg Config
 
+	// Progress, when set, is called after each program of a sweep
+	// finishes replaying, with a snapshot of the sweep so far. Calls are
+	// serialized; the callback must not invoke the Runner.
+	Progress func(SweepStats)
+
 	once   sync.Once
 	traces []*trace.Trace
 	genErr error
+
+	chunkOnce sync.Once
+	chunked   []*trace.Chunked
+
+	statsMu sync.Mutex
+	stats   SweepStats
 }
 
 // NewRunner builds a runner.
@@ -198,35 +210,172 @@ type Result struct {
 // penalties.
 func (r *Runner) BEP(res Result) float64 { return res.M.BEP(r.Cfg.Penalties) }
 
-// Sweep runs every (program × factory × cache) combination in parallel and
-// returns the results in deterministic order: program-major, then factory,
-// then cache.
-func (r *Runner) Sweep(factories []Factory, caches []cache.Geometry) ([]Result, error) {
+// Chunked returns the per-program traces in chunked form, splitting them
+// (once) into DefaultChunkRecords-sized blocks that alias the cached flat
+// traces.
+func (r *Runner) Chunked() ([]*trace.Chunked, error) {
 	traces, err := r.Traces()
 	if err != nil {
 		return nil, err
 	}
-	n := len(traces) * len(factories) * len(caches)
-	results := make([]Result, n)
+	r.chunkOnce.Do(func() {
+		r.chunked = make([]*trace.Chunked, len(traces))
+		for i, t := range traces {
+			r.chunked[i] = trace.Chunk(t, trace.DefaultChunkRecords)
+		}
+	})
+	return r.chunked, nil
+}
+
+// SweepStats reports the progress and throughput of a sweep: how many
+// (program × arch × cache) cells have completed, how many trace records
+// have been replayed through the broadcaster (each program's trace is read
+// once, shared by all of its cells), and the wall-clock time so far.
+type SweepStats struct {
+	Cells      int
+	TotalCells int
+	Records    int64
+	Elapsed    time.Duration
+}
+
+// RecordsPerSec returns the replay throughput in records per second.
+func (s SweepStats) RecordsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Records) / s.Elapsed.Seconds()
+}
+
+// LastSweepStats returns the stats of the most recent Sweep (final state if
+// the sweep finished, a snapshot if one is running).
+func (r *Runner) LastSweepStats() SweepStats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+// Sweep runs every (program × factory × cache) combination and returns the
+// results in deterministic order: program-major, then factory, then cache.
+//
+// Scheduling (DESIGN.md §7): each program's trace is replayed ONCE through
+// fetch.Broadcast, fanning every chunk out to all of the program's engines
+// (factories × caches), instead of re-reading the full trace per cell.
+// Programs run concurrently under a bounded pool — the semaphore is
+// acquired before the goroutine is spawned, so at most progPar program
+// goroutines exist at any time — and the leftover parallelism budget goes
+// to each broadcast's worker pool. Engines are deterministic, so results
+// are bit-identical to the per-cell replay (asserted by
+// TestSweepMatchesPerCellOracle).
+func (r *Runner) Sweep(factories []Factory, caches []cache.Geometry) ([]Result, error) {
+	chunked, err := r.Chunked()
+	if err != nil {
+		return nil, err
+	}
+	cellsPerProg := len(factories) * len(caches)
+	results := make([]Result, len(chunked)*cellsPerProg)
+	start := time.Now()
+	r.statsMu.Lock()
+	r.stats = SweepStats{TotalCells: len(results)}
+	r.statsMu.Unlock()
+
+	budget := maxParallel()
+	progPar := len(chunked)
+	if progPar > budget {
+		progPar = budget
+	}
+	if progPar < 1 {
+		progPar = 1
+	}
+	perProg := budget / progPar
+	if perProg < 1 {
+		perProg = 1
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, progPar)
+	for pi, ct := range chunked {
+		wg.Add(1)
+		sem <- struct{}{} // bound concurrency before spawning
+		go func(pi int, ct *trace.Chunked) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			engines := make([]fetch.Engine, 0, cellsPerProg)
+			for _, f := range factories {
+				for _, g := range caches {
+					engines = append(engines, f.New(g))
+				}
+			}
+			n := fetch.BroadcastWorkers(sweepSource(ct, caches), perProg, engines...)
+			slot := pi * cellsPerProg
+			for _, f := range factories {
+				for _, g := range caches {
+					results[slot] = Result{Program: ct.Name, Arch: f.Name, Cache: g,
+						M: *engines[slot-pi*cellsPerProg].Counters()}
+					slot++
+				}
+			}
+			r.statsMu.Lock()
+			r.stats.Cells += cellsPerProg
+			r.stats.Records += n
+			r.stats.Elapsed = time.Since(start)
+			if r.Progress != nil {
+				r.Progress(r.stats) // statsMu held: calls are serialized
+			}
+			r.statsMu.Unlock()
+		}(pi, ct)
+	}
+	wg.Wait()
+	r.statsMu.Lock()
+	r.stats.Elapsed = time.Since(start)
+	r.statsMu.Unlock()
+	return results, nil
+}
+
+// sweepSource picks the chunk source for one program's broadcast: when
+// every cache of the sweep shares one line size (always true for the
+// paper's 32-byte-line matrix), the blocks carry the trace's memoized
+// same-line run annotations (trace.Chunked.RunLens), so the run-boundary
+// scan happens once per chunk instead of once per engine. Mixed line sizes
+// fall back to plain blocks and per-engine scanning.
+func sweepSource(ct *trace.Chunked, caches []cache.Geometry) trace.ChunkSource {
+	if len(caches) == 0 {
+		return ct.Chunks()
+	}
+	lb := caches[0].LineBytes()
+	for _, g := range caches[1:] {
+		if g.LineBytes() != lb {
+			return ct.Chunks()
+		}
+	}
+	return ct.ChunksRuns(lb)
+}
+
+// sweepPerCell is the legacy scheduler: every (program × factory × cache)
+// cell replays the full materialized trace independently through fetch.Run.
+// It is kept, unexported, as the differential-test oracle for Sweep and as
+// the baseline the root-level BenchmarkSweepPerCell measures against.
+func (r *Runner) sweepPerCell(factories []Factory, caches []cache.Geometry) ([]Result, error) {
+	traces, err := r.Traces()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(traces)*len(factories)*len(caches))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxParallel())
 	idx := 0
-	for ti, t := range traces {
-		for fi, f := range factories {
-			for ci, g := range caches {
+	for _, t := range traces {
+		for _, f := range factories {
+			for _, g := range caches {
 				wg.Add(1)
+				sem <- struct{}{}
 				go func(slot int, t *trace.Trace, f Factory, g cache.Geometry) {
 					defer wg.Done()
-					sem <- struct{}{}
 					defer func() { <-sem }()
 					e := f.New(g)
 					m := fetch.Run(e, t)
 					results[slot] = Result{Program: t.Name, Arch: f.Name, Cache: g, M: *m}
 				}(idx, t, f, g)
 				idx++
-				_ = ti
-				_ = fi
-				_ = ci
 			}
 		}
 	}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/btb"
+)
+
+// sweepMatrix is the architecture axis used by the scheduler tests: one
+// factory per engine family, so the differential covers every Step path.
+func sweepMatrix() []Factory {
+	return []Factory{
+		NLSCacheFactory(NLSPerLine),
+		NLSTableFactory(1024),
+		BTBFactory(btb.Config{Entries: 128, Assoc: 1}),
+		JohnsonFactory(),
+	}
+}
+
+// TestSweepMatchesPerCellOracle is the differential test for the
+// shared-replay scheduler: for the fixed built-in seeds, Sweep (broadcast
+// path) must produce bit-identical metrics.Counters for EVERY
+// (program × arch × cache) cell versus the legacy per-cell fetch.Run path,
+// in the same deterministic order.
+func TestSweepMatchesPerCellOracle(t *testing.T) {
+	r := NewRunner(DefaultConfig(120_000))
+	factories := sweepMatrix()
+	caches := PaperCaches()
+
+	got, err := r.Sweep(factories, caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.sweepPerCell(factories, caches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Sweep returned %d cells, oracle %d", len(got), len(want))
+	}
+	if len(got) != len(r.Cfg.Programs)*len(factories)*len(caches) {
+		t.Fatalf("unexpected cell count %d", len(got))
+	}
+	for i := range want {
+		if got[i].Program != want[i].Program || got[i].Arch != want[i].Arch ||
+			got[i].Cache != want[i].Cache {
+			t.Fatalf("cell %d keyed (%s, %s, %s), oracle (%s, %s, %s)",
+				i, got[i].Program, got[i].Arch, got[i].Cache,
+				want[i].Program, want[i].Arch, want[i].Cache)
+		}
+		if got[i].M != want[i].M {
+			t.Errorf("cell %d (%s, %s, %s): counters diverge\n got %+v\nwant %+v",
+				i, got[i].Program, got[i].Arch, got[i].Cache, got[i].M, want[i].M)
+		}
+	}
+}
+
+// TestSweepStats: the scheduler's counters account every cell and every
+// record exactly once per program replay.
+func TestSweepStats(t *testing.T) {
+	r := NewRunner(DefaultConfig(50_000))
+	var calls int
+	r.Progress = func(SweepStats) { calls++ }
+	factories := sweepMatrix()
+	caches := PaperCaches()[:2]
+	if _, err := r.Sweep(factories, caches); err != nil {
+		t.Fatal(err)
+	}
+	s := r.LastSweepStats()
+	wantCells := len(r.Cfg.Programs) * len(factories) * len(caches)
+	if s.Cells != wantCells || s.TotalCells != wantCells {
+		t.Errorf("cells = %d/%d, want %d", s.Cells, s.TotalCells, wantCells)
+	}
+	// Shared replay: each program's trace is read once, NOT once per cell.
+	wantRecords := int64(len(r.Cfg.Programs)) * int64(r.Cfg.Insns)
+	if s.Records != wantRecords {
+		t.Errorf("records replayed = %d, want %d (one replay per program)", s.Records, wantRecords)
+	}
+	if s.Elapsed <= 0 || s.RecordsPerSec() <= 0 {
+		t.Errorf("elapsed/throughput not populated: %+v", s)
+	}
+	if calls != len(r.Cfg.Programs) {
+		t.Errorf("Progress called %d times, want %d", calls, len(r.Cfg.Programs))
+	}
+}

@@ -1,0 +1,130 @@
+package fetch
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// broadcastDepth is the per-worker channel capacity of the fan-out. Live
+// memory of one broadcast is bounded by (workers*(broadcastDepth+1)+1)
+// blocks regardless of trace length, which is what lets a streamed sweep
+// run in O(chunk) memory.
+const broadcastDepth = 4
+
+// Broadcast replays a trace ONCE through every engine: each block drawn
+// from src is fanned out to all engines before the next block is drawn, so
+// a sweep cell of E engines reads the records one time instead of E times
+// and each block is still cache-hot when the later engines replay it.
+// Engines see exactly the record sequence of src, in order, via StepBlock.
+// The worker pool is sized to min(GOMAXPROCS, len(engines)); use
+// BroadcastWorkers to bound it explicitly. Returns the number of records
+// replayed.
+func Broadcast(src trace.ChunkSource, engines ...Engine) int64 {
+	return BroadcastWorkers(src, runtime.GOMAXPROCS(0), engines...)
+}
+
+// annotated pairs a block with its optional shared run annotation.
+type annotated struct {
+	recs []trace.Record
+	runs []uint8
+}
+
+// runStepper is the optional fast-path interface an engine satisfies to
+// consume a RunChunkSource's shared annotations (all four built-in engines
+// do, via base).
+type runStepper interface {
+	StepBlockRuns(recs []trace.Record, runs []uint8)
+	ICache() *cache.Cache
+}
+
+// replayPlan resolves how blocks are drawn and how each engine replays
+// them. When src annotates its blocks (trace.RunChunkSource) and an engine
+// both accepts annotations and uses the line size they were computed for,
+// that engine replays via StepBlockRuns — sharing the per-chunk boundary
+// scan instead of re-deriving it; every other engine replays via StepBlock.
+func replayPlan(src trace.ChunkSource, engines []Engine) (next func() annotated, step []func(annotated)) {
+	rs, _ := src.(trace.RunChunkSource)
+	if rs != nil && rs.RunLineBytes() > 0 {
+		next = func() annotated {
+			recs, runs := rs.NextChunkRuns()
+			return annotated{recs, runs}
+		}
+	} else {
+		rs = nil
+		next = func() annotated { return annotated{recs: src.NextChunk()} }
+	}
+	step = make([]func(annotated), len(engines))
+	for i, e := range engines {
+		if re, ok := e.(runStepper); ok && rs != nil &&
+			re.ICache().Geometry().LineBytes() == rs.RunLineBytes() {
+			step[i] = func(b annotated) { re.StepBlockRuns(b.recs, b.runs) }
+		} else {
+			e := e
+			step[i] = func(b annotated) { e.StepBlock(b.recs) }
+		}
+	}
+	return next, step
+}
+
+// BroadcastWorkers is Broadcast with an explicit worker bound. Each engine
+// is owned by exactly one worker for the whole replay, so every engine
+// consumes blocks strictly in trace order with no per-record locking.
+// workers <= 1 replays on the calling goroutine.
+func BroadcastWorkers(src trace.ChunkSource, workers int, engines ...Engine) int64 {
+	if len(engines) == 0 {
+		return 0
+	}
+	next, step := replayPlan(src, engines)
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	if workers <= 1 {
+		// Sequential chunk-major replay: block k visits every engine
+		// while it is hot, then block k+1 is drawn.
+		var n int64
+		for blk := next(); len(blk.recs) > 0; blk = next() {
+			for _, s := range step {
+				s(blk)
+			}
+			n += int64(len(blk.recs))
+		}
+		return n
+	}
+
+	// Static round-robin partition of engines onto workers; each worker
+	// drains its own bounded channel of shared (read-only) blocks.
+	var wg sync.WaitGroup
+	chans := make([]chan annotated, workers)
+	for w := range chans {
+		own := make([]func(annotated), 0, (len(engines)+workers-1)/workers)
+		for i := w; i < len(engines); i += workers {
+			own = append(own, step[i])
+		}
+		ch := make(chan annotated, broadcastDepth)
+		chans[w] = ch
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range ch {
+				for _, s := range own {
+					s(blk)
+				}
+			}
+		}()
+	}
+	var n int64
+	for blk := next(); len(blk.recs) > 0; blk = next() {
+		n += int64(len(blk.recs))
+		for _, ch := range chans {
+			ch <- blk
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return n
+}

@@ -50,6 +50,21 @@ func (e *BTBEngine) Reset() {
 	e.buf.Reset()
 }
 
+// StepBlock implements Engine, batching same-line sequential fetch runs
+// (see base.stepBlock).
+func (e *BTBEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
+
+// StepBlockRuns is StepBlock with the run boundaries precomputed for this
+// engine's line size (see base.stepBlockRuns); nil runs falls back to the
+// scanning path.
+func (e *BTBEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	if runs == nil {
+		e.stepBlock(recs, e.Step)
+		return
+	}
+	e.stepBlockRuns(recs, runs, e.Step)
+}
+
 // Step implements Engine, applying the accounting rules of DESIGN.md §6.
 func (e *BTBEngine) Step(rec trace.Record) {
 	e.access(rec)

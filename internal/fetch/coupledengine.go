@@ -126,6 +126,21 @@ func (e *CoupledBTBEngine) insert(pc, target isa.Addr, kind isa.Kind) int {
 	return victim
 }
 
+// StepBlock implements Engine, batching same-line sequential fetch runs
+// (see base.stepBlock).
+func (e *CoupledBTBEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
+
+// StepBlockRuns is StepBlock with the run boundaries precomputed for this
+// engine's line size (see base.stepBlockRuns); nil runs falls back to the
+// scanning path.
+func (e *CoupledBTBEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	if runs == nil {
+		e.stepBlock(recs, e.Step)
+		return
+	}
+	e.stepBlockRuns(recs, runs, e.Step)
+}
+
 // Step implements Engine.
 func (e *CoupledBTBEngine) Step(rec trace.Record) {
 	e.access(rec)

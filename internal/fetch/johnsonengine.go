@@ -61,6 +61,21 @@ func (e *JohnsonEngine) Reset() {
 	e.pending.active = false
 }
 
+// StepBlock implements Engine, batching same-line sequential fetch runs
+// (see base.stepBlock).
+func (e *JohnsonEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
+
+// StepBlockRuns is StepBlock with the run boundaries precomputed for this
+// engine's line size (see base.stepBlockRuns); nil runs falls back to the
+// scanning path.
+func (e *JohnsonEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	if runs == nil {
+		e.stepBlock(recs, e.Step)
+		return
+	}
+	e.stepBlockRuns(recs, runs, e.Step)
+}
+
 // Step implements Engine.
 func (e *JohnsonEngine) Step(rec trace.Record) {
 	_, way := e.access(rec)

@@ -109,10 +109,24 @@ func (e *NLSEngine) Reset() {
 	e.pending.active = false
 }
 
+// StepBlock implements Engine, batching same-line sequential fetch runs
+// (see base.stepBlock).
+func (e *NLSEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
+
+// StepBlockRuns is StepBlock with the run boundaries precomputed for this
+// engine's line size (see base.stepBlockRuns); nil runs falls back to the
+// scanning path.
+func (e *NLSEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	if runs == nil {
+		e.stepBlock(recs, e.Step)
+		return
+	}
+	e.stepBlockRuns(recs, runs, e.Step)
+}
+
 // Step implements Engine.
 func (e *NLSEngine) Step(rec trace.Record) {
-	hit, way := e.access(rec)
-	_ = hit
+	_, way := e.access(rec)
 
 	// Resolve the deferred update for the previous taken branch: this
 	// record IS its target, so the target line's way is now known. (The

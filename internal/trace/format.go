@@ -114,7 +114,15 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	t := &Trace{Name: string(nameBuf), StaticCondSites: int(static)}
-	t.Records = make([]Record, 0, count)
+	// count comes from the (untrusted) stream; a record occupies at least
+	// one byte, so a lying count fails with EOF below — but only if the
+	// pre-allocation is capped rather than trusted (a 20-byte input must
+	// not demand a multi-terabyte slice).
+	prealloc := count
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t.Records = make([]Record, 0, prealloc)
 	var prevNextWord, prevPCWord uint32
 	for i := uint64(0); i < count; i++ {
 		head, err := br.ReadByte()

@@ -49,6 +49,101 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzChunked round-trips arbitrary parsed traces through the chunked
+// representation at arbitrary chunk sizes: chunked↔flat conversion and the
+// chunk iterator (in both its ChunkSource and Source views) must reproduce
+// the records exactly, including records straddling chunk boundaries.
+func FuzzChunked(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, statTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), uint16(1))
+	f.Add(buf.Bytes(), uint16(3)) // 10 records: boundary mid-trace + short tail
+	f.Add(buf.Bytes(), uint16(5)) // exact multiple of the record count
+	f.Add(buf.Bytes(), uint16(0)) // default chunk size
+	f.Add([]byte{}, uint16(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize uint16) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		c := Chunk(tr, int(chunkSize))
+		if c.Len() != len(tr.Records) {
+			t.Fatalf("Chunk dropped records: %d != %d", c.Len(), len(tr.Records))
+		}
+
+		// Flat view.
+		flat := c.Flatten()
+		if flat.Name != tr.Name || len(flat.Records) != len(tr.Records) {
+			t.Fatal("Flatten changed the trace")
+		}
+		for i := range tr.Records {
+			if flat.Records[i] != tr.Records[i] {
+				t.Fatalf("Flatten changed record %d", i)
+			}
+		}
+
+		// ChunkSource view: concatenated blocks are the trace, and
+		// every block except the last is exactly chunkSize long.
+		it := c.Chunks()
+		i := 0
+		for blk := it.NextChunk(); len(blk) > 0; blk = it.NextChunk() {
+			for _, r := range blk {
+				if r != tr.Records[i] {
+					t.Fatalf("chunk iterator changed record %d", i)
+				}
+				i++
+			}
+			if i < len(tr.Records) && chunkSize > 0 && len(blk) != int(chunkSize) {
+				t.Fatalf("non-final block has %d records, want %d", len(blk), chunkSize)
+			}
+		}
+		if i != len(tr.Records) {
+			t.Fatalf("chunk iterator yielded %d records, want %d", i, len(tr.Records))
+		}
+
+		// Source view through the same iterator type.
+		i = 0
+		c.Chunks().Run(len(tr.Records)+1, func(r Record) {
+			if r != tr.Records[i] {
+				t.Fatalf("Run view changed record %d", i)
+			}
+			i++
+		})
+		if i != len(tr.Records) {
+			t.Fatalf("Run view yielded %d records, want %d", i, len(tr.Records))
+		}
+
+		// Run annotations: every entry must satisfy the RunLens contract
+		// (breaks annotate 0; otherwise the count of following same-line
+		// non-branches, capped at 255 and stopping at the block edge).
+		const lineBytes = 32
+		mask := ^isa.Addr(lineBytes - 1)
+		for bi, rn := range c.RunLens(lineBytes) {
+			blk := c.Block(bi)
+			if len(rn) != len(blk) {
+				t.Fatalf("block %d annotation length %d, want %d", bi, len(rn), len(blk))
+			}
+			for i, r := range blk {
+				want := 0
+				if !r.IsBreak() {
+					for j := i + 1; j < len(blk) && want < 255; j++ {
+						if blk[j].Kind != isa.NonBranch || blk[j].PC&mask != r.PC&mask {
+							break
+						}
+						want++
+					}
+				}
+				if int(rn[i]) != want {
+					t.Fatalf("block %d record %d: run %d, want %d", bi, i, rn[i], want)
+				}
+			}
+		}
+	})
+}
+
 // FuzzRecordValidate: Validate never panics on arbitrary records.
 func FuzzRecordValidate(f *testing.F) {
 	f.Add(uint32(0x1000), uint32(0x2000), uint8(1), true)

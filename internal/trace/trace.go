@@ -101,8 +101,12 @@ type Source interface {
 	Run(n int, emit func(Record)) int
 }
 
-// Collect drains up to n records from a source into a new Trace.
+// Collect drains up to n records from a source into a new Trace. A
+// non-positive n yields an empty trace (matching Source.Run semantics).
 func Collect(name string, src Source, n int) *Trace {
+	if n < 0 {
+		n = 0
+	}
 	t := &Trace{Name: name, Records: make([]Record, 0, n)}
 	src.Run(n, func(r Record) { t.Append(r) })
 	return t

@@ -25,15 +25,28 @@ func (s Spec) Program() (*cfg.Program, error) {
 	return p, nil
 }
 
-// Trace builds the program and executes n instructions. The execution seed
-// is derived from the build seed so the whole trace is a pure function of
-// the Spec.
+// execSeedMix derives the execution seed from the build seed so the whole
+// trace is a pure function of the Spec.
+const execSeedMix = 0x9e3779b97f4a7c15
+
+// Trace builds the program and executes n instructions.
 func (s Spec) Trace(n int) (*trace.Trace, error) {
 	p, err := s.Program()
 	if err != nil {
 		return nil, err
 	}
-	return exec.Trace(p, s.Seed^0x9e3779b97f4a7c15, n)
+	return exec.Trace(p, s.Seed^execSeedMix, n)
+}
+
+// Source builds the program and returns a fresh executor over it, seeded
+// identically to Trace: streaming n records from it yields exactly the
+// records Trace(n) materializes, without ever holding them all in memory.
+func (s Spec) Source() (*exec.Executor, error) {
+	p, err := s.Program()
+	if err != nil {
+		return nil, err
+	}
+	return exec.New(p, s.Seed^execSeedMix)
 }
 
 // MustTrace is Trace that panics on error, for benchmarks and examples
