@@ -5,10 +5,13 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench verify
+.PHONY: build vet test race fuzz bench verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -25,4 +28,4 @@ fuzz:
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem .
 
-verify: build test race
+verify: build vet test race

@@ -2,24 +2,32 @@
 // configuration and reports the paper's metrics (%MfB, %MpB, BEP, CPI,
 // i-cache miss rate), optionally with a per-branch-kind breakdown.
 //
+// The -arch flag accepts either a registered architecture-spec name (run
+// with -list to see them; e.g. nls-table-1024, btb-128, johnson), which
+// selects the complete paper configuration, or a bare predictor kind
+// (nls-table, nls-cache, btb, coupled-btb, johnson), which is assembled
+// from the sizing flags.
+//
 // Usage:
 //
 //	nlssim -workload gcc -arch nls-table -entries 1024 -cache 16 -assoc 1
 //	nlssim -workload li  -arch btb -entries 128 -assoc 4 -breakdown
+//	nlssim -workload espresso -arch nls-table-1024          # registered spec
+//	nlssim -workload gcc -arch btb-128 -json                # machine-readable
 //	nlssim -workload gcc -n 50000000 -stream    # O(chunk) memory, no materialized trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/btb"
-	"repro/internal/cache"
+	"repro/internal/arch"
 	"repro/internal/fetch"
 	"repro/internal/isa"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -28,7 +36,7 @@ func main() {
 	var (
 		wl        = flag.String("workload", "gcc", "workload name (doduc, espresso, gcc, li, cfront, groff)")
 		n         = flag.Int("n", 1_000_000, "instructions to simulate")
-		arch      = flag.String("arch", "nls-table", "architecture: nls-table, nls-cache, btb, coupled-btb, johnson")
+		archName  = flag.String("arch", "nls-table", "registered spec name (see -list) or predictor kind: nls-table, nls-cache, btb, coupled-btb, johnson")
 		entries   = flag.Int("entries", 1024, "NLS-table or BTB entries")
 		perLine   = flag.Int("perline", 2, "NLS-cache predictors per line")
 		cacheKB   = flag.Int("cache", 16, "instruction cache size in KB")
@@ -37,34 +45,32 @@ func main() {
 		phtSize   = flag.Int("phtsize", 4096, "PHT entries")
 		breakdown = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
 		stream    = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout")
+		list      = flag.Bool("list", false, "list registered architecture specs and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range arch.Names() {
+			s, _ := arch.Lookup(name)
+			fmt.Printf("%-16s %s\n", name, s.MustBuild().Name())
+		}
+		return
+	}
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
 		fail(fmt.Errorf("unknown workload %q", *wl))
 	}
 
-	dir := newPHT(*phtKind, *phtSize)
-	var engine fetch.Engine
-	switch *arch {
-	case "nls-table":
-		g := cache.MustGeometry(*cacheKB*1024, 32, *assoc)
-		engine = fetch.NewNLSTableEngine(g, *entries, dir, 32)
-	case "nls-cache":
-		g := cache.MustGeometry(*cacheKB*1024, 32, *assoc)
-		engine = fetch.NewNLSCacheEngine(g, *perLine, dir, 32)
-	case "btb":
-		g := cache.MustGeometry(*cacheKB*1024, 32, 1)
-		engine = fetch.NewBTBEngine(g, btb.Config{Entries: *entries, Assoc: *assoc}, dir, 32)
-	case "coupled-btb":
-		g := cache.MustGeometry(*cacheKB*1024, 32, 1)
-		engine = fetch.NewCoupledBTBEngine(g, btb.Config{Entries: *entries, Assoc: *assoc}, 32)
-	case "johnson":
-		g := cache.MustGeometry(*cacheKB*1024, 32, *assoc)
-		engine = fetch.NewJohnsonEngine(g)
-	default:
-		fail(fmt.Errorf("unknown architecture %q", *arch))
+	s, ok := arch.Lookup(*archName)
+	if !ok {
+		// Not a registered name: assemble a spec from the sizing flags.
+		s = specFromFlags(*archName, *entries, *perLine, *cacheKB, *assoc, *phtKind, *phtSize)
+	}
+	engine, err := s.Build()
+	if err != nil {
+		fail(err)
 	}
 
 	var m *metrics.Counters
@@ -84,6 +90,12 @@ func main() {
 		m = fetch.Run(engine, t)
 	}
 	p := metrics.Default()
+
+	if *jsonOut {
+		emitJSON(engine, spec.Name, s, m, p)
+		return
+	}
+
 	fmt.Printf("%s on %s\n", engine.Name(), spec.Name)
 	fmt.Printf("  %s\n", m.Summary(p))
 	fmt.Printf("  BEP breakdown: misfetch=%.3f mispredict=%.3f\n",
@@ -100,23 +112,96 @@ func main() {
 	}
 }
 
-func newPHT(kind string, size int) pht.Predictor {
+// specFromFlags assembles an ad-hoc spec for a bare predictor kind. The
+// historical flag semantics are kept: for the BTB kinds, -assoc sizes the
+// BTB (the i-cache stays direct-mapped); for the others it sizes the
+// i-cache.
+func specFromFlags(kind string, entries, perLine, cacheKB, assoc int, phtKind string, phtSize int) arch.Spec {
+	s := arch.Spec{
+		Cache:    arch.CacheSpec{SizeBytes: cacheKB * 1024, LineBytes: arch.LineBytes, Assoc: assoc},
+		RASDepth: 32,
+	}
+	switch kind {
+	case arch.KindNLSTable:
+		s.Predictor = arch.PredictorSpec{Kind: kind, Entries: entries}
+	case arch.KindNLSCache:
+		s.Predictor = arch.PredictorSpec{Kind: kind, PerLine: perLine}
+	case arch.KindBTB, arch.KindCoupledBTB:
+		s.Predictor = arch.PredictorSpec{Kind: kind, Entries: entries, Assoc: assoc}
+		s.Cache.Assoc = 1
+	case arch.KindJohnson:
+		s.Predictor = arch.PredictorSpec{Kind: kind}
+	default:
+		fail(fmt.Errorf("unknown architecture %q (registered: %s)",
+			kind, strings.Join(arch.Names(), ", ")))
+	}
+	switch s.Predictor.Kind {
+	case arch.KindCoupledBTB, arch.KindJohnson:
+		// Coupled direction state: no decoupled PHT.
+	default:
+		s.PHT = phtSpecFromFlags(phtKind, phtSize)
+	}
+	return s
+}
+
+func phtSpecFromFlags(kind string, size int) arch.PHTSpec {
 	switch kind {
 	case "gshare":
-		return pht.NewGShare(size, 0)
+		return arch.PHTSpec{Kind: "gshare", Entries: size}
 	case "gas":
-		return pht.NewGAs(size)
+		return arch.PHTSpec{Kind: "gas", Entries: size}
 	case "bimodal":
-		return pht.NewBimodal(size)
+		return arch.PHTSpec{Kind: "bimodal", Entries: size}
 	case "1bit":
-		return pht.NewOneBit(size)
+		return arch.PHTSpec{Kind: "1bit", Entries: size}
 	case "taken":
-		return pht.Static{Taken: true}
+		return arch.PHTSpec{Kind: "static-taken"}
 	case "nottaken":
-		return pht.Static{Taken: false}
+		return arch.PHTSpec{Kind: "static-not-taken"}
 	}
 	fail(fmt.Errorf("unknown PHT kind %q", kind))
-	return nil
+	return arch.PHTSpec{}
+}
+
+// emitJSON writes the run's configuration and headline metrics as one JSON
+// object, so scripts consume results without scraping the report text.
+func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Counters, p metrics.Penalties) {
+	out := struct {
+		Engine   string        `json:"engine"`
+		Workload string        `json:"workload"`
+		Spec     arch.Spec     `json:"spec"`
+		Counters struct {
+			Instructions uint64 `json:"instructions"`
+			Breaks       uint64 `json:"breaks"`
+			Misfetches   uint64 `json:"misfetches"`
+			Mispredicts  uint64 `json:"mispredicts"`
+			ICacheMisses uint64 `json:"icache_misses"`
+		} `json:"counters"`
+		BEP           float64 `json:"bep"`
+		MisfetchBEP   float64 `json:"misfetch_bep"`
+		MispredictBEP float64 `json:"mispredict_bep"`
+		CPI           float64 `json:"cpi"`
+		ICacheMiss    float64 `json:"icache_miss_rate"`
+	}{
+		Engine:        e.Name(),
+		Workload:      workloadName,
+		Spec:          s,
+		BEP:           m.BEP(p),
+		MisfetchBEP:   m.MisfetchBEP(p),
+		MispredictBEP: m.MispredictBEP(p),
+		CPI:           m.CPI(p),
+		ICacheMiss:    m.ICacheMissRate(),
+	}
+	out.Counters.Instructions = m.Instructions
+	out.Counters.Breaks = m.Breaks
+	out.Counters.Misfetches = m.Misfetches
+	out.Counters.Mispredicts = m.Mispredicts
+	out.Counters.ICacheMisses = m.ICacheMisses
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

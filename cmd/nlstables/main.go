@@ -1,25 +1,85 @@
 // Command nlstables regenerates every table and figure of the paper from
-// the benchmark-analogue workloads: Table 1 and Figures 3–8. This is the
-// harness behind EXPERIMENTS.md.
+// the benchmark-analogue workloads — Table 1 and Figures 3–8 — plus the
+// repo's ablations (predictors per line, coupled vs decoupled designs,
+// direction-predictor choice, fetch width, wrong-path pollution). This is
+// the harness behind EXPERIMENTS.md.
 //
 // Usage:
 //
-//	nlstables [-n insns] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|all] [-progress]
+//	nlstables [-n insns] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|perline|coupled|pht|width|pollution|all] [-progress] [-json]
+//
+// With -json, the rows behind each rendered table are also written as a
+// machine-readable report to results/<exp>.json (per-figure rows plus the
+// final sweep-throughput stats), so downstream tooling can track result
+// and performance trajectories without scraping the ASCII tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/experiments"
 )
 
+// report is the -json output: one entry per experiment run, keyed by
+// experiment name, plus the replay throughput of the final sweep.
+type report struct {
+	InsnsPerProgram int            `json:"insns_per_program"`
+	Experiments     map[string]any `json:"experiments"`
+	Sweep           sweepReport    `json:"sweep_throughput"`
+}
+
+type sweepReport struct {
+	Cells      int     `json:"cells"`
+	Records    int64   `json:"records"`
+	Seconds    float64 `json:"seconds"`
+	RecPerSec  float64 `json:"records_per_sec"`
+	MrecPerSec float64 `json:"mrec_per_sec"`
+}
+
+// avgRow flattens experiments.Average for JSON (cache.Geometry renders as
+// its display string).
+type avgRow struct {
+	Arch     string  `json:"arch"`
+	Cache    string  `json:"cache"`
+	MfBEP    float64 `json:"misfetch_bep"`
+	MpBEP    float64 `json:"mispredict_bep"`
+	BEP      float64 `json:"bep"`
+	CPI      float64 `json:"cpi"`
+	MissRate float64 `json:"icache_miss_rate"`
+}
+
+func avgRows(avgs []experiments.Average) []avgRow {
+	rows := make([]avgRow, len(avgs))
+	for i, a := range avgs {
+		rows[i] = avgRow{
+			Arch: a.Arch, Cache: a.Cache.String(),
+			MfBEP: a.MfBEP, MpBEP: a.MpBEP, BEP: a.BEP(),
+			CPI: a.CPI, MissRate: a.MissRate,
+		}
+	}
+	return rows
+}
+
+// resultRow flattens experiments.Result for JSON.
+type resultRow struct {
+	Program string  `json:"program"`
+	Arch    string  `json:"arch"`
+	Cache   string  `json:"cache"`
+	MfBEP   float64 `json:"misfetch_bep"`
+	MpBEP   float64 `json:"mispredict_bep"`
+	BEP     float64 `json:"bep"`
+}
+
 func main() {
 	var (
 		n        = flag.Int("n", 2_000_000, "instructions to simulate per program")
-		exp      = flag.String("exp", "all", "experiment: table1, fig3..fig8, perline, coupled, pht, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig3..fig8, perline, coupled, pht, width, pollution, or all")
 		progress = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
+		jsonOut  = flag.Bool("json", false, "also write machine-readable rows to results/<exp>.json")
 	)
 	flag.Parse()
 
@@ -31,6 +91,8 @@ func main() {
 		}
 	}
 
+	rep := report{InsnsPerProgram: *n, Experiments: map[string]any{}}
+
 	run := func(name string) {
 		switch name {
 		case "table1":
@@ -38,50 +100,75 @@ func main() {
 			check(err)
 			fmt.Println("Table 1: measured attributes of the traced programs")
 			fmt.Println(out)
+			rep.Experiments[name] = out
 		case "fig3":
-			fmt.Println(experiments.RenderFig3(experiments.Fig3()))
+			rows := experiments.Fig3()
+			fmt.Println(experiments.RenderFig3(rows))
+			rep.Experiments[name] = rows
 		case "fig4":
 			avgs, err := r.Fig4()
 			check(err)
 			fmt.Println(experiments.RenderAverages(
 				"Figure 4: average BEP, NLS-cache vs NLS-table", avgs))
+			rep.Experiments[name] = avgRows(avgs)
 		case "fig5":
 			avgs, err := r.Fig5()
 			check(err)
 			fmt.Println(experiments.RenderAverages(
 				"Figure 5: average BEP, BTB vs 1024 NLS-table", avgs))
+			rep.Experiments[name] = avgRows(avgs)
 		case "fig6":
-			fmt.Println(experiments.RenderFig6(experiments.Fig6()))
+			rows := experiments.Fig6()
+			fmt.Println(experiments.RenderFig6(rows))
+			rep.Experiments[name] = rows
 		case "fig7":
 			byProg, err := r.Fig7()
 			check(err)
 			fmt.Println(experiments.RenderFig7(r, byProg))
+			p := r.Cfg.Penalties
+			rows := map[string][]resultRow{}
+			for prog, results := range byProg {
+				for _, res := range results {
+					rows[prog] = append(rows[prog], resultRow{
+						Program: res.Program, Arch: res.Arch, Cache: res.Cache.String(),
+						MfBEP: res.M.MisfetchBEP(p), MpBEP: res.M.MispredictBEP(p),
+						BEP: res.M.BEP(p),
+					})
+				}
+			}
+			rep.Experiments[name] = rows
 		case "fig8":
 			avgs, err := r.Fig8()
 			check(err)
 			fmt.Println(experiments.RenderCPI(avgs))
+			rep.Experiments[name] = avgRows(avgs)
 		case "perline":
 			avgs, err := r.PerLineSweep()
 			check(err)
 			fmt.Println(experiments.RenderAverages(
 				"Ablation: NLS-cache predictors per line (§5.1)", avgs))
+			rep.Experiments[name] = avgRows(avgs)
 		case "coupled":
 			avgs, err := r.CoupledSweep()
 			check(err)
 			fmt.Println(experiments.RenderAverages(
 				"Ablation: decoupled vs coupled designs (§2, §6.2)", avgs))
+			rep.Experiments[name] = avgRows(avgs)
 		case "pht":
 			rows, err := r.PHTSweep()
 			check(err)
 			fmt.Println(experiments.RenderPHTSweep(rows))
+			rep.Experiments[name] = rows
 		case "width":
 			rows, err := r.WidthSweep()
 			check(err)
 			fmt.Println(experiments.RenderWidthSweep(rows))
+			rep.Experiments[name] = rows
 		case "pollution":
 			rows, err := r.PollutionSweep()
 			check(err)
 			fmt.Println(experiments.RenderPollutionSweep(rows, r.Cfg.Penalties))
+			rep.Experiments[name] = rows
 		default:
 			fmt.Fprintf(os.Stderr, "nlstables: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -93,9 +180,38 @@ func main() {
 			"perline", "coupled", "pht", "width", "pollution"} {
 			run(e)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if *jsonOut {
+		s := r.LastSweepStats()
+		rep.Sweep = sweepReport{
+			Cells:      s.Cells,
+			Records:    s.Records,
+			Seconds:    s.Elapsed.Seconds(),
+			RecPerSec:  s.RecordsPerSec(),
+			MrecPerSec: s.RecordsPerSec() / 1e6,
+		}
+		check(writeReport(rep, *exp))
+	}
+}
+
+// writeReport writes the JSON report to results/<exp>.json.
+func writeReport(rep report, exp string) error {
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join("results", exp+".json")
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nlstables: wrote %s\n", path)
+	return nil
 }
 
 func check(err error) {

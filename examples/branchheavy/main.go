@@ -15,12 +15,12 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/arch"
 	"repro/internal/area"
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -40,14 +40,12 @@ func main() {
 	fmt.Println("architecture                 RBE cost   %misfetch   misfetch-BEP")
 	for _, entries := range []int{64, 128, 256, 512} {
 		cfg := btb.Config{Entries: entries, Assoc: 1}
-		e := fetch.NewBTBEngine(geom, cfg, pht.NewGShare(4096, 6), 32)
-		m := fetch.Run(e, tr)
+		m := fetch.Run(arch.BTB(entries, 1).MustBuild(), tr)
 		fmt.Printf("%-28s %8.0f %10.2f%% %13.3f\n",
 			cfg, area.BTBRBE(cfg), m.PctMisfetched(), m.MisfetchBEP(p))
 	}
 	for _, entries := range []int{512, 1024, 2048} {
-		e := fetch.NewNLSTableEngine(geom, entries, pht.NewGShare(4096, 6), 32)
-		m := fetch.Run(e, tr)
+		m := fetch.Run(arch.NLSTable(entries).MustBuild(), tr)
 		fmt.Printf("%-28s %8.0f %10.2f%% %13.3f\n",
 			fmt.Sprintf("%d-entry NLS-table", entries),
 			area.NLSTableRBE(entries, geom), m.PctMisfetched(), m.MisfetchBEP(p))

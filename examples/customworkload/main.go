@@ -15,13 +15,12 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/btb"
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/cfg"
 	"repro/internal/exec"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/trace"
 )
 
@@ -85,8 +84,8 @@ func main() {
 	g := cache.MustGeometry(8*1024, 32, 1)
 	p := metrics.Default()
 	for _, eng := range []fetch.Engine{
-		fetch.NewNLSTableEngine(g, 1024, pht.NewGShare(4096, 6), 32),
-		fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, pht.NewGShare(4096, 6), 32),
+		arch.NLSTable(1024).WithGeometry(g).MustBuild(),
+		arch.BTB(128, 1).WithGeometry(g).MustBuild(),
 	} {
 		m := fetch.Run(eng, tr)
 		fmt.Printf("%-36s BEP %.4f (mf %.4f, mp %.4f), cond-acc %.1f%%\n",

@@ -14,12 +14,11 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/btb"
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/exec"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -48,11 +47,8 @@ func main() {
 		st := trace.ComputeStats(tr)
 		fmt.Printf("%s: Q-50 = %d sites, Q-90 = %d sites\n", tr.Name, st.Q50, st.Q90)
 
-		small := fetch.NewBTBEngine(geom, btb.Config{Entries: 64, Assoc: 1},
-			pht.NewGShare(4096, 6), 32)
-		nls := fetch.NewNLSTableEngine(geom, 1024, pht.NewGShare(4096, 6), 32)
-		mb := fetch.Run(small, tr)
-		mn := fetch.Run(nls, tr)
+		mb := fetch.Run(arch.BTB(64, 1).WithGeometry(geom).MustBuild(), tr)
+		mn := fetch.Run(arch.NLSTable(1024).WithGeometry(geom).MustBuild(), tr)
 		fmt.Printf("  64-entry BTB:    misfetch BEP %.4f, total BEP %.4f\n",
 			mb.MisfetchBEP(p), mb.BEP(p))
 		fmt.Printf("  1024 NLS-table:  misfetch BEP %.4f, total BEP %.4f\n",

@@ -8,11 +8,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/btb"
-	"repro/internal/cache"
+	"repro/internal/arch"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/workload"
 )
 
@@ -24,18 +22,17 @@ func main() {
 	}
 	fmt.Printf("trace: %s, %d instructions\n\n", tr.Name, tr.Len())
 
-	// 2. The paper's setup: a 16KB direct-mapped instruction cache,
-	// 4096-entry gshare PHT, 32-entry return stack.
-	geom := cache.MustGeometry(16*1024, 32, 1)
-	newPHT := func() pht.Predictor { return pht.NewGShare(4096, 6) }
-
-	// 3. The two architectures at equivalent hardware cost: a 1024-entry
-	// NLS-table vs a 128-entry BTB.
-	nls := fetch.NewNLSTableEngine(geom, 1024, newPHT(), 32)
-	btbEng := fetch.NewBTBEngine(geom, btb.Config{Entries: 128, Assoc: 1}, newPHT(), 32)
-
+	// 2. The two architectures at equivalent hardware cost — a 1024-entry
+	// NLS-table vs a 128-entry BTB — straight from the registry of paper
+	// configurations (16KB direct-mapped i-cache, 4096-entry gshare PHT,
+	// 32-entry return stack).
 	p := metrics.Default()
-	for _, eng := range []fetch.Engine{nls, btbEng} {
+	for _, name := range []string{"nls-table-1024", "btb-128"} {
+		spec, ok := arch.Lookup(name)
+		if !ok {
+			log.Fatalf("unknown arch %q", name)
+		}
+		eng := spec.MustBuild()
 		m := fetch.Run(eng, tr)
 		fmt.Printf("%s\n", eng.Name())
 		fmt.Printf("  misfetched   %5.2f%% of branches\n", m.PctMisfetched())

@@ -24,13 +24,12 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/btb"
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/cfg"
 	"repro/internal/exec"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -39,10 +38,8 @@ const insns = 2_000_000
 
 func measure(tr *trace.Trace, g cache.Geometry) (nlsMf, btbMf, missRate float64) {
 	p := metrics.Default()
-	nls := fetch.NewNLSTableEngine(g, 1024, pht.NewGShare(4096, 6), 32)
-	bt := fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, pht.NewGShare(4096, 6), 32)
-	mn := fetch.Run(nls, tr)
-	mb := fetch.Run(bt, tr)
+	mn := fetch.Run(arch.NLSTable(1024).WithGeometry(g).MustBuild(), tr)
+	mb := fetch.Run(arch.BTB(128, 1).WithGeometry(g).MustBuild(), tr)
 	return mn.MisfetchBEP(p), mb.MisfetchBEP(p), mn.ICacheMissRate()
 }
 

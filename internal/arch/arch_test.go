@@ -1,0 +1,135 @@
+package arch
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/pht"
+	"repro/internal/workload"
+)
+
+// TestRegistryRoundTrip: every registered spec survives JSON encode →
+// decode → Build. The decoded value must equal the original field for
+// field (the wire format is lossless) and must build an engine with the
+// same display name as one built from the original.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, name := range names {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Names() listed %q but Lookup missed", name)
+		}
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var decoded Spec
+		if err := json.Unmarshal(buf, &decoded); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, decoded) {
+			t.Fatalf("%s: round trip lost information:\n  in  %+v\n  out %+v", name, s, decoded)
+		}
+		e, err := decoded.Build()
+		if err != nil {
+			t.Fatalf("%s: decoded spec does not build: %v", name, err)
+		}
+		if want := s.MustBuild().Name(); e.Name() != want {
+			t.Fatalf("%s: decoded engine %q, original %q", name, e.Name(), want)
+		}
+	}
+}
+
+// TestSpecBuildMatchesHandWired: a spec-built engine is counter-for-counter
+// identical to the same architecture wired by hand through the fetch
+// constructors — the registry is a description, not a different machine.
+func TestSpecBuildMatchesHandWired(t *testing.T) {
+	tr, err := workload.Espresso().Trace(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cache.MustGeometry(16*1024, LineBytes, 1)
+	hand := []fetch.Engine{
+		fetch.NewNLSTableEngine(g, 1024, pht.NewGShare(PHTEntries, PHTHistoryBits), 32),
+		fetch.NewNLSCacheEngine(g, 2, pht.NewGShare(PHTEntries, PHTHistoryBits), 32),
+		fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1},
+			pht.NewGShare(PHTEntries, PHTHistoryBits), 32),
+		fetch.NewCoupledBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, 32),
+		fetch.NewJohnsonEngine(g),
+	}
+	specs := []Spec{
+		NLSTable(1024), NLSCache(2), BTB(128, 1), CoupledBTB(128, 1), Johnson(),
+	}
+	for i, s := range specs {
+		mh := fetch.Run(hand[i], tr)
+		ms := fetch.Run(s.MustBuild(), tr)
+		if *mh != *ms {
+			t.Errorf("%s: spec-built counters diverge from hand-wired", hand[i].Name())
+		}
+	}
+}
+
+// TestValidateRejects: malformed specs fail Validate with a diagnostic.
+func TestValidateRejects(t *testing.T) {
+	paperC := CacheSpec{SizeBytes: 16 * 1024, LineBytes: LineBytes, Assoc: 1}
+	cases := []struct {
+		name string
+		s    Spec
+		want string
+	}{
+		{"unknown kind",
+			Spec{Predictor: PredictorSpec{Kind: "oracle"}, Cache: paperC},
+			"unknown predictor kind"},
+		{"nls-table without entries",
+			Spec{Predictor: PredictorSpec{Kind: KindNLSTable}, Cache: paperC, PHT: PaperPHT()},
+			"entries > 0"},
+		{"nls-cache without per_line",
+			Spec{Predictor: PredictorSpec{Kind: KindNLSCache}, Cache: paperC, PHT: PaperPHT()},
+			"per_line > 0"},
+		{"decoupled without PHT",
+			Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 512}, Cache: paperC},
+			"needs a PHT"},
+		{"coupled with PHT",
+			Spec{Predictor: PredictorSpec{Kind: KindJohnson}, Cache: paperC, PHT: PaperPHT()},
+			"must be \"none\""},
+		{"bad cache geometry",
+			Spec{Predictor: PredictorSpec{Kind: KindJohnson},
+				Cache: CacheSpec{SizeBytes: 1000, LineBytes: 48, Assoc: 1}},
+			""},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRegisterPanics: duplicate and invalid registrations fail loudly at
+// init time rather than silently shadowing a paper configuration.
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate", func() { Register("nls-table-1024", NLSTable(1024)) })
+	mustPanic("invalid", func() {
+		Register("broken", Spec{Predictor: PredictorSpec{Kind: "oracle"}})
+	})
+}

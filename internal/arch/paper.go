@@ -1,0 +1,98 @@
+package arch
+
+import "fmt"
+
+// Paper-fixed parameters (§5.1): 32-byte lines, a 4096-entry gshare PHT for
+// every decoupled architecture, a 32-entry return stack, 2 NLS predictors
+// per line for the NLS-cache, and a 16KB direct-mapped cache as the default
+// simulation point. internal/experiments aliases these so the sweep matrix
+// and the registry cannot drift apart.
+const (
+	LineBytes      = 32
+	PHTEntries     = 4096
+	NLSPerLine     = 2
+	DefaultCacheKB = 16
+
+	// PHTHistoryBits is the gshare global-history width. The paper XORs
+	// "the global history register" with the PC into the 4096-entry PHT
+	// without fixing the register's width; McFarling's TN-36 tunes
+	// history length separately from index width. Our synthetic traces
+	// carry more history entropy than real SPEC92 code (independent
+	// per-site generators), so a 6-bit history is the calibration that
+	// lands conditional accuracy in the paper-era 82–91% band; the full
+	// 12-bit history over-disperses PHT state on these traces. The
+	// accuracy is identical for the NLS and BTB architectures either
+	// way, which is what the paper's methodology requires (§5.1).
+	PHTHistoryBits = 6
+)
+
+// paperCache is the default simulation point shared by the registered specs.
+func paperCache() CacheSpec {
+	return CacheSpec{SizeBytes: DefaultCacheKB * 1024, LineBytes: LineBytes, Assoc: 1}
+}
+
+// PaperPHT returns the paper's direction predictor spec: 4096-entry gshare.
+func PaperPHT() PHTSpec {
+	return PHTSpec{Kind: "gshare", Entries: PHTEntries, HistoryBits: PHTHistoryBits}
+}
+
+// NLSTable returns the paper's NLS-table architecture at the given table
+// size (§4.1), on the default cache.
+func NLSTable(entries int) Spec {
+	return Spec{
+		Predictor: PredictorSpec{Kind: KindNLSTable, Entries: entries},
+		Cache:     paperCache(),
+		PHT:       PaperPHT(),
+	}
+}
+
+// NLSCache returns the paper's line-coupled NLS architecture (§4.1) with
+// perLine predictors per line, on the default cache.
+func NLSCache(perLine int) Spec {
+	return Spec{
+		Predictor: PredictorSpec{Kind: KindNLSCache, PerLine: perLine},
+		Cache:     paperCache(),
+		PHT:       PaperPHT(),
+	}
+}
+
+// BTB returns the paper's decoupled BTB architecture (§3), on the default
+// cache.
+func BTB(entries, assoc int) Spec {
+	return Spec{
+		Predictor: PredictorSpec{Kind: KindBTB, Entries: entries, Assoc: assoc},
+		Cache:     paperCache(),
+		PHT:       PaperPHT(),
+	}
+}
+
+// CoupledBTB returns the Pentium-style coupled BTB baseline (§2), on the
+// default cache.
+func CoupledBTB(entries, assoc int) Spec {
+	return Spec{
+		Predictor: PredictorSpec{Kind: KindCoupledBTB, Entries: entries, Assoc: assoc},
+		Cache:     paperCache(),
+	}
+}
+
+// Johnson returns the successor-index baseline (§6.2), on the default
+// cache.
+func Johnson() Spec {
+	return Spec{
+		Predictor: PredictorSpec{Kind: KindJohnson},
+		Cache:     paperCache(),
+	}
+}
+
+func init() {
+	for _, entries := range []int{512, 1024, 2048} {
+		Register(fmt.Sprintf("nls-table-%d", entries), NLSTable(entries))
+	}
+	Register("nls-cache", NLSCache(NLSPerLine))
+	for _, entries := range []int{128, 256} {
+		Register(fmt.Sprintf("btb-%d", entries), BTB(entries, 1))
+		Register(fmt.Sprintf("btb-%dx4", entries), BTB(entries, 4))
+	}
+	Register("coupled-btb-128", CoupledBTB(128, 1))
+	Register("johnson", Johnson())
+}

@@ -1,0 +1,49 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The named-spec registry. Paper configurations are registered at init
+// (paper.go); callers may add their own variants with Register.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a named spec. It panics on a duplicate name or an invalid
+// spec — registration happens at init time, where a panic is a programming
+// error surfaced immediately.
+func Register(name string, s Spec) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Errorf("arch: registering %q: %w", name, err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Errorf("arch: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,201 @@
+// Package arch provides a declarative, JSON-serializable description of a
+// complete fetch-architecture configuration — target predictor, instruction
+// cache geometry, direction predictor, return stack, and wrong-path
+// modelling — plus a registry of named paper configurations. A Spec is the
+// single source from which CLIs, experiments, and examples build engines,
+// so a new architecture variant is a value, not another copy of engine
+// wiring.
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/fetch"
+	"repro/internal/pht"
+	"repro/internal/ras"
+)
+
+// Predictor kinds accepted by PredictorSpec.Kind.
+const (
+	KindNLSTable   = "nls-table"
+	KindNLSCache   = "nls-cache"
+	KindBTB        = "btb"
+	KindCoupledBTB = "coupled-btb"
+	KindJohnson    = "johnson"
+)
+
+// PredictorSpec selects and sizes the target predictor.
+type PredictorSpec struct {
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Entries sizes the NLS-table or the BTB (power of two).
+	Entries int `json:"entries,omitempty"`
+	// Assoc is the BTB associativity (btb / coupled-btb only).
+	Assoc int `json:"assoc,omitempty"`
+	// PerLine is the number of line-coupled predictors (nls-cache only).
+	PerLine int `json:"per_line,omitempty"`
+}
+
+// CacheSpec sizes the instruction cache.
+type CacheSpec struct {
+	SizeBytes int `json:"size_bytes"`
+	LineBytes int `json:"line_bytes"`
+	Assoc     int `json:"assoc"`
+}
+
+// Geometry converts the spec to a validated cache geometry.
+func (c CacheSpec) Geometry() (cache.Geometry, error) {
+	return cache.NewGeometry(c.SizeBytes, c.LineBytes, c.Assoc)
+}
+
+// PHTSpec selects and sizes the decoupled direction predictor. Predictors
+// with coupled direction state (coupled-btb, johnson) take no PHT; leave
+// Kind empty or "none" for them.
+type PHTSpec struct {
+	// Kind: "gshare", "gas", "bimodal", "1bit", "static-taken",
+	// "static-not-taken", or "none".
+	Kind string `json:"kind"`
+	// Entries is the table size (gshare, gas, bimodal, 1bit).
+	Entries int `json:"entries,omitempty"`
+	// HistoryBits is the gshare global-history width.
+	HistoryBits int `json:"history_bits,omitempty"`
+}
+
+// none reports whether the spec declares no direction predictor.
+func (p PHTSpec) none() bool { return p.Kind == "" || p.Kind == "none" }
+
+// Build constructs the direction predictor the spec describes.
+func (p PHTSpec) Build() (pht.Predictor, error) {
+	switch p.Kind {
+	case "gshare":
+		return pht.NewGShare(p.Entries, p.HistoryBits), nil
+	case "gas":
+		return pht.NewGAs(p.Entries), nil
+	case "bimodal":
+		return pht.NewBimodal(p.Entries), nil
+	case "1bit":
+		return pht.NewOneBit(p.Entries), nil
+	case "static-taken":
+		return pht.Static{Taken: true}, nil
+	case "static-not-taken":
+		return pht.Static{}, nil
+	}
+	return nil, fmt.Errorf("arch: unknown PHT kind %q", p.Kind)
+}
+
+// Spec is a complete, declarative fetch-architecture configuration.
+type Spec struct {
+	Predictor PredictorSpec `json:"predictor"`
+	Cache     CacheSpec     `json:"cache"`
+	// PHT is the decoupled direction predictor; ignored (must be empty or
+	// "none") for coupled-direction predictor kinds.
+	PHT PHTSpec `json:"pht,omitempty"`
+	// RASDepth is the return-stack depth; 0 selects ras.DefaultDepth.
+	RASDepth int `json:"ras_depth,omitempty"`
+	// Pollution enables wrong-path fetch pollution modelling (§5.2).
+	Pollution bool `json:"wrong_path_pollution,omitempty"`
+}
+
+// WithGeometry returns a copy of the spec with the cache geometry replaced
+// — the sweep axis that varies per cell while the architecture stays fixed.
+func (s Spec) WithGeometry(g cache.Geometry) Spec {
+	s.Cache = CacheSpec{SizeBytes: g.SizeBytes(), LineBytes: g.LineBytes(), Assoc: g.Assoc()}
+	return s
+}
+
+// Validate checks the spec without building anything.
+func (s Spec) Validate() error {
+	if _, err := s.Cache.Geometry(); err != nil {
+		return err
+	}
+	coupledDir := false
+	switch s.Predictor.Kind {
+	case KindNLSTable:
+		if s.Predictor.Entries <= 0 {
+			return fmt.Errorf("arch: %s needs entries > 0", s.Predictor.Kind)
+		}
+	case KindNLSCache:
+		if s.Predictor.PerLine <= 0 {
+			return fmt.Errorf("arch: %s needs per_line > 0", s.Predictor.Kind)
+		}
+	case KindBTB, KindCoupledBTB:
+		if err := (btb.Config{Entries: s.Predictor.Entries, Assoc: s.Predictor.Assoc}).Validate(); err != nil {
+			return err
+		}
+		coupledDir = s.Predictor.Kind == KindCoupledBTB
+	case KindJohnson:
+		coupledDir = true
+	default:
+		return fmt.Errorf("arch: unknown predictor kind %q", s.Predictor.Kind)
+	}
+	if coupledDir {
+		if !s.PHT.none() {
+			return fmt.Errorf("arch: %s couples direction prediction; PHT must be \"none\"", s.Predictor.Kind)
+		}
+		return nil
+	}
+	if s.PHT.none() {
+		return fmt.Errorf("arch: %s needs a PHT", s.Predictor.Kind)
+	}
+	_, err := s.PHT.Build()
+	return err
+}
+
+// Build constructs the fetch engine the spec describes.
+func (s Spec) Build() (fetch.Engine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := s.Cache.Geometry()
+	if err != nil {
+		return nil, err
+	}
+	depth := s.RASDepth
+	if depth <= 0 {
+		depth = ras.DefaultDepth
+	}
+	dir := pht.Predictor(nil)
+	if !s.PHT.none() {
+		if dir, err = s.PHT.Build(); err != nil {
+			return nil, err
+		}
+	}
+
+	switch s.Predictor.Kind {
+	case KindNLSTable:
+		e := fetch.NewNLSTableEngine(g, s.Predictor.Entries, dir, depth)
+		e.SetWrongPathPollution(s.Pollution)
+		return e, nil
+	case KindNLSCache:
+		e := fetch.NewNLSCacheEngine(g, s.Predictor.PerLine, dir, depth)
+		e.SetWrongPathPollution(s.Pollution)
+		return e, nil
+	case KindBTB:
+		cfg := btb.Config{Entries: s.Predictor.Entries, Assoc: s.Predictor.Assoc}
+		e := fetch.NewBTBEngine(g, cfg, dir, depth)
+		e.SetWrongPathPollution(s.Pollution)
+		return e, nil
+	case KindCoupledBTB:
+		cfg := btb.Config{Entries: s.Predictor.Entries, Assoc: s.Predictor.Assoc}
+		e := fetch.NewCoupledBTBEngine(g, cfg, depth)
+		e.SetWrongPathPollution(s.Pollution)
+		return e, nil
+	case KindJohnson:
+		e := fetch.NewJohnsonEngine(g)
+		e.SetWrongPathPollution(s.Pollution)
+		return e, nil
+	}
+	return nil, fmt.Errorf("arch: unknown predictor kind %q", s.Predictor.Kind)
+}
+
+// MustBuild is Build panicking on error, for registered (pre-validated)
+// specs and tests.
+func (s Spec) MustBuild() fetch.Engine {
+	e, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

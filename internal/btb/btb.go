@@ -150,6 +150,15 @@ func (b *BTB) RecordTaken(pc, target isa.Addr, kind isa.Kind) {
 	*s = slot{tag: tag, target: target, kind: kind, valid: true, stamp: b.clock}
 }
 
+// SizeBits returns the BTB's storage cost in bits: per entry, a tag (the
+// 30-bit instruction word address less the set-index bits), a 30-bit full
+// target address (matching the RAS convention), a 3-bit branch kind, and a
+// valid bit. LRU stamps are bookkeeping, not modelled storage.
+func (b *BTB) SizeBits() int {
+	tagBits := 30 - bits.TrailingZeros(uint(b.sets))
+	return b.cfg.Entries * (tagBits + 30 + 3 + 1)
+}
+
 // HitRate returns hits/lookups, or 0 before any lookup.
 func (b *BTB) HitRate() float64 {
 	if b.lookups == 0 {

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/arch"
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/fetch"
-	"repro/internal/pht"
 )
 
 // Ablations beyond the paper's headline figures, covering design choices
@@ -22,13 +22,8 @@ import (
 func (r *Runner) PerLineSweep() ([]Average, error) {
 	var factories []Factory
 	for _, per := range []int{1, 2, 4} {
-		per := per
-		factories = append(factories, Factory{
-			Name: fmt.Sprintf("NLS-cache %d/line", per),
-			New: func(g cache.Geometry) fetch.Engine {
-				return fetch.NewNLSCacheEngine(g, per, newPHT(), RASDepth)
-			},
-		})
+		factories = append(factories,
+			SpecFactory(fmt.Sprintf("NLS-cache %d/line", per), arch.NLSCache(per)))
 	}
 	factories = append(factories, NLSTableFactory(1024))
 	caches := []cache.Geometry{
@@ -53,15 +48,10 @@ func (r *Runner) PerLineSweep() ([]Average, error) {
 func (r *Runner) CoupledSweep() ([]Average, error) {
 	var factories []Factory
 	for _, entries := range []int{128, 32} {
-		cfg := btb.Config{Entries: entries, Assoc: 1}
 		factories = append(factories,
-			BTBFactory(cfg),
-			Factory{
-				Name: fmt.Sprintf("coupled %d-entry BTB", entries),
-				New: func(g cache.Geometry) fetch.Engine {
-					return fetch.NewCoupledBTBEngine(g, cfg, RASDepth)
-				},
-			})
+			BTBFactory(btb.Config{Entries: entries, Assoc: 1}),
+			SpecFactory(fmt.Sprintf("coupled %d-entry BTB", entries),
+				arch.CoupledBTB(entries, 1)))
 	}
 	factories = append(factories, JohnsonFactory(), NLSTableFactory(1024))
 	caches := []cache.Geometry{cache.MustGeometry(16*1024, LineBytes, 1)}
@@ -93,41 +83,41 @@ func (r *Runner) PHTSweep() ([]PHTRow, error) {
 	}
 	kinds := []struct {
 		name string
-		mk   func() pht.Predictor
+		pht  arch.PHTSpec
 	}{
-		{"gshare-4096", func() pht.Predictor { return pht.NewGShare(PHTEntries, PHTHistoryBits) }},
-		{"GAs-4096", func() pht.Predictor { return pht.NewGAs(PHTEntries) }},
-		{"bimodal-4096", func() pht.Predictor { return pht.NewBimodal(PHTEntries) }},
-		{"1bit-4096", func() pht.Predictor { return pht.NewOneBit(PHTEntries) }},
-		{"static-not-taken", func() pht.Predictor { return pht.Static{} }},
+		{"gshare-4096", arch.PaperPHT()},
+		{"GAs-4096", arch.PHTSpec{Kind: "gas", Entries: PHTEntries}},
+		{"bimodal-4096", arch.PHTSpec{Kind: "bimodal", Entries: PHTEntries}},
+		{"1bit-4096", arch.PHTSpec{Kind: "1bit", Entries: PHTEntries}},
+		{"static-not-taken", arch.PHTSpec{Kind: "static-not-taken"}},
 	}
 	g := cache.MustGeometry(16*1024, LineBytes, 1)
 	var rows []PHTRow
 	for _, k := range kinds {
-		for _, mkArch := range []struct {
+		for _, a := range []struct {
 			name string
-			mk   func(dir pht.Predictor) fetch.Engine
+			base arch.Spec
 		}{
-			{"1024 NLS-table", func(dir pht.Predictor) fetch.Engine {
-				return fetch.NewNLSTableEngine(g, 1024, dir, RASDepth)
-			}},
-			{"128-entry direct BTB", func(dir pht.Predictor) fetch.Engine {
-				return fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, dir, RASDepth)
-			}},
+			{"1024 NLS-table", arch.NLSTable(1024)},
+			{"128-entry direct BTB", arch.BTB(128, 1)},
 		} {
+			spec := a.base.WithGeometry(g)
+			spec.PHT = k.pht
 			var accSum, bepSum float64
 			var size int
 			for _, t := range traces {
-				dir := k.mk()
+				dir, err := k.pht.Build()
+				if err != nil {
+					return nil, err
+				}
 				size = dir.SizeBits()
-				e := mkArch.mk(dir)
-				m := fetch.Run(e, t)
+				m := fetch.Run(spec.MustBuild(), t)
 				accSum += m.CondAccuracy()
 				bepSum += m.BEP(r.Cfg.Penalties)
 			}
 			n := float64(len(traces))
 			rows = append(rows, PHTRow{
-				PHT: k.name, Arch: mkArch.name,
+				PHT: k.name, Arch: a.name,
 				CondAcc: accSum / n, BEP: bepSum / n, SizeBits: size,
 			})
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/fetch"
@@ -23,24 +24,17 @@ import (
 
 // Paper-fixed parameters (§5.1): 32-byte lines, a 4096-entry gshare PHT and
 // a 32-entry return stack for every architecture, 2 NLS predictors per line
-// for the NLS-cache, and the three NLS-table sizes.
+// for the NLS-cache, and the three NLS-table sizes. The values live in
+// package arch (the single source the named-spec registry is built from);
+// the aliases keep this package's sweep matrix from drifting away from the
+// registry. See arch.PHTHistoryBits for the gshare history calibration
+// note.
 const (
-	LineBytes  = 32
-	PHTEntries = 4096
-	RASDepth   = ras.DefaultDepth
-	NLSPerLine = 2
-
-	// PHTHistoryBits is the gshare global-history width. The paper XORs
-	// "the global history register" with the PC into the 4096-entry PHT
-	// without fixing the register's width; McFarling's TN-36 tunes
-	// history length separately from index width. Our synthetic traces
-	// carry more history entropy than real SPEC92 code (independent
-	// per-site generators), so a 6-bit history is the calibration that
-	// lands conditional accuracy in the paper-era 82–91% band; the full
-	// 12-bit history over-disperses PHT state on these traces. The
-	// accuracy is identical for the NLS and BTB architectures either
-	// way, which is what the paper's methodology requires (§5.1).
-	PHTHistoryBits = 6
+	LineBytes      = arch.LineBytes
+	PHTEntries     = arch.PHTEntries
+	RASDepth       = ras.DefaultDepth
+	NLSPerLine     = arch.NLSPerLine
+	PHTHistoryBits = arch.PHTHistoryBits
 )
 
 // NLSTableSizes are the NLS-table sizes the paper evaluates.
@@ -94,43 +88,38 @@ type Factory struct {
 	New  func(g cache.Geometry) fetch.Engine
 }
 
-// NLSTableFactory returns a factory for the NLS-table architecture.
-func NLSTableFactory(entries int) Factory {
+// SpecFactory adapts a declarative arch.Spec to a sweep Factory: each cell
+// rebuilds the spec with that cell's cache geometry. The spec must be valid
+// (a registered or helper-built spec always is); a broken spec panics at
+// the first cell rather than poisoning a sweep with nil engines.
+func SpecFactory(name string, s arch.Spec) Factory {
 	return Factory{
-		Name: fmt.Sprintf("%d NLS-table", entries),
+		Name: name,
 		New: func(g cache.Geometry) fetch.Engine {
-			return fetch.NewNLSTableEngine(g, entries, newPHT(), RASDepth)
+			return s.WithGeometry(g).MustBuild()
 		},
 	}
+}
+
+// NLSTableFactory returns a factory for the NLS-table architecture.
+func NLSTableFactory(entries int) Factory {
+	return SpecFactory(fmt.Sprintf("%d NLS-table", entries), arch.NLSTable(entries))
 }
 
 // NLSCacheFactory returns a factory for the NLS-cache architecture.
 func NLSCacheFactory(perLine int) Factory {
-	return Factory{
-		Name: "NLS-cache",
-		New: func(g cache.Geometry) fetch.Engine {
-			return fetch.NewNLSCacheEngine(g, perLine, newPHT(), RASDepth)
-		},
-	}
+	return SpecFactory("NLS-cache", arch.NLSCache(perLine))
 }
 
 // BTBFactory returns a factory for the decoupled BTB architecture.
 func BTBFactory(cfg btb.Config) Factory {
-	return Factory{
-		Name: cfg.String(),
-		New: func(g cache.Geometry) fetch.Engine {
-			return fetch.NewBTBEngine(g, cfg, newPHT(), RASDepth)
-		},
-	}
+	return SpecFactory(cfg.String(), arch.BTB(cfg.Entries, cfg.Assoc))
 }
 
 // JohnsonFactory returns a factory for the Johnson successor-index baseline
 // (§6.2 related work).
 func JohnsonFactory() Factory {
-	return Factory{
-		Name: "Johnson 1-bit",
-		New:  func(g cache.Geometry) fetch.Engine { return fetch.NewJohnsonEngine(g) },
-	}
+	return SpecFactory("Johnson 1-bit", arch.Johnson())
 }
 
 // Config drives a sweep: which programs, how many instructions each, and

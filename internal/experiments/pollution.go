@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/btb"
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/fetch"
 	"repro/internal/metrics"
@@ -35,30 +35,23 @@ func (r *Runner) PollutionSweep() ([]PollutionRow, error) {
 	g := cache.MustGeometry(8*1024, LineBytes, 1)
 	p := r.Cfg.Penalties
 
-	type variant struct {
+	variants := []struct {
 		name string
-		mk   func(pollute bool) fetch.Engine
-	}
-	variants := []variant{
-		{"1024 NLS-table", func(pollute bool) fetch.Engine {
-			e := fetch.NewNLSTableEngine(g, 1024, newPHT(), RASDepth)
-			e.SetWrongPathPollution(pollute)
-			return e
-		}},
-		{"128-entry direct BTB", func(pollute bool) fetch.Engine {
-			e := fetch.NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, newPHT(), RASDepth)
-			e.SetWrongPathPollution(pollute)
-			return e
-		}},
+		spec arch.Spec
+	}{
+		{"1024 NLS-table", arch.NLSTable(1024).WithGeometry(g)},
+		{"128-entry direct BTB", arch.BTB(128, 1).WithGeometry(g)},
 	}
 
 	var rows []PollutionRow
 	for _, v := range variants {
 		row := PollutionRow{Arch: v.name}
 		for _, pollute := range []bool{false, true} {
+			spec := v.spec
+			spec.Pollution = pollute
 			var miss, mf, cpi float64
 			for _, t := range traces {
-				m := fetch.Run(v.mk(pollute), t)
+				m := fetch.Run(spec.MustBuild(), t)
 				miss += m.ICacheMissRate()
 				mf += m.MisfetchBEP(p)
 				cpi += m.CPI(p)

@@ -1,19 +1,18 @@
 package fetch
 
 import (
-	"fmt"
-
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/pht"
+	"repro/internal/ras"
 	"repro/internal/trace"
 )
 
-// BTBEngine simulates the decoupled BTB architecture of §3: a tagged,
-// set-associative BTB holding full target addresses and branch types for
-// taken branches, a separate PHT for conditional directions, and a return
-// stack.
+// btbPredictor implements TargetPredictor for the decoupled BTB
+// architecture of §3: a tagged, set-associative BTB holding full target
+// addresses and branch types for taken branches, with direction prediction
+// left to the Frontend's decoupled PHT and return targets to its RAS.
 //
 // Because the BTB holds full addresses, its fetch predictions never depend
 // on instruction cache contents: a correct BTB target is a correct fetch
@@ -21,134 +20,85 @@ import (
 // than it would under NLS, §7). Consequently the BTB's branch execution
 // penalty is independent of the cache configuration — the property the
 // paper's Figure 7 calls out.
+type btbPredictor struct {
+	buf    *btb.BTB
+	rstack *ras.Stack
+
+	// The entry read by the last Lookup, retained for WrongPath.
+	lastEntry btb.Entry
+	lastHit   bool
+}
+
+// Lookup implements TargetPredictor.
+func (p *btbPredictor) Lookup(rec trace.Record, _, _ int, dirTaken bool) Outcome {
+	entry, hit := p.buf.Lookup(rec.PC)
+	p.lastEntry, p.lastHit = entry, hit
+
+	// Full-address prediction, so correctness is pure address comparison
+	// per kind; the Frontend's §6 classification does the rest.
+	var correct bool
+	switch rec.Kind {
+	case isa.CondBranch:
+		// A hit entry for a direct conditional always carries the
+		// branch's (unique) target, so a right direction mispredicts
+		// nothing and a taken prediction fetches right iff it hit.
+		correct = dirTaken == rec.Taken && (!rec.Taken || hit)
+	case isa.UncondBranch, isa.Call:
+		correct = hit
+	case isa.IndirectJump:
+		correct = hit && entry.Target == rec.Target
+	case isa.Return:
+		// Identified as a return on a hit, so the fetch is right iff
+		// the stack top (about to be popped by the Frontend) is right.
+		top, ok := p.rstack.Top()
+		correct = hit && ok && top == rec.Target
+	}
+	return Outcome{Correct: correct, Followed: hit}
+}
+
+// Update implements TargetPredictor: only taken branches enter or refresh
+// the BTB (§3); full addresses need no deferral.
+func (p *btbPredictor) Update(rec trace.Record) bool {
+	if rec.Taken {
+		p.buf.RecordTaken(rec.PC, rec.Target, rec.Kind)
+	}
+	return false
+}
+
+// Resolve implements TargetPredictor (never deferred).
+func (p *btbPredictor) Resolve(trace.Record, int) {}
+
+// WrongPath implements TargetPredictor, approximating the wrong-path fetch
+// as the predicted target on a hit, the fall-through otherwise.
+func (p *btbPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
+	if p.lastHit {
+		return p.lastEntry.Target, true
+	}
+	return rec.PC.Next(), true
+}
+
+// Name implements TargetPredictor.
+func (p *btbPredictor) Name() string { return p.buf.Config().String() }
+
+// SizeBits implements TargetPredictor.
+func (p *btbPredictor) SizeBits() int { return p.buf.SizeBits() }
+
+// Reset implements TargetPredictor.
+func (p *btbPredictor) Reset() { p.buf.Reset() }
+
+// BTBEngine is the decoupled BTB architecture: a Frontend driven by a
+// btbPredictor.
 type BTBEngine struct {
-	base
-	pollution
-	buf *btb.BTB
+	Frontend
 }
 
 // NewBTBEngine builds a BTB architecture simulator. dir is shared-use: pass
 // a fresh predictor per engine.
 func NewBTBEngine(g cache.Geometry, cfg btb.Config, dir pht.Predictor, rasDepth int) *BTBEngine {
-	return &BTBEngine{
-		base: newBase(g, dir, rasDepth),
-		buf:  btb.New(cfg),
-	}
+	e := &BTBEngine{Frontend: newFrontend(g, dir, rasDepth)}
+	e.bind(&btbPredictor{buf: btb.New(cfg), rstack: e.rstack}, Traits{})
+	return e
 }
 
 // BTB exposes the underlying buffer for tests.
-func (e *BTBEngine) BTB() *btb.BTB { return e.buf }
-
-// Name implements Engine.
-func (e *BTBEngine) Name() string {
-	return fmt.Sprintf("%s + %s", e.buf.Config(), e.icache.Geometry())
-}
-
-// Reset implements Engine.
-func (e *BTBEngine) Reset() {
-	e.resetBase()
-	e.buf.Reset()
-}
-
-// StepBlock implements Engine, batching same-line sequential fetch runs
-// (see base.stepBlock).
-func (e *BTBEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
-
-// StepBlockRuns is StepBlock with the run boundaries precomputed for this
-// engine's line size (see base.stepBlockRuns); nil runs falls back to the
-// scanning path.
-func (e *BTBEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
-	if runs == nil {
-		e.stepBlock(recs, e.Step)
-		return
-	}
-	e.stepBlockRuns(recs, runs, e.Step)
-}
-
-// Step implements Engine, applying the accounting rules of DESIGN.md §6.
-func (e *BTBEngine) Step(rec trace.Record) {
-	e.access(rec)
-	if !rec.IsBreak() {
-		// Non-branches never hit the tagged BTB; the fall-through
-		// fetch is always correct.
-		return
-	}
-	e.m.Breaks++
-
-	entry, hit := e.buf.Lookup(rec.PC)
-
-	mfBefore, mpBefore := e.m.Misfetches, e.m.Mispredicts
-	switch rec.Kind {
-	case isa.CondBranch:
-		e.m.CondBranches++
-		dirRight := e.dir.Predict(rec.PC) == rec.Taken
-		if !dirRight {
-			e.m.CondDirWrong++
-			e.m.AddMispredict(rec.Kind)
-		} else if rec.Taken && !hit {
-			// Direction was predicted correctly but the target
-			// address was unavailable until decode.
-			e.m.AddMisfetch(rec.Kind)
-		}
-		// A hit entry for a direct conditional always carries the
-		// branch's (unique) target, so hit && dirRight && taken is a
-		// correct fetch.
-		e.dir.Update(rec.PC, rec.Taken)
-
-	case isa.UncondBranch:
-		if !hit {
-			e.m.AddMisfetch(rec.Kind)
-		}
-
-	case isa.Call:
-		if !hit {
-			e.m.AddMisfetch(rec.Kind)
-		}
-		e.rstack.Push(rec.PC.Next())
-
-	case isa.IndirectJump:
-		switch {
-		case !hit:
-			// No prediction: the register target is read at
-			// decode; the fall-through fetch is discarded.
-			e.m.AddMisfetch(rec.Kind)
-		case entry.Target != rec.Target:
-			// A stale predicted target is only disproved at
-			// execute.
-			e.m.AddMispredict(rec.Kind)
-		}
-
-	case isa.Return:
-		top, ok := e.rstack.Pop()
-		rasRight := ok && top == rec.Target
-		switch {
-		case hit && rasRight:
-			// Identified as a return, stack correct.
-		case !rasRight:
-			// The stack value was used (at fetch on a hit, at
-			// decode on a miss) and was wrong.
-			e.m.AddMispredict(rec.Kind)
-		default:
-			// Stack right but the instruction was not identified
-			// as a return until decode.
-			e.m.AddMisfetch(rec.Kind)
-		}
-	}
-
-	// Optional wrong-path pollution (wrongpath.go): approximate the
-	// wrong-path fetch as the predicted target on a hit, the
-	// fall-through otherwise.
-	if e.pollution.enabled &&
-		(e.m.Misfetches > mfBefore || e.m.Mispredicts > mpBefore) {
-		wp := rec.PC.Next()
-		if hit {
-			wp = entry.Target
-		}
-		e.pollute(wp, e.m.Mispredicts > mpBefore)
-	}
-
-	// Only taken branches enter or refresh the BTB (§3).
-	if rec.Taken {
-		e.buf.RecordTaken(rec.PC, rec.Target, rec.Kind)
-	}
-}
+func (e *BTBEngine) BTB() *btb.BTB { return e.tp.(*btbPredictor).buf }

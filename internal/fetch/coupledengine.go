@@ -1,31 +1,32 @@
 package fetch
 
 import (
-	"fmt"
+	"math/bits"
 
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/ras"
 	"repro/internal/trace"
 )
 
-// CoupledBTBEngine simulates the *coupled* BTB design of §2 — the Intel
-// Pentium organization: each BTB entry carries its own 2-bit saturating
-// direction counter, so dynamic direction prediction exists only for
-// branches resident in the BTB; a conditional that misses the BTB falls
-// back to static not-taken prediction.
+// coupledBTBPredictor implements TargetPredictor for the *coupled* BTB
+// design of §2 — the Intel Pentium organization: each BTB entry carries its
+// own 2-bit saturating direction counter, so dynamic direction prediction
+// exists only for branches resident in the BTB; a conditional that misses
+// the BTB falls back to static not-taken prediction
+// (Traits{CoupledDirection}).
 //
 // The paper (and its predecessor, Calder & Grunwald 1994) uses this design
 // as the baseline that the decoupled PHT improves on: under BTB capacity
 // pressure, evicting an entry also forgets the branch's direction history.
-// This engine exists for that ablation; the paper's own BTB results use
-// the decoupled BTBEngine.
-type CoupledBTBEngine struct {
-	base // dir predictor unused; counters live in the entries
-
+// This predictor exists for that ablation; the paper's own BTB results use
+// the decoupled btbPredictor.
+type coupledBTBPredictor struct {
 	cfg     btb.Config
 	sets    int
 	setMask uint32
+	rstack  *ras.Stack
 
 	tags    []uint32
 	targets []isa.Addr
@@ -34,19 +35,22 @@ type CoupledBTBEngine struct {
 	valid   []bool
 	stamp   []uint64
 	clock   uint64
+
+	// The slot found by the last Lookup (-1 on a miss), consumed by the
+	// counter update and by WrongPath.
+	lastSlot int
 }
 
-// NewCoupledBTBEngine builds a coupled-BTB architecture simulator.
-func NewCoupledBTBEngine(g cache.Geometry, cfg btb.Config, rasDepth int) *CoupledBTBEngine {
+func newCoupledBTBPredictor(cfg btb.Config, rstack *ras.Stack) *coupledBTBPredictor {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	sets := cfg.Entries / cfg.Assoc
-	return &CoupledBTBEngine{
-		base:    newBase(g, noDir{}, rasDepth),
+	return &coupledBTBPredictor{
 		cfg:     cfg,
 		sets:    sets,
 		setMask: uint32(sets - 1),
+		rstack:  rstack,
 		tags:    make([]uint32, cfg.Entries),
 		targets: make([]isa.Addr, cfg.Entries),
 		kinds:   make([]isa.Kind, cfg.Entries),
@@ -56,37 +60,22 @@ func NewCoupledBTBEngine(g cache.Geometry, cfg btb.Config, rasDepth int) *Couple
 	}
 }
 
-// Name implements Engine.
-func (e *CoupledBTBEngine) Name() string {
-	return fmt.Sprintf("coupled %s + %s", e.cfg, e.icache.Geometry())
-}
+func (p *coupledBTBPredictor) setOf(pc isa.Addr) int { return int(pc.Word() & p.setMask) }
 
-// Reset implements Engine.
-func (e *CoupledBTBEngine) Reset() {
-	e.resetBase()
-	for i := range e.valid {
-		e.valid[i] = false
-		e.stamp[i] = 0
-	}
-	e.clock = 0
-}
-
-func (e *CoupledBTBEngine) setOf(pc isa.Addr) int { return int(pc.Word() & e.setMask) }
-
-func (e *CoupledBTBEngine) tagOf(pc isa.Addr) uint32 {
+func (p *coupledBTBPredictor) tagOf(pc isa.Addr) uint32 {
 	t := pc.Word()
-	for s := e.sets; s > 1; s >>= 1 {
+	for s := p.sets; s > 1; s >>= 1 {
 		t >>= 1
 	}
 	return t
 }
 
 // find returns the slot index of pc's entry, or -1.
-func (e *CoupledBTBEngine) find(pc isa.Addr) int {
-	set, tag := e.setOf(pc), e.tagOf(pc)
-	for w := 0; w < e.cfg.Assoc; w++ {
-		s := set*e.cfg.Assoc + w
-		if e.valid[s] && e.tags[s] == tag {
+func (p *coupledBTBPredictor) find(pc isa.Addr) int {
+	set, tag := p.setOf(pc), p.tagOf(pc)
+	for w := 0; w < p.cfg.Assoc; w++ {
+		s := set*p.cfg.Assoc + w
+		if p.valid[s] && p.tags[s] == tag {
 			return s
 		}
 	}
@@ -94,124 +83,128 @@ func (e *CoupledBTBEngine) find(pc isa.Addr) int {
 }
 
 // insert allocates (or refreshes) an entry for a taken branch.
-func (e *CoupledBTBEngine) insert(pc, target isa.Addr, kind isa.Kind) int {
-	e.clock++
-	set, tag := e.setOf(pc), e.tagOf(pc)
-	victim, victimStamp := set*e.cfg.Assoc, ^uint64(0)
-	for w := 0; w < e.cfg.Assoc; w++ {
-		s := set*e.cfg.Assoc + w
-		if e.valid[s] && e.tags[s] == tag {
-			e.targets[s] = target
-			e.kinds[s] = kind
-			e.stamp[s] = e.clock
+func (p *coupledBTBPredictor) insert(pc, target isa.Addr, kind isa.Kind) int {
+	p.clock++
+	set, tag := p.setOf(pc), p.tagOf(pc)
+	victim, victimStamp := set*p.cfg.Assoc, ^uint64(0)
+	for w := 0; w < p.cfg.Assoc; w++ {
+		s := set*p.cfg.Assoc + w
+		if p.valid[s] && p.tags[s] == tag {
+			p.targets[s] = target
+			p.kinds[s] = kind
+			p.stamp[s] = p.clock
 			return s
 		}
-		if !e.valid[s] {
+		if !p.valid[s] {
 			if victimStamp != 0 {
 				victim, victimStamp = s, 0
 			}
 			continue
 		}
-		if e.stamp[s] < victimStamp {
-			victim, victimStamp = s, e.stamp[s]
+		if p.stamp[s] < victimStamp {
+			victim, victimStamp = s, p.stamp[s]
 		}
 	}
-	e.tags[victim] = tag
-	e.targets[victim] = target
-	e.kinds[victim] = kind
+	p.tags[victim] = tag
+	p.targets[victim] = target
+	p.kinds[victim] = kind
 	// New entries start weakly taken: the branch just executed taken.
-	e.counter[victim] = 2
-	e.valid[victim] = true
-	e.stamp[victim] = e.clock
+	p.counter[victim] = 2
+	p.valid[victim] = true
+	p.stamp[victim] = p.clock
 	return victim
 }
 
-// StepBlock implements Engine, batching same-line sequential fetch runs
-// (see base.stepBlock).
-func (e *CoupledBTBEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
-
-// StepBlockRuns is StepBlock with the run boundaries precomputed for this
-// engine's line size (see base.stepBlockRuns); nil runs falls back to the
-// scanning path.
-func (e *CoupledBTBEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
-	if runs == nil {
-		e.stepBlock(recs, e.Step)
-		return
-	}
-	e.stepBlockRuns(recs, runs, e.Step)
-}
-
-// Step implements Engine.
-func (e *CoupledBTBEngine) Step(rec trace.Record) {
-	e.access(rec)
-	if !rec.IsBreak() {
-		return
-	}
-	e.m.Breaks++
-
-	slot := e.find(rec.PC)
+// Lookup implements TargetPredictor.
+func (p *coupledBTBPredictor) Lookup(rec trace.Record, _, _ int, _ bool) Outcome {
+	slot := p.find(rec.PC)
 	if slot >= 0 {
-		e.clock++
-		e.stamp[slot] = e.clock
+		p.clock++
+		p.stamp[slot] = p.clock
 	}
+	p.lastSlot = slot
+	hit := slot >= 0
 
+	// Coupled prediction: the entry's counter if present, static
+	// not-taken otherwise — the defining weakness (§2: "branches that
+	// miss in the BTB must use less accurate static prediction").
+	dirTaken := hit && p.counter[slot] >= 2
+
+	var correct bool
 	switch rec.Kind {
 	case isa.CondBranch:
-		e.m.CondBranches++
-		// Coupled prediction: the entry's counter if present, static
-		// not-taken otherwise — the defining weakness (§2: "branches
-		// that miss in the BTB must use less accurate static
-		// prediction").
-		predTaken := slot >= 0 && e.counter[slot] >= 2
-		dirRight := predTaken == rec.Taken
-		if !dirRight {
-			e.m.CondDirWrong++
-			e.m.AddMispredict(rec.Kind)
-		} else if rec.Taken && slot < 0 {
-			e.m.AddMisfetch(rec.Kind)
-		}
-		if slot >= 0 {
-			if rec.Taken {
-				if e.counter[slot] < 3 {
-					e.counter[slot]++
-				}
-			} else if e.counter[slot] > 0 {
-				e.counter[slot]--
-			}
-		}
-
-	case isa.UncondBranch:
-		if slot < 0 {
-			e.m.AddMisfetch(rec.Kind)
-		}
-
-	case isa.Call:
-		if slot < 0 {
-			e.m.AddMisfetch(rec.Kind)
-		}
-		e.rstack.Push(rec.PC.Next())
-
+		correct = dirTaken == rec.Taken && (!rec.Taken || hit)
+	case isa.UncondBranch, isa.Call:
+		correct = hit
 	case isa.IndirectJump:
-		switch {
-		case slot < 0:
-			e.m.AddMisfetch(rec.Kind)
-		case e.targets[slot] != rec.Target:
-			e.m.AddMispredict(rec.Kind)
-		}
-
+		correct = hit && p.targets[slot] == rec.Target
 	case isa.Return:
-		top, ok := e.rstack.Pop()
-		rasRight := ok && top == rec.Target
-		switch {
-		case slot >= 0 && rasRight:
-		case !rasRight:
-			e.m.AddMispredict(rec.Kind)
-		default:
-			e.m.AddMisfetch(rec.Kind)
+		top, ok := p.rstack.Top()
+		correct = hit && ok && top == rec.Target
+	}
+	return Outcome{Correct: correct, Followed: hit, DirTaken: dirTaken}
+}
+
+// Update implements TargetPredictor: train the resident entry's direction
+// counter, then allocate/refresh on taken (§2); full addresses need no
+// deferral.
+func (p *coupledBTBPredictor) Update(rec trace.Record) bool {
+	if rec.Kind == isa.CondBranch && p.lastSlot >= 0 {
+		if rec.Taken {
+			if p.counter[p.lastSlot] < 3 {
+				p.counter[p.lastSlot]++
+			}
+		} else if p.counter[p.lastSlot] > 0 {
+			p.counter[p.lastSlot]--
 		}
 	}
-
 	if rec.Taken {
-		e.insert(rec.PC, rec.Target, rec.Kind)
+		p.insert(rec.PC, rec.Target, rec.Kind)
 	}
+	return false
+}
+
+// Resolve implements TargetPredictor (never deferred).
+func (p *coupledBTBPredictor) Resolve(trace.Record, int) {}
+
+// WrongPath implements TargetPredictor, approximating the wrong-path fetch
+// as the predicted target on a hit, the fall-through otherwise.
+func (p *coupledBTBPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
+	if p.lastSlot >= 0 {
+		return p.targets[p.lastSlot], true
+	}
+	return rec.PC.Next(), true
+}
+
+// Name implements TargetPredictor.
+func (p *coupledBTBPredictor) Name() string { return "coupled " + p.cfg.String() }
+
+// SizeBits implements TargetPredictor: the decoupled BTB's cost per entry
+// (see btb.BTB.SizeBits) plus the 2-bit coupled direction counter.
+func (p *coupledBTBPredictor) SizeBits() int {
+	tagBits := 30 - bits.TrailingZeros(uint(p.sets))
+	return p.cfg.Entries * (tagBits + 30 + 3 + 1 + 2)
+}
+
+// Reset implements TargetPredictor.
+func (p *coupledBTBPredictor) Reset() {
+	for i := range p.valid {
+		p.valid[i] = false
+		p.stamp[i] = 0
+	}
+	p.clock = 0
+	p.lastSlot = -1
+}
+
+// CoupledBTBEngine is the coupled (Pentium-style) BTB architecture: a
+// Frontend driven by a coupledBTBPredictor.
+type CoupledBTBEngine struct {
+	Frontend
+}
+
+// NewCoupledBTBEngine builds a coupled-BTB architecture simulator.
+func NewCoupledBTBEngine(g cache.Geometry, cfg btb.Config, rasDepth int) *CoupledBTBEngine {
+	e := &CoupledBTBEngine{Frontend: newFrontend(g, noDir{}, rasDepth)}
+	e.bind(newCoupledBTBPredictor(cfg, e.rstack), Traits{CoupledDirection: true})
+	return e
 }

@@ -1,0 +1,273 @@
+package fetch
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/pht"
+	"repro/internal/trace"
+)
+
+// This file implements the single fetch-frontend core shared by every
+// architecture. The paper's normative accounting rules (DESIGN.md §6) —
+// misfetch vs mispredict classification per branch kind, decode-time
+// predictor updates, the RAS discipline, and optional wrong-path pollution
+// — live here exactly once; the per-architecture half (what was predicted
+// and whether the fetch went down the right path) is behind the narrow
+// TargetPredictor interface. BTBEngine, NLSEngine, JohnsonEngine, and
+// CoupledBTBEngine are thin adapters binding a predictor to a Frontend,
+// and a new architecture is a new TargetPredictor, not a new engine.
+
+// Outcome is a TargetPredictor's verdict on one break: how the front end
+// fetched and whether that fetch was right.
+type Outcome struct {
+	// Correct reports that the front end fetched the actual next
+	// instruction. Correct breaks incur no penalty; wrong ones are
+	// classified misfetch or mispredict by the Frontend per DESIGN.md §6.
+	Correct bool
+	// Followed reports that a predicted target (NLS pointer, BTB
+	// address, Johnson successor index) was followed. It separates a
+	// *wrong* prediction — disproved only at execute, a mispredict —
+	// from a *missing* one — redirected at decode, a misfetch — for the
+	// indirect-class breaks.
+	Followed bool
+	// DirTaken is the predicted conditional direction, meaningful only
+	// for predictors with Traits.CoupledDirection (Johnson's implicit
+	// one-bit pointer, Pentium-style per-entry counters). Decoupled
+	// predictors leave it false; the Frontend's shared PHT decides.
+	DirTaken bool
+}
+
+// Traits declares the architectural capabilities of a TargetPredictor,
+// read once when the predictor is bound to a Frontend.
+type Traits struct {
+	// CoupledDirection: direction prediction is embedded in the target
+	// predictor state, so the Frontend bypasses its decoupled PHT for
+	// both prediction and training.
+	CoupledDirection bool
+	// NoRAS: the architecture has no return-address-stack discipline
+	// (Johnson §6.2): calls do not push, and returns classify like
+	// indirect jumps instead of consulting the stack.
+	NoRAS bool
+}
+
+// TargetPredictor is the per-architecture half of a fetch frontend: it
+// owns the target-prediction state (BTB, NLS table, successor pointers)
+// while the Frontend owns everything the paper holds constant across
+// architectures — i-cache, decoupled PHT, RAS, counters — and the §6
+// accounting that consumes them.
+type TargetPredictor interface {
+	// Lookup evaluates the prediction for the break rec, whose own
+	// instruction resides at (set, way) of the frontend's i-cache.
+	// dirTaken is the shared PHT's direction prediction for rec.PC
+	// (false when Traits.CoupledDirection). Lookup may refresh
+	// recency state, mirroring a real fetch-time probe.
+	Lookup(rec trace.Record, set, way int, dirTaken bool) Outcome
+	// Update trains the predictor once the break resolves at decode.
+	// Returning true defers the update until the successor instruction
+	// is fetched and its cache way is known; the Frontend then calls
+	// Resolve with that way (hardware updates NLS pointers "after
+	// instructions are decoded and the branch type and destinations
+	// are resolved", §4).
+	Update(rec trace.Record) (deferred bool)
+	// Resolve completes a deferred Update for the break rec; way is the
+	// i-cache way its successor was just fetched into.
+	Resolve(rec trace.Record, way int)
+	// WrongPath returns the address the front end actually fetched for
+	// a wrong break, and whether anything was fetched at all. Called
+	// only when wrong-path pollution is enabled, after the break's RAS
+	// effects have been applied (the real front end would be reading
+	// the post-update stack).
+	WrongPath(rec trace.Record) (isa.Addr, bool)
+	// Name identifies the predictor configuration, e.g. "1024 NLS-table".
+	Name() string
+	// SizeBits returns the predictor's storage cost in bits.
+	SizeBits() int
+	// Reset restores the initial (cold) state.
+	Reset()
+}
+
+// Frontend is the shared fetch-engine core: one Step/StepBlock/pollution
+// implementation of the paper's accounting, driven by a TargetPredictor.
+// It implements Engine.
+type Frontend struct {
+	base
+	pollution
+	tp     TargetPredictor
+	traits Traits
+
+	// pending holds a break whose predictor update was deferred by
+	// TargetPredictor.Update until the successor's cache way is known;
+	// the next fetched record resolves it.
+	pending struct {
+		active bool
+		rec    trace.Record
+	}
+}
+
+// newFrontend builds the architecture-independent half; bind attaches the
+// predictor.
+func newFrontend(g cache.Geometry, dir pht.Predictor, rasDepth int) Frontend {
+	return Frontend{base: newBase(g, dir, rasDepth)}
+}
+
+// bind attaches the architecture-specific predictor to the frontend.
+func (f *Frontend) bind(tp TargetPredictor, tr Traits) {
+	f.tp = tp
+	f.traits = tr
+}
+
+// Name implements Engine.
+func (f *Frontend) Name() string {
+	return fmt.Sprintf("%s + %s", f.tp.Name(), f.icache.Geometry())
+}
+
+// PredictorSizeBits returns the storage cost of the target-predictor state.
+func (f *Frontend) PredictorSizeBits() int { return f.tp.SizeBits() }
+
+// Reset implements Engine.
+func (f *Frontend) Reset() {
+	f.resetBase()
+	f.tp.Reset()
+	f.pending.active = false
+}
+
+// StepBlock implements Engine, batching same-line sequential fetch runs
+// (see base.stepBlock).
+func (f *Frontend) StepBlock(recs []trace.Record) { f.stepBlock(recs, f.Step) }
+
+// StepBlockRuns is StepBlock with the run boundaries precomputed for this
+// engine's line size (see base.stepBlockRuns); nil runs falls back to the
+// scanning path.
+func (f *Frontend) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	if runs == nil {
+		f.stepBlock(recs, f.Step)
+		return
+	}
+	f.stepBlockRuns(recs, runs, f.Step)
+}
+
+// Step implements Engine, applying the accounting rules of DESIGN.md §6.
+func (f *Frontend) Step(rec trace.Record) {
+	_, way := f.access(rec)
+
+	// Resolve the deferred update for the previous break: this record IS
+	// its successor, so the successor line's way is now known. (The
+	// equality guard only matters for malformed, non-chained input.)
+	if f.pending.active {
+		if f.pending.rec.Next() == rec.PC {
+			f.tp.Resolve(f.pending.rec, way)
+		}
+		f.pending.active = false
+	}
+
+	if !rec.IsBreak() {
+		// Pre-decoded as non-branch: the fall-through fetch is always
+		// correct (§4.2).
+		return
+	}
+	f.m.Breaks++
+
+	set := f.icache.Geometry().SetIndex(rec.PC)
+	dirTaken := false
+	if !f.traits.CoupledDirection {
+		dirTaken = f.dir.Predict(rec.PC)
+	}
+	out := f.tp.Lookup(rec, set, way, dirTaken)
+	if f.traits.CoupledDirection {
+		dirTaken = out.DirTaken
+	}
+
+	// Classify a wrong fetch by its root cause (DESIGN.md §6) and keep
+	// the architectural predictors trained.
+	mispredicted := false
+	switch rec.Kind {
+	case isa.CondBranch:
+		f.m.CondBranches++
+		dirRight := dirTaken == rec.Taken
+		if !dirRight {
+			f.m.CondDirWrong++
+		}
+		if !out.Correct {
+			if dirRight {
+				// Direction was right but the target was
+				// unavailable (or stale) until decode.
+				f.m.AddMisfetch(rec.Kind)
+			} else {
+				f.m.AddMispredict(rec.Kind)
+				mispredicted = true
+			}
+		}
+		if !f.traits.CoupledDirection {
+			f.dir.Update(rec.PC, rec.Taken)
+		}
+
+	case isa.UncondBranch:
+		if !out.Correct {
+			f.m.AddMisfetch(rec.Kind)
+		}
+
+	case isa.Call:
+		if !out.Correct {
+			f.m.AddMisfetch(rec.Kind)
+		}
+		if !f.traits.NoRAS {
+			f.rstack.Push(rec.PC.Next())
+		}
+
+	case isa.IndirectJump:
+		if !out.Correct {
+			if out.Followed {
+				// A prediction was followed and disproved at
+				// execute.
+				f.m.AddMispredict(rec.Kind)
+				mispredicted = true
+			} else {
+				f.m.AddMisfetch(rec.Kind)
+			}
+		}
+
+	case isa.Return:
+		if f.traits.NoRAS {
+			// Moving target with no stack: classify like an
+			// indirect jump (§6.2).
+			if !out.Correct {
+				if out.Followed {
+					f.m.AddMispredict(rec.Kind)
+					mispredicted = true
+				} else {
+					f.m.AddMisfetch(rec.Kind)
+				}
+			}
+			break
+		}
+		top, ok := f.rstack.Pop()
+		rasRight := ok && top == rec.Target
+		if !out.Correct {
+			if rasRight {
+				// Not identified as a return until decode, but
+				// the stack had the right address there.
+				f.m.AddMisfetch(rec.Kind)
+			} else {
+				f.m.AddMispredict(rec.Kind)
+				mispredicted = true
+			}
+		}
+	}
+
+	// Optional wrong-path pollution: touch what the front end actually
+	// fetched before the redirect (see wrongpath.go).
+	if f.pollution.enabled && !out.Correct {
+		if wp, ok := f.tp.WrongPath(rec); ok {
+			f.pollute(wp, mispredicted)
+		}
+	}
+
+	// Train the target predictor; a deferred update waits for the
+	// successor's fetch to reveal its cache way.
+	if f.tp.Update(rec) {
+		f.pending.active = true
+		f.pending.rec = rec
+	}
+}

@@ -1,44 +1,93 @@
 package fetch
 
 import (
-	"fmt"
-
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/trace"
 )
 
-// JohnsonEngine simulates the related-work baseline of §6.2: Johnson's
-// cache-successor-index design as used by the TFP (MIPS R8000). One
-// successor pointer per four instructions is coupled to each cache line and
-// updated on every branch execution to the location execution continued at
-// — taken target or fall-through — giving implicit one-bit direction
-// prediction. There is no decoupled PHT, no type field, and no return
-// stack: every branch follows its pointer when one is valid.
+// johnsonPredictor implements TargetPredictor for the related-work baseline
+// of §6.2: Johnson's cache-successor-index design as used by the TFP (MIPS
+// R8000). One successor pointer per four instructions is coupled to each
+// cache line and updated on every branch execution to the location
+// execution continued at — taken target or fall-through — giving implicit
+// one-bit direction prediction. There is no decoupled PHT, no type field,
+// and no return stack: every branch follows its pointer when one is valid
+// (Traits{CoupledDirection, NoRAS}).
 //
-// Comparing this engine with NLSEngine isolates the paper's two
+// Comparing this predictor with nlsPredictor isolates the paper's two
 // improvements over Johnson: updating pointers only on taken branches, and
 // decoupling direction prediction into a two-level PHT.
-type JohnsonEngine struct {
-	base
-	store *core.JohnsonCoupled
+type johnsonPredictor struct {
+	store  *core.JohnsonCoupled
+	icache *cache.Cache
 
-	pending struct {
-		active bool
-		pc     isa.Addr
-		next   isa.Addr
+	// The last Lookup's pointer state, retained for WrongPath.
+	lastEntry    core.JohnsonEntry
+	lastFollowed bool
+}
+
+// Lookup implements TargetPredictor.
+func (p *johnsonPredictor) Lookup(rec trace.Record, set, way int, _ bool) Outcome {
+	entry := p.store.Lookup(rec.PC, set, way)
+
+	next := rec.Next()
+	var correct, followed bool
+	if entry.Valid {
+		followed = true
+		correct = entry.PointsTo(p.icache, next)
+	} else {
+		correct = next == rec.PC.Next()
 	}
+	p.lastEntry, p.lastFollowed = entry, followed
+
+	// The pointer encodes the last direction: pointing at the
+	// fall-through location means "predict not taken".
+	dirTaken := false
+	if rec.Kind == isa.CondBranch {
+		g := p.icache.Geometry()
+		fall := rec.PC.Next()
+		dirTaken = followed &&
+			!(int(entry.Set) == g.SetIndex(fall) && int(entry.Offset) == g.InstrOffset(fall))
+	}
+	return Outcome{Correct: correct, Followed: followed, DirTaken: dirTaken}
 }
 
-// NewJohnsonEngine builds the successor-index baseline. The base PHT slot
-// is unused (Johnson has no separate direction predictor); the RAS is
-// allocated but never consulted.
-func NewJohnsonEngine(g cache.Geometry) *JohnsonEngine {
-	e := &JohnsonEngine{base: newBase(g, noDir{}, 1)}
-	e.store = core.NewJohnson(e.icache)
-	return e
+// Update implements TargetPredictor: Johnson updates the successor index on
+// every branch execution (taken or not), deferring until the successor's
+// way is known.
+func (p *johnsonPredictor) Update(trace.Record) bool { return true }
+
+// Resolve implements TargetPredictor, completing the deferred successor
+// update now that the successor's cache way is known.
+func (p *johnsonPredictor) Resolve(rec trace.Record, way int) {
+	p.store.Update(rec.PC, rec.Next(), way)
 }
+
+// WrongPath implements TargetPredictor: the resident line at the followed
+// pointer slot, or the fall-through when no pointer was valid.
+func (p *johnsonPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
+	if !p.lastFollowed {
+		return rec.PC.Next(), true
+	}
+	line, ok := p.icache.ResidentAt(int(p.lastEntry.Set), int(p.lastEntry.Way))
+	if !ok {
+		return 0, false // predicted slot empty: nothing fetched
+	}
+	g := p.icache.Geometry()
+	return isa.Addr(line)*isa.Addr(g.LineBytes()) +
+		isa.Addr(int(p.lastEntry.Offset)*isa.InstrBytes), true
+}
+
+// Name implements TargetPredictor.
+func (p *johnsonPredictor) Name() string { return p.store.Name() }
+
+// SizeBits implements TargetPredictor.
+func (p *johnsonPredictor) SizeBits() int { return p.store.SizeBits() }
+
+// Reset implements TargetPredictor.
+func (p *johnsonPredictor) Reset() { p.store.Reset() }
 
 // noDir is a placeholder direction predictor for architectures without one.
 type noDir struct{}
@@ -49,102 +98,20 @@ func (noDir) SizeBits() int         { return 0 }
 func (noDir) Name() string          { return "none" }
 func (noDir) Reset()                {}
 
-// Name implements Engine.
-func (e *JohnsonEngine) Name() string {
-	return fmt.Sprintf("%s + %s", e.store.Name(), e.icache.Geometry())
+// JohnsonEngine is the successor-index baseline: a Frontend driven by a
+// johnsonPredictor with no PHT and no RAS.
+type JohnsonEngine struct {
+	Frontend
 }
 
-// Reset implements Engine.
-func (e *JohnsonEngine) Reset() {
-	e.resetBase()
-	e.store.Reset()
-	e.pending.active = false
-}
-
-// StepBlock implements Engine, batching same-line sequential fetch runs
-// (see base.stepBlock).
-func (e *JohnsonEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
-
-// StepBlockRuns is StepBlock with the run boundaries precomputed for this
-// engine's line size (see base.stepBlockRuns); nil runs falls back to the
-// scanning path.
-func (e *JohnsonEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
-	if runs == nil {
-		e.stepBlock(recs, e.Step)
-		return
-	}
-	e.stepBlockRuns(recs, runs, e.Step)
-}
-
-// Step implements Engine.
-func (e *JohnsonEngine) Step(rec trace.Record) {
-	_, way := e.access(rec)
-
-	if e.pending.active {
-		if e.pending.next == rec.PC {
-			e.store.Update(e.pending.pc, e.pending.next, way)
-		}
-		e.pending.active = false
-	}
-
-	if !rec.IsBreak() {
-		return
-	}
-	e.m.Breaks++
-
-	g := e.icache.Geometry()
-	set := g.SetIndex(rec.PC)
-	entry := e.store.Lookup(rec.PC, set, way)
-
-	next := rec.Next()
-	var correct, followedPointer bool
-	if entry.Valid {
-		followedPointer = true
-		correct = entry.PointsTo(e.icache, next)
-	} else {
-		correct = next == rec.PC.Next()
-	}
-
-	switch rec.Kind {
-	case isa.CondBranch:
-		e.m.CondBranches++
-		// The pointer encodes the last direction: pointing at the
-		// fall-through location means "predict not taken".
-		fall := rec.PC.Next()
-		predictedTaken := followedPointer &&
-			!(int(entry.Set) == g.SetIndex(fall) && int(entry.Offset) == g.InstrOffset(fall))
-		dirRight := predictedTaken == rec.Taken
-		if !dirRight {
-			e.m.CondDirWrong++
-		}
-		if !correct {
-			if dirRight {
-				e.m.AddMisfetch(rec.Kind)
-			} else {
-				e.m.AddMispredict(rec.Kind)
-			}
-		}
-
-	case isa.UncondBranch, isa.Call:
-		if !correct {
-			e.m.AddMisfetch(rec.Kind)
-		}
-
-	case isa.IndirectJump, isa.Return:
-		// Moving targets with no stack: a wrong pointer is disproved
-		// at execute; a missing pointer redirects at decode.
-		if !correct {
-			if followedPointer {
-				e.m.AddMispredict(rec.Kind)
-			} else {
-				e.m.AddMisfetch(rec.Kind)
-			}
-		}
-	}
-
-	// Johnson updates the successor index on every branch execution
-	// (taken or not), deferring until the successor's way is known.
-	e.pending.active = true
-	e.pending.pc = rec.PC
-	e.pending.next = next
+// NewJohnsonEngine builds the successor-index baseline. The base PHT slot
+// is unused (Johnson has no separate direction predictor); the RAS is
+// allocated but never consulted.
+func NewJohnsonEngine(g cache.Geometry) *JohnsonEngine {
+	e := &JohnsonEngine{Frontend: newFrontend(g, noDir{}, 1)}
+	e.bind(&johnsonPredictor{
+		store:  core.NewJohnson(e.icache),
+		icache: e.icache,
+	}, Traits{CoupledDirection: true, NoRAS: true})
+	return e
 }

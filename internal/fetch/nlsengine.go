@@ -1,17 +1,16 @@
 package fetch
 
 import (
-	"fmt"
-
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/pht"
+	"repro/internal/ras"
 	"repro/internal/trace"
 )
 
 // nlsStore abstracts the two NLS organizations (table and line-coupled) so
-// one engine implements the NLS fetch architecture for both. The set and
+// one predictor implements the NLS fetch architecture for both. The set and
 // way arguments identify where the branch instruction itself resides in the
 // cache (known at fetch time, since the branch was just fetched); the
 // tag-less table ignores them.
@@ -55,99 +54,25 @@ const (
 	modePointer                     // pointer followed (taken cond / other)
 )
 
-// NLSEngine simulates the NLS fetch architecture of §4 over either NLS
-// organization. The instruction fetched is assumed identifiable as branch
-// or non-branch during fetch (pre-decode bit, §4), so non-branches always
-// fetch the fall-through line correctly and branches consult their NLS
-// entry.
-type NLSEngine struct {
-	base
-	pollution
-	store nlsStore
+// nlsPredictor implements TargetPredictor for the NLS fetch architecture of
+// §4, over either NLS organization. The instruction fetched is assumed
+// identifiable as branch or non-branch during fetch (pre-decode bit, §4),
+// so non-branches always fetch the fall-through line correctly and branches
+// consult their NLS entry.
+type nlsPredictor struct {
+	store  nlsStore
+	icache *cache.Cache
+	rstack *ras.Stack
 
-	// pending defers the pointer part of an NLS update for a taken
-	// branch until the target's fetch resolves its cache way: the
-	// hardware updates entries "after instructions are decoded and the
-	// branch type and destinations are resolved" (§4), by which time the
-	// destination's location is known.
-	pending struct {
-		active bool
-		pc     isa.Addr
-		kind   isa.Kind
-		target isa.Addr
-	}
+	// The mechanism selected and entry read by the last Lookup, retained
+	// for WrongPath.
+	lastMode  predMode
+	lastEntry core.Entry
 }
 
-// NewNLSTableEngine builds an NLS architecture using a tag-less NLS-table
-// with the given number of entries (§4.1).
-func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Predictor, rasDepth int) *NLSEngine {
-	e := &NLSEngine{base: newBase(g, dir, rasDepth)}
-	e.store = tableStore{core.NewTable(tableEntries, g)}
-	return e
-}
-
-// NewNLSCacheEngine builds an NLS architecture with predictors coupled to
-// cache lines (the NLS-cache of §4.1), perLine predictors per line.
-func NewNLSCacheEngine(g cache.Geometry, perLine int, dir pht.Predictor, rasDepth int) *NLSEngine {
-	e := &NLSEngine{base: newBase(g, dir, rasDepth)}
-	e.store = coupledStore{core.NewLineCoupled(e.icache, perLine)}
-	return e
-}
-
-// Name implements Engine.
-func (e *NLSEngine) Name() string {
-	return fmt.Sprintf("%s + %s", e.store.name(), e.icache.Geometry())
-}
-
-// PredictorSizeBits returns the storage cost of the NLS predictor state.
-func (e *NLSEngine) PredictorSizeBits() int { return e.store.sizeBits() }
-
-// Reset implements Engine.
-func (e *NLSEngine) Reset() {
-	e.resetBase()
-	e.store.reset()
-	e.pending.active = false
-}
-
-// StepBlock implements Engine, batching same-line sequential fetch runs
-// (see base.stepBlock).
-func (e *NLSEngine) StepBlock(recs []trace.Record) { e.stepBlock(recs, e.Step) }
-
-// StepBlockRuns is StepBlock with the run boundaries precomputed for this
-// engine's line size (see base.stepBlockRuns); nil runs falls back to the
-// scanning path.
-func (e *NLSEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
-	if runs == nil {
-		e.stepBlock(recs, e.Step)
-		return
-	}
-	e.stepBlockRuns(recs, runs, e.Step)
-}
-
-// Step implements Engine.
-func (e *NLSEngine) Step(rec trace.Record) {
-	_, way := e.access(rec)
-
-	// Resolve the deferred update for the previous taken branch: this
-	// record IS its target, so the target line's way is now known. (The
-	// equality guard only matters for malformed, non-chained input.)
-	if e.pending.active {
-		if e.pending.target == rec.PC {
-			e.store.update(e.pending.pc, e.pending.kind, true, e.pending.target, way)
-		}
-		e.pending.active = false
-	}
-
-	if !rec.IsBreak() {
-		// Pre-decoded as non-branch: fall-through fetch, always
-		// correct (full fall-through address is precomputed, §4.2).
-		return
-	}
-	e.m.Breaks++
-
-	g := e.icache.Geometry()
-	set := g.SetIndex(rec.PC)
-	entry := e.store.lookup(rec.PC, set, way)
+// Lookup implements TargetPredictor.
+func (p *nlsPredictor) Lookup(rec trace.Record, set, way int, dirTaken bool) Outcome {
+	entry := p.store.lookup(rec.PC, set, way)
 
 	// Select the fetch mechanism from the type field (§4).
 	var mode predMode
@@ -157,7 +82,7 @@ func (e *NLSEngine) Step(rec trace.Record) {
 	case core.TypeReturn:
 		mode = modeRAS
 	case core.TypeCond:
-		if e.dir.Predict(rec.PC) {
+		if dirTaken {
 			mode = modePointer
 		} else {
 			mode = modeFallThrough
@@ -165,6 +90,7 @@ func (e *NLSEngine) Step(rec trace.Record) {
 	case core.TypeOther:
 		mode = modePointer
 	}
+	p.lastMode, p.lastEntry = mode, entry
 
 	// Was the fetch correct? Fall-through and return-stack predictions
 	// carry full addresses (the fall-through address is precomputed and
@@ -177,83 +103,92 @@ func (e *NLSEngine) Step(rec trace.Record) {
 	case modeFallThrough:
 		correct = next == rec.PC.Next()
 	case modeRAS:
-		top, ok := e.rstack.Top()
+		top, ok := p.rstack.Top()
 		correct = ok && top == next
 	case modePointer:
-		correct = entry.PointsTo(e.icache, next)
+		correct = entry.PointsTo(p.icache, next)
 	}
+	return Outcome{Correct: correct, Followed: mode == modePointer}
+}
 
-	// Classify a wrong fetch by its root cause (DESIGN.md §6) and keep
-	// the architectural predictors trained.
-	mpBefore := e.m.Mispredicts
-	switch rec.Kind {
-	case isa.CondBranch:
-		e.m.CondBranches++
-		dirRight := e.dir.Predict(rec.PC) == rec.Taken
-		if !dirRight {
-			e.m.CondDirWrong++
-		}
-		if !correct {
-			if dirRight {
-				e.m.AddMisfetch(rec.Kind)
-			} else {
-				e.m.AddMispredict(rec.Kind)
-			}
-		}
-		e.dir.Update(rec.PC, rec.Taken)
-
-	case isa.UncondBranch:
-		if !correct {
-			e.m.AddMisfetch(rec.Kind)
-		}
-
-	case isa.Call:
-		if !correct {
-			e.m.AddMisfetch(rec.Kind)
-		}
-		e.rstack.Push(rec.PC.Next())
-
-	case isa.IndirectJump:
-		if !correct {
-			if mode == modePointer {
-				// A pointer was followed and disproved at
-				// execute.
-				e.m.AddMispredict(rec.Kind)
-			} else {
-				e.m.AddMisfetch(rec.Kind)
-			}
-		}
-
-	case isa.Return:
-		top, ok := e.rstack.Pop()
-		rasRight := ok && top == rec.Target
-		if !correct {
-			if rasRight {
-				// Not identified as a return until decode,
-				// but the stack had the right address there.
-				e.m.AddMisfetch(rec.Kind)
-			} else {
-				e.m.AddMispredict(rec.Kind)
-			}
-		}
-	}
-
-	// Optional wrong-path pollution: touch what the front end actually
-	// fetched before the redirect (see wrongpath.go).
-	if e.pollution.enabled && !correct {
-		if wp, ok := e.wrongPath(mode, entry, rec.PC); ok {
-			e.pollute(wp, e.m.Mispredicts > mpBefore)
-		}
-	}
-
-	// Train the NLS entry: type always; pointer only for taken branches
-	// (deferred until the target's way is known).
+// Update implements TargetPredictor: type always; pointer only for taken
+// branches, deferred until the target's way is known.
+func (p *nlsPredictor) Update(rec trace.Record) bool {
 	if rec.Taken {
-		e.pending.active = true
-		e.pending.pc = rec.PC
-		e.pending.kind = rec.Kind
-		e.pending.target = rec.Target
-	} else {
-		e.store.update(rec.PC, rec.Kind, false, 0, 0)
+		return true
 	}
+	p.store.update(rec.PC, rec.Kind, false, 0, 0)
+	return false
+}
+
+// Resolve implements TargetPredictor, completing the deferred taken-branch
+// pointer update now that the target's cache way is known.
+func (p *nlsPredictor) Resolve(rec trace.Record, way int) {
+	p.store.update(rec.PC, rec.Kind, true, rec.Target, way)
+}
+
+// WrongPath implements TargetPredictor: the address the NLS hardware
+// actually fetched when its selected mechanism was wrong — the resident
+// line at the predicted pointer slot, the fall-through, or the return-stack
+// top.
+func (p *nlsPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
+	switch p.lastMode {
+	case modeFallThrough:
+		return rec.PC.Next(), true
+	case modeRAS:
+		if top, ok := p.rstack.Top(); ok {
+			return top, true
+		}
+		return rec.PC.Next(), true
+	case modePointer:
+		line, ok := p.icache.ResidentAt(int(p.lastEntry.Set), int(p.lastEntry.Way))
+		if !ok {
+			return 0, false // predicted slot empty: nothing fetched
+		}
+		g := p.icache.Geometry()
+		return isa.Addr(line)*isa.Addr(g.LineBytes()) +
+			isa.Addr(int(p.lastEntry.Offset)*isa.InstrBytes), true
+	}
+	return 0, false
+}
+
+// Name implements TargetPredictor.
+func (p *nlsPredictor) Name() string { return p.store.name() }
+
+// SizeBits implements TargetPredictor.
+func (p *nlsPredictor) SizeBits() int { return p.store.sizeBits() }
+
+// Reset implements TargetPredictor.
+func (p *nlsPredictor) Reset() { p.store.reset() }
+
+// NLSEngine is the NLS fetch architecture: a Frontend driven by an
+// nlsPredictor over either NLS organization.
+type NLSEngine struct {
+	Frontend
+}
+
+func newNLSEngine(g cache.Geometry, dir pht.Predictor, rasDepth int, mk func(*cache.Cache) nlsStore) *NLSEngine {
+	e := &NLSEngine{Frontend: newFrontend(g, dir, rasDepth)}
+	e.bind(&nlsPredictor{
+		store:  mk(e.icache),
+		icache: e.icache,
+		rstack: e.rstack,
+	}, Traits{})
+	return e
+}
+
+// NewNLSTableEngine builds an NLS architecture using a tag-less NLS-table
+// with the given number of entries (§4.1).
+func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Predictor, rasDepth int) *NLSEngine {
+	return newNLSEngine(g, dir, rasDepth, func(*cache.Cache) nlsStore {
+		return tableStore{core.NewTable(tableEntries, g)}
+	})
+}
+
+// NewNLSCacheEngine builds an NLS architecture with predictors coupled to
+// cache lines (the NLS-cache of §4.1), perLine predictors per line.
+func NewNLSCacheEngine(g cache.Geometry, perLine int, dir pht.Predictor, rasDepth int) *NLSEngine {
+	return newNLSEngine(g, dir, rasDepth, func(c *cache.Cache) nlsStore {
+		return coupledStore{core.NewLineCoupled(c, perLine)}
+	})
 }

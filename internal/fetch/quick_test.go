@@ -110,6 +110,45 @@ func TestQuickEngineInvariants(t *testing.T) {
 	}
 }
 
+// TestQuickStepBlockPollutionEquivalence: StepBlock is defined as exactly
+// per-record Step, and that must survive wrong-path pollution — whose cache
+// touches interleave with prediction state — for every architecture.
+func TestQuickStepBlockPollutionEquivalence(t *testing.T) {
+	mk := []func() Engine{
+		func() Engine {
+			return NewNLSTableEngine(smallGeom(), 256, pht.NewGShare(512, 0), 8)
+		},
+		func() Engine {
+			return NewNLSCacheEngine(smallGeom(), 2, pht.NewGShare(512, 0), 8)
+		},
+		func() Engine {
+			return NewBTBEngine(smallGeom(), btb.Config{Entries: 32, Assoc: 2},
+				pht.NewGShare(512, 0), 8)
+		},
+		func() Engine {
+			return NewCoupledBTBEngine(smallGeom(), btb.Config{Entries: 32, Assoc: 2}, 8)
+		},
+		func() Engine { return NewJohnsonEngine(smallGeom()) },
+	}
+	for seed := int64(300); seed < 315; seed++ {
+		tr := randomTrace(seed, 400)
+		for _, f := range mk {
+			stepped := f()
+			stepped.(interface{ SetWrongPathPollution(bool) }).SetWrongPathPollution(true)
+			for _, r := range tr.Records {
+				stepped.Step(r)
+			}
+			blocked := f()
+			blocked.(interface{ SetWrongPathPollution(bool) }).SetWrongPathPollution(true)
+			blocked.StepBlock(tr.Records)
+			if *stepped.Counters() != *blocked.Counters() {
+				t.Fatalf("seed %d %s: StepBlock diverges from Step with pollution on:\n  step  %+v\n  block %+v",
+					seed, stepped.Name(), *stepped.Counters(), *blocked.Counters())
+			}
+		}
+	}
+}
+
 // TestQuickPHTSharedStateIndependence: the decoupled NLS and BTB engines
 // agree exactly on conditional direction outcomes for any trace, since they
 // update the identical PHT on the identical stream.

@@ -1,7 +1,6 @@
 package fetch
 
 import (
-	"repro/internal/core"
 	"repro/internal/isa"
 )
 
@@ -11,11 +10,14 @@ import (
 // two architectures because "the NLS and BTB architectures may fetch
 // different instructions, even for the same cache organization": until a
 // misfetch or misprediction resolves, the front end fetches down the wrong
-// path, and those fetches touch the cache. The engines model this
+// path, and those fetches touch the cache. The Frontend models this
 // optionally (off by default, so headline results isolate prediction
 // behaviour; the `pollution` ablation turns it on): on a wrong fetch, the
 // first wrong-path line is accessed — and for a misprediction, whose
-// four-cycle shadow streams further, its sequential successor too.
+// four-cycle shadow streams further, its sequential successor too. The
+// wrong-path *address* is architecture-specific and comes from the
+// TargetPredictor's WrongPath hook, called after the break's RAS effects
+// have been applied.
 
 // pollution centralizes the wrong-path touch logic for engines embedding
 // base.
@@ -34,28 +36,4 @@ func (b *base) pollute(addr isa.Addr, mispredict bool) {
 	if mispredict {
 		b.icache.Access(addr + isa.Addr(b.icache.Geometry().LineBytes()))
 	}
-}
-
-// wrongPathNLS computes the address the NLS hardware actually fetched when
-// its selected mechanism was wrong: the resident line at the predicted
-// pointer slot, the fall-through, or the return-stack top.
-func (e *NLSEngine) wrongPath(mode predMode, entry core.Entry, pc isa.Addr) (isa.Addr, bool) {
-	switch mode {
-	case modeFallThrough:
-		return pc.Next(), true
-	case modeRAS:
-		if top, ok := e.rstack.Top(); ok {
-			return top, true
-		}
-		return pc.Next(), true
-	case modePointer:
-		line, ok := e.icache.ResidentAt(int(entry.Set), int(entry.Way))
-		if !ok {
-			return 0, false // predicted slot empty: nothing fetched
-		}
-		g := e.icache.Geometry()
-		return isa.Addr(line)*isa.Addr(g.LineBytes()) +
-			isa.Addr(int(entry.Offset)*isa.InstrBytes), true
-	}
-	return 0, false
 }
