@@ -1,11 +1,13 @@
 # Verification tiers. `make verify` is the full pre-merge gate; tier-1 is
 # `make build test` (the seed gate from ROADMAP.md), and `make race` is the
-# concurrency tier covering the broadcast sweep scheduler, Runner.Traces,
-# and the trace generators.
+# concurrency tier covering the grid executor, Runner.Traces, and the
+# trace generators. `make grid-golden` + `make smoke` pin the grid
+# pipeline: bit-identical figures vs the per-cell oracle, and a live
+# nlstables -only run against the results store.
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench verify
+.PHONY: build vet test race fuzz bench verify figures grid-golden smoke
 
 build:
 	$(GO) build ./...
@@ -28,4 +30,19 @@ fuzz:
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem .
 
-verify: build vet test race
+# Regenerate every table and figure (EXPERIMENTS.md numbers). Warm runs
+# load unchanged cells from results/cells; -force re-simulates.
+figures:
+	$(GO) run ./cmd/nlstables -n 2000000 -progress -json
+
+# The grid pipeline's equivalence gate: executor output bit-identical to
+# the per-cell oracle, across cold, store-less, and warm runs.
+grid-golden:
+	$(GO) test -run 'TestGridGolden' ./internal/experiments
+
+# End-to-end smoke: one figure through the real CLI and store (small n).
+smoke:
+	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
+	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
+
+verify: build vet test race grid-golden smoke

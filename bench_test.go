@@ -39,13 +39,34 @@ func benchRunner() *experiments.Runner {
 	return experiments.NewRunner(experiments.DefaultConfig(benchInsns))
 }
 
+// benchFigure runs one figure of the grid pipeline end-to-end (fresh
+// runner, no store) and returns the runner, the figure, and the resolved
+// result set.
+func benchFigure(b *testing.B, name string) (*experiments.Runner, experiments.Figure, *experiments.ResultSet) {
+	b.Helper()
+	r := benchRunner()
+	f, ok := experiments.FigureByName(name)
+	if !ok {
+		b.Fatalf("unknown figure %q", name)
+	}
+	rs, err := (&experiments.Executor{R: r}).Run(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, f, rs
+}
+
+// benchAverages runs a figure and averages its rows over programs.
+func benchAverages(b *testing.B, name string) []experiments.Average {
+	b.Helper()
+	r, f, rs := benchFigure(b, name)
+	return experiments.Averages(rs.Rows(f.Grid), r.Cfg.Penalties)
+}
+
 func BenchmarkTable1Stats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := benchRunner()
-		out, err := r.Table1()
-		if err != nil {
-			b.Fatal(err)
-		}
+		_, f, rs := benchFigure(b, "table1")
+		out, _ := f.Render(rs.Context(f))
 		if len(out) == 0 {
 			b.Fatal("empty table")
 		}
@@ -63,11 +84,7 @@ func BenchmarkFig3Area(b *testing.B) {
 
 func BenchmarkFig4NLSVariants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := benchRunner()
-		avgs, err := r.Fig4()
-		if err != nil {
-			b.Fatal(err)
-		}
+		avgs := benchAverages(b, "fig4")
 		report(b, avgs, "1024 NLS-table", "16KB direct", "nls1024-bep")
 		report(b, avgs, "NLS-cache", "16KB direct", "nlscache-bep")
 	}
@@ -75,11 +92,7 @@ func BenchmarkFig4NLSVariants(b *testing.B) {
 
 func BenchmarkFig5BTBvsNLS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := benchRunner()
-		avgs, err := r.Fig5()
-		if err != nil {
-			b.Fatal(err)
-		}
+		avgs := benchAverages(b, "fig5")
 		report(b, avgs, "128-entry direct BTB", "", "btb128-bep")
 		report(b, avgs, "1024 NLS-table", "16KB direct", "nls1024-bep")
 	}
@@ -97,24 +110,21 @@ func BenchmarkFig6AccessTime(b *testing.B) {
 
 func BenchmarkFig7PerProgram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := benchRunner()
-		byProg, err := r.Fig7()
-		if err != nil {
-			b.Fatal(err)
+		r, f, rs := benchFigure(b, "fig7")
+		rows := rs.Rows(f.Grid)
+		progs := map[string]bool{}
+		for _, row := range rows {
+			progs[row.Program] = true
 		}
-		if len(byProg) != 6 {
-			b.Fatalf("expected 6 programs, got %d", len(byProg))
+		if len(progs) != len(r.Cfg.Programs) {
+			b.Fatalf("expected %d programs, got %d", len(r.Cfg.Programs), len(progs))
 		}
 	}
 }
 
 func BenchmarkFig8CPI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := benchRunner()
-		avgs, err := r.Fig8()
-		if err != nil {
-			b.Fatal(err)
-		}
+		avgs := benchAverages(b, "fig8")
 		for _, a := range avgs {
 			if a.Arch == "1024 NLS-table" && a.Cache.String() == "16KB direct" {
 				b.ReportMetric(a.CPI, "nls1024-cpi")
@@ -234,7 +244,7 @@ func BenchmarkSweepPerCell(b *testing.B) {
 		// The legacy scheduler: every (program × factory × cache) cell
 		// re-reads the whole materialized trace through Engine.Step
 		// under a bounded worker pool.
-		results := make([]experiments.Result, len(traces)*len(factories)*len(caches))
+		results := make([]experiments.Row, len(traces)*len(factories)*len(caches))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.NumCPU())
 		idx := 0
@@ -248,7 +258,8 @@ func BenchmarkSweepPerCell(b *testing.B) {
 						defer func() { <-sem }()
 						e := f.New(g)
 						m := fetch.Run(e, t)
-						results[slot] = experiments.Result{Program: t.Name, Arch: f.Name, Cache: g, M: *m}
+						results[slot] = experiments.Row{Program: t.Name, Arch: f.Name,
+							Spec: f.Spec.WithGeometry(g), M: *m}
 					}(idx, t, f, g)
 					idx++
 				}

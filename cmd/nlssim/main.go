@@ -15,6 +15,13 @@
 //	nlssim -workload espresso -arch nls-table-1024          # registered spec
 //	nlssim -workload gcc -arch btb-128 -json                # machine-readable
 //	nlssim -workload gcc -n 50000000 -stream    # O(chunk) memory, no materialized trace
+//
+// The non-streaming path runs through the experiments pipeline as a
+// single-cell grid: the result is keyed and stored in the same
+// content-addressed store cmd/nlstables uses, so repeating a run (or
+// re-running a figure that contains the same cell) loads it instead of
+// re-simulating. -force re-simulates; -store "" disables the store; the
+// -stream path always simulates (it exists to avoid materializing state).
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/experiments"
 	"repro/internal/fetch"
 	"repro/internal/isa"
 	"repro/internal/metrics"
@@ -47,6 +55,8 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout")
 		list      = flag.Bool("list", false, "list registered architecture specs and exit")
+		force     = flag.Bool("force", false, "re-simulate even when the results store has the cell")
+		storeDir  = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
 	)
 	flag.Parse()
 
@@ -83,11 +93,10 @@ func main() {
 		}
 		m = fetch.RunChunks(engine, trace.NewSourceChunks(src, *n, trace.DefaultChunkRecords))
 	} else {
-		t, err := spec.Trace(*n)
+		m, err = runCell(spec, s, *n, *storeDir, *force)
 		if err != nil {
 			fail(err)
 		}
-		m = fetch.Run(engine, t)
 	}
 	p := metrics.Default()
 
@@ -110,6 +119,32 @@ func main() {
 				mp, 100*float64(mp)/float64(m.Breaks))
 		}
 	}
+}
+
+// runCell runs one (workload, spec) cell through the grid pipeline — a
+// one-arm Grid whose arm keeps the spec's own cache geometry — so the
+// result round-trips the same store as the figure harness.
+func runCell(w workload.Spec, s arch.Spec, insns int, storeDir string, force bool) (*metrics.Counters, error) {
+	cfg := experiments.Config{
+		Insns:     insns,
+		Programs:  []workload.Spec{w},
+		Penalties: metrics.Default(),
+	}
+	x := &experiments.Executor{R: experiments.NewRunner(cfg), Force: force}
+	if storeDir != "" {
+		store, err := experiments.OpenStore(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		x.Store = store
+	}
+	g := experiments.Grid{Name: "nlssim", Arms: []experiments.Arm{{Name: "cell", Spec: s}}}
+	rs, err := x.RunGrids(false, g)
+	if err != nil {
+		return nil, err
+	}
+	m := rs.Rows(g)[0].M
+	return &m, nil
 }
 
 // specFromFlags assembles an ad-hoc spec for a bare predictor kind. The

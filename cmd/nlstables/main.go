@@ -1,12 +1,19 @@
 // Command nlstables regenerates every table and figure of the paper from
 // the benchmark-analogue workloads — Table 1 and Figures 3–8 — plus the
 // repo's ablations (predictors per line, coupled vs decoupled designs,
-// direction-predictor choice, fetch width, wrong-path pollution). This is
-// the harness behind EXPERIMENTS.md.
+// direction-predictor choice, fetch width, wrong-path pollution, the
+// hybrid NLS+BTB predictor). This is the harness behind EXPERIMENTS.md.
 //
 // Usage:
 //
-//	nlstables [-n insns] [-exp table1|fig3|fig4|fig5|fig6|fig7|fig8|perline|coupled|pht|width|pollution|all] [-progress] [-json]
+//	nlstables [-n insns] [-only figure] [-force] [-progress] [-json] [-store dir]
+//
+// The figures are declarative grids over one executor (see package
+// experiments): the run gathers every requested cell, loads unchanged ones
+// from the content-addressed store under -store, and replays each
+// program's trace exactly once for all remaining cells. -only restricts
+// the run to one figure; -force re-simulates even stored cells; -store ""
+// disables the store entirely.
 //
 // With -json, the rows behind each rendered table are also written as a
 // machine-readable report to results/<exp>.json (per-figure rows plus the
@@ -20,12 +27,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 // report is the -json output: one entry per experiment run, keyed by
-// experiment name, plus the replay throughput of the final sweep.
+// experiment name, plus the replay throughput of the run.
 type report struct {
 	InsnsPerProgram int            `json:"insns_per_program"`
 	Experiments     map[string]any `json:"experiments"`
@@ -38,50 +46,44 @@ type sweepReport struct {
 	Seconds    float64 `json:"seconds"`
 	RecPerSec  float64 `json:"records_per_sec"`
 	MrecPerSec float64 `json:"mrec_per_sec"`
-}
-
-// avgRow flattens experiments.Average for JSON (cache.Geometry renders as
-// its display string).
-type avgRow struct {
-	Arch     string  `json:"arch"`
-	Cache    string  `json:"cache"`
-	MfBEP    float64 `json:"misfetch_bep"`
-	MpBEP    float64 `json:"mispredict_bep"`
-	BEP      float64 `json:"bep"`
-	CPI      float64 `json:"cpi"`
-	MissRate float64 `json:"icache_miss_rate"`
-}
-
-func avgRows(avgs []experiments.Average) []avgRow {
-	rows := make([]avgRow, len(avgs))
-	for i, a := range avgs {
-		rows[i] = avgRow{
-			Arch: a.Arch, Cache: a.Cache.String(),
-			MfBEP: a.MfBEP, MpBEP: a.MpBEP, BEP: a.BEP(),
-			CPI: a.CPI, MissRate: a.MissRate,
-		}
-	}
-	return rows
-}
-
-// resultRow flattens experiments.Result for JSON.
-type resultRow struct {
-	Program string  `json:"program"`
-	Arch    string  `json:"arch"`
-	Cache   string  `json:"cache"`
-	MfBEP   float64 `json:"misfetch_bep"`
-	MpBEP   float64 `json:"mispredict_bep"`
-	BEP     float64 `json:"bep"`
+	// Loaded counts cells served by the content-addressed store; Replays
+	// counts program traces actually replayed (0 on a fully warm run).
+	Loaded  int `json:"cells_loaded"`
+	Replays int `json:"trace_replays"`
 }
 
 func main() {
 	var (
 		n        = flag.Int("n", 2_000_000, "instructions to simulate per program")
-		exp      = flag.String("exp", "all", "experiment: table1, fig3..fig8, perline, coupled, pht, width, pollution, or all")
+		exp      = flag.String("exp", "all", "experiment to run (alias of -only; 'all' runs every figure)")
+		only     = flag.String("only", "", "run a single figure: table1, fig3..fig8, perline, coupled, pht, width, pollution, hybrid")
+		force    = flag.Bool("force", false, "re-simulate cells even when the results store has them")
 		progress = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
 		jsonOut  = flag.Bool("json", false, "also write machine-readable rows to results/<exp>.json")
+		storeDir = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
 	)
 	flag.Parse()
+
+	sel := *exp
+	if *only != "" {
+		sel = *only
+	}
+	var figs []experiments.Figure
+	if sel == "all" {
+		figs = experiments.Figures()
+	} else {
+		f, ok := experiments.FigureByName(sel)
+		if !ok {
+			names := make([]string, 0, len(experiments.Figures()))
+			for _, f := range experiments.Figures() {
+				names = append(names, f.Name)
+			}
+			fmt.Fprintf(os.Stderr, "nlstables: unknown experiment %q (have %s, all)\n",
+				sel, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		figs = []experiments.Figure{f}
+	}
 
 	r := experiments.NewRunner(experiments.DefaultConfig(*n))
 	if *progress {
@@ -90,98 +92,21 @@ func main() {
 				s.Cells, s.TotalCells, float64(s.Records)/1e6, s.RecordsPerSec()/1e6)
 		}
 	}
-
-	rep := report{InsnsPerProgram: *n, Experiments: map[string]any{}}
-
-	run := func(name string) {
-		switch name {
-		case "table1":
-			out, err := r.Table1()
-			check(err)
-			fmt.Println("Table 1: measured attributes of the traced programs")
-			fmt.Println(out)
-			rep.Experiments[name] = out
-		case "fig3":
-			rows := experiments.Fig3()
-			fmt.Println(experiments.RenderFig3(rows))
-			rep.Experiments[name] = rows
-		case "fig4":
-			avgs, err := r.Fig4()
-			check(err)
-			fmt.Println(experiments.RenderAverages(
-				"Figure 4: average BEP, NLS-cache vs NLS-table", avgs))
-			rep.Experiments[name] = avgRows(avgs)
-		case "fig5":
-			avgs, err := r.Fig5()
-			check(err)
-			fmt.Println(experiments.RenderAverages(
-				"Figure 5: average BEP, BTB vs 1024 NLS-table", avgs))
-			rep.Experiments[name] = avgRows(avgs)
-		case "fig6":
-			rows := experiments.Fig6()
-			fmt.Println(experiments.RenderFig6(rows))
-			rep.Experiments[name] = rows
-		case "fig7":
-			byProg, err := r.Fig7()
-			check(err)
-			fmt.Println(experiments.RenderFig7(r, byProg))
-			p := r.Cfg.Penalties
-			rows := map[string][]resultRow{}
-			for prog, results := range byProg {
-				for _, res := range results {
-					rows[prog] = append(rows[prog], resultRow{
-						Program: res.Program, Arch: res.Arch, Cache: res.Cache.String(),
-						MfBEP: res.M.MisfetchBEP(p), MpBEP: res.M.MispredictBEP(p),
-						BEP: res.M.BEP(p),
-					})
-				}
-			}
-			rep.Experiments[name] = rows
-		case "fig8":
-			avgs, err := r.Fig8()
-			check(err)
-			fmt.Println(experiments.RenderCPI(avgs))
-			rep.Experiments[name] = avgRows(avgs)
-		case "perline":
-			avgs, err := r.PerLineSweep()
-			check(err)
-			fmt.Println(experiments.RenderAverages(
-				"Ablation: NLS-cache predictors per line (§5.1)", avgs))
-			rep.Experiments[name] = avgRows(avgs)
-		case "coupled":
-			avgs, err := r.CoupledSweep()
-			check(err)
-			fmt.Println(experiments.RenderAverages(
-				"Ablation: decoupled vs coupled designs (§2, §6.2)", avgs))
-			rep.Experiments[name] = avgRows(avgs)
-		case "pht":
-			rows, err := r.PHTSweep()
-			check(err)
-			fmt.Println(experiments.RenderPHTSweep(rows))
-			rep.Experiments[name] = rows
-		case "width":
-			rows, err := r.WidthSweep()
-			check(err)
-			fmt.Println(experiments.RenderWidthSweep(rows))
-			rep.Experiments[name] = rows
-		case "pollution":
-			rows, err := r.PollutionSweep()
-			check(err)
-			fmt.Println(experiments.RenderPollutionSweep(rows, r.Cfg.Penalties))
-			rep.Experiments[name] = rows
-		default:
-			fmt.Fprintf(os.Stderr, "nlstables: unknown experiment %q\n", name)
-			os.Exit(2)
-		}
+	x := &experiments.Executor{R: r, Force: *force}
+	if *storeDir != "" {
+		store, err := experiments.OpenStore(*storeDir)
+		check(err)
+		x.Store = store
 	}
 
-	if *exp == "all" {
-		for _, e := range []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-			"perline", "coupled", "pht", "width", "pollution"} {
-			run(e)
-		}
-	} else {
-		run(*exp)
+	rs, err := x.Run(figs...)
+	check(err)
+
+	rep := report{InsnsPerProgram: *n, Experiments: map[string]any{}}
+	for _, f := range figs {
+		text, data := f.Render(rs.Context(f))
+		fmt.Println(text)
+		rep.Experiments[f.Name] = data
 	}
 
 	if *jsonOut {
@@ -192,8 +117,10 @@ func main() {
 			Seconds:    s.Elapsed.Seconds(),
 			RecPerSec:  s.RecordsPerSec(),
 			MrecPerSec: s.RecordsPerSec() / 1e6,
+			Loaded:     s.Loaded,
+			Replays:    s.Replays,
 		}
-		check(writeReport(rep, *exp))
+		check(writeReport(rep, sel))
 	}
 }
 

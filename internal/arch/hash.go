@@ -1,0 +1,32 @@
+package arch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Spec hashing for the content-addressed results store: a spec's hash is
+// the SHA-256 of its canonical JSON encoding, so two specs hash equal
+// exactly when every architectural parameter — predictor kind and sizing,
+// cache geometry, direction predictor, RAS depth, pollution modelling —
+// is equal. Geometry lives inside the spec (CacheSpec), so the hash covers
+// the full (architecture × cache) simulation point.
+//
+// Canonical form: encoding/json marshals struct fields in declaration
+// order with deterministic scalar formatting, so the encoding is a stable
+// function of the value. Renaming or reordering Spec fields deliberately
+// changes hashes — stored cells describe their inputs by this encoding,
+// and a schema change must not silently alias old results.
+
+// Hash returns the spec's canonical content hash as lowercase hex.
+func (s Spec) Hash() string {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		// Spec contains only marshalable scalar fields; reaching this
+		// is a programming error, not an input error.
+		panic(err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}

@@ -84,6 +84,22 @@ func Johnson() Spec {
 	}
 }
 
+// Hybrid returns the NLS+BTB hybrid (the ROADMAP extension): an NLS-table
+// pointer consulted first with a small BTB supplying full addresses where
+// they win — unknown branches, displaced target lines, and returns the RAS
+// cannot serve — on the default cache. tableEntries sizes the NLS-table
+// half, btbEntries/btbAssoc the fallback BTB.
+func Hybrid(tableEntries, btbEntries, btbAssoc int) Spec {
+	return Spec{
+		Predictor: PredictorSpec{
+			Kind: KindHybrid, Entries: tableEntries,
+			BTBEntries: btbEntries, BTBAssoc: btbAssoc,
+		},
+		Cache: paperCache(),
+		PHT:   PaperPHT(),
+	}
+}
+
 func init() {
 	for _, entries := range []int{512, 1024, 2048} {
 		Register(fmt.Sprintf("nls-table-%d", entries), NLSTable(entries))
@@ -95,4 +111,8 @@ func init() {
 	}
 	Register("coupled-btb-128", CoupledBTB(128, 1))
 	Register("johnson", Johnson())
+	// The equal-cost hybrid point: a 512-entry NLS-table (half the paper's
+	// headline table) plus a 64-entry direct BTB lands near the 1024-entry
+	// NLS-table / 128-entry BTB storage band of Figure 5.
+	Register("hybrid-512-64", Hybrid(512, 64, 1))
 }

@@ -24,6 +24,7 @@ const (
 	KindBTB        = "btb"
 	KindCoupledBTB = "coupled-btb"
 	KindJohnson    = "johnson"
+	KindHybrid     = "hybrid"
 )
 
 // PredictorSpec selects and sizes the target predictor.
@@ -36,6 +37,10 @@ type PredictorSpec struct {
 	Assoc int `json:"assoc,omitempty"`
 	// PerLine is the number of line-coupled predictors (nls-cache only).
 	PerLine int `json:"per_line,omitempty"`
+	// BTBEntries and BTBAssoc size the fallback BTB of the hybrid
+	// predictor (hybrid only; Entries sizes its NLS-table half).
+	BTBEntries int `json:"btb_entries,omitempty"`
+	BTBAssoc   int `json:"btb_assoc,omitempty"`
 }
 
 // CacheSpec sizes the instruction cache.
@@ -125,6 +130,13 @@ func (s Spec) Validate() error {
 			return err
 		}
 		coupledDir = s.Predictor.Kind == KindCoupledBTB
+	case KindHybrid:
+		if s.Predictor.Entries <= 0 {
+			return fmt.Errorf("arch: %s needs entries > 0 for its NLS-table half", s.Predictor.Kind)
+		}
+		if err := (btb.Config{Entries: s.Predictor.BTBEntries, Assoc: s.Predictor.BTBAssoc}).Validate(); err != nil {
+			return err
+		}
 	case KindJohnson:
 		coupledDir = true
 	default:
@@ -184,6 +196,11 @@ func (s Spec) Build() (fetch.Engine, error) {
 		return e, nil
 	case KindJohnson:
 		e := fetch.NewJohnsonEngine(g)
+		e.SetWrongPathPollution(s.Pollution)
+		return e, nil
+	case KindHybrid:
+		cfg := btb.Config{Entries: s.Predictor.BTBEntries, Assoc: s.Predictor.BTBAssoc}
+		e := fetch.NewHybridEngine(g, s.Predictor.Entries, cfg, dir, depth)
 		e.SetWrongPathPollution(s.Pollution)
 		return e, nil
 	}

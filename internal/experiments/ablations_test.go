@@ -11,10 +11,7 @@ func TestPerLineSweepOrdering(t *testing.T) {
 	// §5.1: two predictors per line approach the NLS-table; one per
 	// line is worse (half the predictors, more intra-line conflicts).
 	r := runnerOn(300_000, workload.Gcc(), workload.Groff())
-	avgs, err := r.PerLineSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
+	avgs := figureAverages(t, r, "perline")
 	one, ok1 := avgBEP(avgs, "NLS-cache 1/line", "8KB direct")
 	two, ok2 := avgBEP(avgs, "NLS-cache 2/line", "8KB direct")
 	four, ok4 := avgBEP(avgs, "NLS-cache 4/line", "8KB direct")
@@ -31,10 +28,7 @@ func TestPerLineSweepOrdering(t *testing.T) {
 
 func TestCoupledSweepDecouplingWinsUnderPressure(t *testing.T) {
 	r := runnerOn(300_000, workload.Gcc(), workload.Espresso())
-	avgs, err := r.CoupledSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
+	avgs := figureAverages(t, r, "coupled")
 	dec32, ok1 := avgBEP(avgs, "32-entry direct BTB", "")
 	cpl32, ok2 := avgBEP(avgs, "coupled 32-entry BTB", "")
 	dec128, ok3 := avgBEP(avgs, "128-entry direct BTB", "")
@@ -67,10 +61,8 @@ func TestCoupledSweepDecouplingWinsUnderPressure(t *testing.T) {
 
 func TestPHTSweep(t *testing.T) {
 	r := runnerOn(300_000, workload.Espresso())
-	rows, err := r.PHTSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, data := figureData(t, r, "pht")
+	rows := data.([]PHTRow)
 	get := func(phtName, arch string) PHTRow {
 		for _, row := range rows {
 			if row.PHT == phtName && row.Arch == arch {
@@ -114,11 +106,7 @@ func TestPHTSweep(t *testing.T) {
 
 func TestRenderPHTSweep(t *testing.T) {
 	r := runnerOn(100_000, workload.Li())
-	rows, err := r.PHTSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := RenderPHTSweep(rows)
+	out, _ := figureData(t, r, "pht")
 	if !strings.Contains(out, "gshare-4096") || !strings.Contains(out, "static-not-taken") {
 		t.Error("render incomplete")
 	}

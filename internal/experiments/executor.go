@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fetch"
+	"repro/internal/multiissue"
+	"repro/internal/trace"
+)
+
+// Executor turns grids into results. It is the only code in the pipeline
+// that simulates: it gathers every requested cell across all grids of a
+// run, serves unchanged cells from the Store, partitions the rest by
+// program, and replays each program's trace exactly once through
+// fetch.Broadcast for all of that program's pending cells — so a full
+// `nlstables` regeneration reads each trace one time no matter how many
+// figures request overlapping cells.
+type Executor struct {
+	// R supplies the configuration and the lazily generated traces.
+	R *Runner
+	// Store, when non-nil, serves unchanged cells and persists new ones.
+	Store *Store
+	// Force re-simulates (and overwrites) stored cells.
+	Force bool
+}
+
+// NewExecutor builds an executor without a store.
+func NewExecutor(cfg Config) *Executor { return &Executor{R: NewRunner(cfg)} }
+
+// ProgramInfo is the per-program data derived from the replay pass itself
+// rather than from any engine: the Table-1 trace statistics and the §8
+// fetch-block counts for FetchWidths at LineBytes-sized lines. It is
+// collected by teeing the broadcast's single trace read (trace.TeeChunks),
+// so statistics cost no extra replay, and is stored content-addressed like
+// cells.
+type ProgramInfo struct {
+	Program string `json:"program"`
+	Insns   int    `json:"insns"`
+	// Stats is the program's Table-1 row.
+	Stats *trace.Stats `json:"stats"`
+	// FetchBlocks maps fetch width to the W-wide fetch-cycle count of the
+	// trace (multiissue.FetchBlocks at LineBytes lines).
+	FetchBlocks map[int]uint64 `json:"fetch_blocks"`
+}
+
+// ResultSet holds a run's outcome: every unique cell's Row (by store key)
+// and every program's ProgramInfo, plus accounting for the tests and the
+// CLIs.
+type ResultSet struct {
+	cfg   Config
+	rows  map[string]Row
+	infos map[string]*ProgramInfo
+
+	// Loaded counts cells served from the store, Simulated cells computed
+	// this run, Replays program traces actually replayed (0 on a fully
+	// warm run).
+	Loaded, Simulated, Replays int
+}
+
+// Rows resolves a grid against the result set: one Row per grid cell, in
+// cell order (program-major, arm-major, cache-minor), each labeled with
+// the grid's own program and arm names. Two grids sharing a cell each see
+// it under their own labels.
+func (rs *ResultSet) Rows(g Grid) []Row {
+	cells := g.cells(rs.cfg.Programs)
+	rows := make([]Row, len(cells))
+	for i, c := range cells {
+		row := rs.rows[c.Key(rs.cfg)]
+		row.Program, row.Arch, row.Spec = c.Prog.Name, c.Arm, c.Spec
+		rows[i] = row
+	}
+	return rows
+}
+
+// Info returns a program's replay-derived info, or nil when the run did
+// not collect it.
+func (rs *ResultSet) Info(program string) *ProgramInfo { return rs.infos[program] }
+
+// Context resolves a figure against the result set, producing everything
+// its renderer needs.
+func (rs *ResultSet) Context(f Figure) RenderContext {
+	ctx := RenderContext{Cfg: rs.cfg, Grid: f.Grid, Rows: rs.Rows(f.Grid)}
+	if f.NeedsInfo {
+		ctx.Infos = make([]*ProgramInfo, len(rs.cfg.Programs))
+		for i, p := range rs.cfg.Programs {
+			ctx.Infos[i] = rs.infos[p.Name]
+		}
+	}
+	return ctx
+}
+
+// Run executes the grids of the given figures in one pass (shared cells
+// simulated once) and returns the result set; render each figure with
+// Figure.Render(rs.Context(f)).
+func (x *Executor) Run(figs ...Figure) (*ResultSet, error) {
+	grids := make([]Grid, len(figs))
+	needInfo := false
+	for i, f := range figs {
+		grids[i] = f.Grid
+		needInfo = needInfo || f.NeedsInfo
+	}
+	return x.RunGrids(needInfo, grids...)
+}
+
+// progWork is one program's share of a run: the cells not served by the
+// store, and whether the replay must also collect ProgramInfo.
+type progWork struct {
+	cells    []Cell
+	keys     []string
+	needInfo bool
+}
+
+// RunGrids executes grids directly (Run without Figure metadata); needInfo
+// requests per-program replay statistics.
+func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
+	r := x.R
+	cfg := r.Cfg
+	rs := &ResultSet{
+		cfg:   cfg,
+		rows:  make(map[string]Row),
+		infos: make(map[string]*ProgramInfo),
+	}
+
+	progIdx := make(map[string]int, len(cfg.Programs))
+	for i, p := range cfg.Programs {
+		progIdx[p.Name] = i
+	}
+
+	// Gather the unique cells of the whole run, probing the store first.
+	work := make([]progWork, len(cfg.Programs))
+	seen := make(map[string]bool)
+	total := 0
+	for _, g := range grids {
+		for _, c := range g.cells(cfg.Programs) {
+			k := c.Key(cfg)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			total++
+			if x.Store != nil && !x.Force {
+				var row Row
+				ok, err := x.Store.Load(k, &row)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					rs.rows[k] = row
+					rs.Loaded++
+					continue
+				}
+			}
+			i := progIdx[c.Prog.Name]
+			work[i].cells = append(work[i].cells, c)
+			work[i].keys = append(work[i].keys, k)
+		}
+	}
+	if needInfo {
+		for i, p := range cfg.Programs {
+			if x.Store != nil && !x.Force {
+				var info ProgramInfo
+				ok, err := x.Store.Load(infoKey(p, cfg.Insns), &info)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					rs.infos[p.Name] = &info
+					continue
+				}
+			}
+			work[i].needInfo = true
+		}
+	}
+
+	start := time.Now()
+	r.statsMu.Lock()
+	r.stats = SweepStats{TotalCells: total, Cells: rs.Loaded, Loaded: rs.Loaded}
+	r.statsMu.Unlock()
+
+	var active []int
+	for i := range work {
+		if len(work[i].cells) > 0 || work[i].needInfo {
+			active = append(active, i)
+		}
+	}
+
+	// Same bounded-pool shape as the PR1 scheduler: at most progPar
+	// program goroutines, the leftover parallelism budget going to each
+	// broadcast's worker pool.
+	budget := maxParallel()
+	progPar := len(active)
+	if progPar > budget {
+		progPar = budget
+	}
+	if progPar < 1 {
+		progPar = 1
+	}
+	perProg := budget / progPar
+	if perProg < 1 {
+		perProg = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, progPar)
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, i := range active {
+		wg.Add(1)
+		sem <- struct{}{} // bound concurrency before spawning
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w := work[i]
+			ct, err := r.ChunkedOne(i)
+			if err != nil {
+				fail(err)
+				return
+			}
+			engines := make([]fetch.Engine, len(w.cells))
+			for j, c := range w.cells {
+				if engines[j], err = c.Spec.Build(); err != nil {
+					fail(fmt.Errorf("cell %s/%s: %w", c.Prog.Name, c.Arm, err))
+					return
+				}
+			}
+			src := cellSource(ct, w.cells)
+
+			// Tee the single replay read into the statistics collectors.
+			var sc *trace.StatsCollector
+			var bcs []*multiissue.BlockCounter
+			if w.needInfo {
+				sc = trace.NewStatsCollector(ct.Name, ct.StaticCondSites)
+				for _, width := range FetchWidths() {
+					bc, err := multiissue.NewBlockCounter(multiissue.Config{
+						Width: width, LineBytes: LineBytes,
+					})
+					if err != nil {
+						fail(err)
+						return
+					}
+					bcs = append(bcs, bc)
+				}
+				src = trace.TeeChunks(src, func(recs []trace.Record) {
+					sc.Add(recs)
+					for _, bc := range bcs {
+						bc.Add(recs)
+					}
+				})
+			}
+
+			var n int64
+			if len(engines) > 0 {
+				n = fetch.BroadcastWorkers(src, perProg, engines...)
+			} else {
+				// Info-only replay: every cell was served by the store but
+				// the statistics were not; drain the trace through the tee.
+				for blk := src.NextChunk(); len(blk) > 0; blk = src.NextChunk() {
+					n += int64(len(blk))
+				}
+			}
+
+			rows := make([]Row, len(w.cells))
+			for j, c := range w.cells {
+				rows[j] = Row{Program: c.Prog.Name, Arch: c.Arm, Spec: c.Spec,
+					M: *engines[j].Counters()}
+			}
+			var info *ProgramInfo
+			if w.needInfo {
+				blocks := make(map[int]uint64, len(bcs))
+				for _, bc := range bcs {
+					blocks[bc.Width()] = bc.Blocks()
+				}
+				info = &ProgramInfo{Program: ct.Name, Insns: cfg.Insns,
+					Stats: sc.Stats(), FetchBlocks: blocks}
+			}
+
+			mu.Lock()
+			for j := range rows {
+				rs.rows[w.keys[j]] = rows[j]
+			}
+			rs.Simulated += len(rows)
+			if info != nil {
+				rs.infos[ct.Name] = info
+			}
+			rs.Replays++
+			mu.Unlock()
+
+			if x.Store != nil {
+				for j := range rows {
+					if err := x.Store.Save(w.keys[j], rows[j]); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if info != nil {
+					if err := x.Store.Save(infoKey(cfg.Programs[i], cfg.Insns), info); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+
+			r.statsMu.Lock()
+			r.stats.Cells += len(w.cells)
+			r.stats.Records += n
+			r.stats.Replays++
+			r.stats.Elapsed = time.Since(start)
+			if r.Progress != nil {
+				r.Progress(r.stats) // statsMu held: calls are serialized
+			}
+			r.statsMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	r.statsMu.Lock()
+	r.stats.Elapsed = time.Since(start)
+	r.statsMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rs, nil
+}
+
+// cellSource picks the chunk source for one program's broadcast: when
+// every pending cell shares one line size (always true for the paper's
+// 32-byte-line matrix), the blocks carry the trace's memoized same-line
+// run annotations (trace.Chunked.RunLens), so the run-boundary scan
+// happens once per chunk instead of once per engine. Mixed line sizes fall
+// back to plain blocks and per-engine scanning; an info-only replay uses
+// plain blocks (no engine consumes annotations).
+func cellSource(ct *trace.Chunked, cells []Cell) trace.ChunkSource {
+	if len(cells) == 0 {
+		return ct.Chunks()
+	}
+	lb := cells[0].Spec.Cache.LineBytes
+	for _, c := range cells[1:] {
+		if c.Spec.Cache.LineBytes != lb {
+			return ct.Chunks()
+		}
+	}
+	return ct.ChunksRuns(lb)
+}
+
+// RenderContext is everything a figure renderer may consume: the resolved
+// rows of the figure's grid (program-major, arm-major, cache-minor), the
+// run configuration, and — for NeedsInfo figures — the per-program replay
+// statistics, parallel to Cfg.Programs.
+type RenderContext struct {
+	Cfg   Config
+	Grid  Grid
+	Rows  []Row
+	Infos []*ProgramInfo
+}
+
+// ProgramRows returns the rows of program p (all arms, arm-major).
+func (c RenderContext) ProgramRows(p int) []Row {
+	cpp := c.Grid.cellsPerProgram()
+	return c.Rows[p*cpp : (p+1)*cpp]
+}
+
+// ArmRows returns the rows of one arm across all programs, program-major
+// (cache-minor within a program).
+func (c RenderContext) ArmRows(arm int) []Row {
+	cpp := c.Grid.cellsPerProgram()
+	off, width := 0, 0
+	for i, a := range c.Grid.Arms {
+		w := len(a.Caches)
+		if w == 0 {
+			w = 1
+		}
+		if i < arm {
+			off += w
+		}
+		if i == arm {
+			width = w
+		}
+	}
+	out := make([]Row, 0, len(c.Cfg.Programs)*width)
+	for p := 0; p < len(c.Cfg.Programs); p++ {
+		out = append(out, c.Rows[p*cpp+off:p*cpp+off+width]...)
+	}
+	return out
+}

@@ -1,13 +1,18 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation: Table 1 (traced-program attributes), Figure 3 (RBE area
-// costs), Figure 4 (NLS-cache vs NLS-table BEP), Figure 5 (BTB vs NLS-table
-// BEP averages), Figure 6 (BTB access times), Figure 7 (per-program BEP
-// comparison), and Figure 8 (CPI). See DESIGN.md §4 for the experiment
-// index and EXPERIMENTS.md for paper-vs-measured results.
+// evaluation — Table 1, Figures 3–8, and the repo's ablations — as one
+// declarative pipeline: each experiment is a Grid (architecture arms ×
+// cache geometries; the program axis comes from Config) plus a pure
+// renderer over result Rows, a single Executor partitions every requested
+// cell by program and replays each program's trace ONCE for all of them
+// via fetch.Broadcast, and a content-addressed Store persists cells so
+// unchanged ones are loaded instead of re-simulated across invocations.
+// See DESIGN.md §9 for the layering and EXPERIMENTS.md for paper-vs-
+// measured results.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -42,6 +47,11 @@ var NLSTableSizes = []int{512, 1024, 2048}
 
 // CacheSizesKB are the instruction cache sizes the paper simulates.
 var CacheSizesKB = []int{8, 16, 32}
+
+// FetchWidths returns the fetch widths of the §8 multi-issue extension.
+// The executor pre-counts fetch blocks for exactly these widths during the
+// per-program replay, so the width renderer is pure arithmetic.
+func FetchWidths() []int { return []int{1, 2, 4, 8} }
 
 // PaperCaches returns the cache geometries of the paper's BEP figures:
 // 8K/16K/32K, direct-mapped and 4-way.
@@ -81,24 +91,23 @@ func BTBConfigs() []btb.Config {
 // newPHT builds the paper's direction predictor: 4096-entry gshare.
 func newPHT() pht.Predictor { return pht.NewGShare(PHTEntries, PHTHistoryBits) }
 
-// Factory builds a fetch engine for a given cache geometry. Factories keep
-// the architecture axis of the sweeps orthogonal to the cache axis.
+// Factory pairs a display name with a declarative spec whose cache
+// geometry varies per sweep cell. Factories are the ad-hoc (non-Figure)
+// sweep axis: Runner.Sweep turns them into a one-off Grid.
 type Factory struct {
 	Name string
-	New  func(g cache.Geometry) fetch.Engine
+	Spec arch.Spec
 }
 
-// SpecFactory adapts a declarative arch.Spec to a sweep Factory: each cell
-// rebuilds the spec with that cell's cache geometry. The spec must be valid
-// (a registered or helper-built spec always is); a broken spec panics at
-// the first cell rather than poisoning a sweep with nil engines.
+// New builds the factory's engine on the given cache geometry. The spec
+// must be valid (a registered or helper-built spec always is).
+func (f Factory) New(g cache.Geometry) fetch.Engine {
+	return f.Spec.WithGeometry(g).MustBuild()
+}
+
+// SpecFactory adapts a declarative arch.Spec to a sweep Factory.
 func SpecFactory(name string, s arch.Spec) Factory {
-	return Factory{
-		Name: name,
-		New: func(g cache.Geometry) fetch.Engine {
-			return s.WithGeometry(g).MustBuild()
-		},
-	}
+	return Factory{Name: name, Spec: s}
 }
 
 // NLSTableFactory returns a factory for the NLS-table architecture.
@@ -122,8 +131,8 @@ func JohnsonFactory() Factory {
 	return SpecFactory("Johnson 1-bit", arch.Johnson())
 }
 
-// Config drives a sweep: which programs, how many instructions each, and
-// the penalty assumptions.
+// Config drives a run: which programs, how many instructions each, and the
+// penalty assumptions. All three are part of every cell's store key.
 type Config struct {
 	Insns     int
 	Programs  []workload.Spec
@@ -139,91 +148,122 @@ func DefaultConfig(insns int) Config {
 	}
 }
 
-// Runner generates and caches the per-program traces and runs engine
-// sweeps over them in parallel.
+// Runner generates and caches the per-program traces, lazily and
+// independently per program: a warm-store run that needs no cell of some
+// program never pays that program's trace generation.
 type Runner struct {
 	Cfg Config
 
-	// Progress, when set, is called after each program of a sweep
-	// finishes replaying, with a snapshot of the sweep so far. Calls are
-	// serialized; the callback must not invoke the Runner.
+	// Progress, when set, is called after each program of a run finishes
+	// replaying, with a snapshot of the run so far. Calls are serialized;
+	// the callback must not invoke the Runner.
 	Progress func(SweepStats)
 
-	once   sync.Once
-	traces []*trace.Trace
-	genErr error
-
-	chunkOnce sync.Once
-	chunked   []*trace.Chunked
+	progs []progTrace
 
 	statsMu sync.Mutex
 	stats   SweepStats
 }
 
-// NewRunner builds a runner.
-func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
+// progTrace is one program's lazily generated trace.
+type progTrace struct {
+	once sync.Once
+	t    *trace.Trace
+	ct   *trace.Chunked
+	err  error
+}
 
-// Traces generates (once) and returns the per-program traces.
-func (r *Runner) Traces() ([]*trace.Trace, error) {
-	r.once.Do(func() {
-		r.traces = make([]*trace.Trace, len(r.Cfg.Programs))
-		var wg sync.WaitGroup
-		errs := make([]error, len(r.Cfg.Programs))
-		for i, s := range r.Cfg.Programs {
-			wg.Add(1)
-			go func(i int, s workload.Spec) {
-				defer wg.Done()
-				r.traces[i], errs[i] = s.Trace(r.Cfg.Insns)
-			}(i, s)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				r.genErr = err
-				return
-			}
+// NewRunner builds a runner.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{Cfg: cfg, progs: make([]progTrace, len(cfg.Programs))}
+}
+
+// genOne generates (once) program i's trace and its chunked form.
+func (r *Runner) genOne(i int) *progTrace {
+	pt := &r.progs[i]
+	pt.once.Do(func() {
+		pt.t, pt.err = r.Cfg.Programs[i].Trace(r.Cfg.Insns)
+		if pt.err == nil {
+			pt.ct = trace.Chunk(pt.t, trace.DefaultChunkRecords)
 		}
 	})
-	return r.traces, r.genErr
+	return pt
 }
 
-// Result is the outcome of one (program, architecture, cache) simulation.
-type Result struct {
-	Program string
-	Arch    string
-	Cache   cache.Geometry
-	M       metrics.Counters
+// TraceOne returns program i's trace, generating it on first use.
+func (r *Runner) TraceOne(i int) (*trace.Trace, error) {
+	pt := r.genOne(i)
+	return pt.t, pt.err
 }
 
-// BEP returns the result's branch execution penalty under the runner's
-// penalties.
-func (r *Runner) BEP(res Result) float64 { return res.M.BEP(r.Cfg.Penalties) }
+// ChunkedOne returns program i's chunked trace, generating it on first use.
+func (r *Runner) ChunkedOne(i int) (*trace.Chunked, error) {
+	pt := r.genOne(i)
+	return pt.ct, pt.err
+}
 
-// Chunked returns the per-program traces in chunked form, splitting them
-// (once) into DefaultChunkRecords-sized blocks that alias the cached flat
+// Traces generates (in parallel, once each) and returns all per-program
 // traces.
+func (r *Runner) Traces() ([]*trace.Trace, error) {
+	var wg sync.WaitGroup
+	for i := range r.Cfg.Programs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.genOne(i)
+		}(i)
+	}
+	wg.Wait()
+	out := make([]*trace.Trace, len(r.progs))
+	for i := range r.progs {
+		if r.progs[i].err != nil {
+			return nil, r.progs[i].err
+		}
+		out[i] = r.progs[i].t
+	}
+	return out, nil
+}
+
+// Chunked returns all per-program traces in chunked form.
 func (r *Runner) Chunked() ([]*trace.Chunked, error) {
-	traces, err := r.Traces()
-	if err != nil {
+	if _, err := r.Traces(); err != nil {
 		return nil, err
 	}
-	r.chunkOnce.Do(func() {
-		r.chunked = make([]*trace.Chunked, len(traces))
-		for i, t := range traces {
-			r.chunked[i] = trace.Chunk(t, trace.DefaultChunkRecords)
-		}
-	})
-	return r.chunked, nil
+	out := make([]*trace.Chunked, len(r.progs))
+	for i := range r.progs {
+		out[i] = r.progs[i].ct
+	}
+	return out, nil
 }
 
-// SweepStats reports the progress and throughput of a sweep: how many
-// (program × arch × cache) cells have completed, how many trace records
-// have been replayed through the broadcaster (each program's trace is read
-// once, shared by all of its cells), and the wall-clock time so far.
+// Row is the single result type of the pipeline: the outcome of one
+// (program, architecture, cache) cell, carrying the complete declarative
+// spec it was simulated under and the raw counters. It is what the store
+// persists and what every renderer consumes; derived metrics (BEP, CPI,
+// rates) are computed at render time from M and the penalties.
+type Row struct {
+	Program string           `json:"program"`
+	Arch    string           `json:"arch"`
+	Spec    arch.Spec        `json:"spec"`
+	M       metrics.Counters `json:"counters"`
+}
+
+// Cache returns the row's cache geometry (from its spec).
+func (r Row) Cache() cache.Geometry {
+	return cache.MustGeometry(r.Spec.Cache.SizeBytes, r.Spec.Cache.LineBytes, r.Spec.Cache.Assoc)
+}
+
+// SweepStats reports the progress and throughput of a run: how many cells
+// completed (simulated or loaded), how many trace records were replayed
+// through the broadcaster (each program's trace is read once, shared by all
+// of its pending cells), how many cells the store served, how many program
+// traces were actually replayed, and the wall-clock time so far.
 type SweepStats struct {
 	Cells      int
 	TotalCells int
 	Records    int64
+	Loaded     int
+	Replays    int
 	Elapsed    time.Duration
 }
 
@@ -235,8 +275,8 @@ func (s SweepStats) RecordsPerSec() float64 {
 	return float64(s.Records) / s.Elapsed.Seconds()
 }
 
-// LastSweepStats returns the stats of the most recent Sweep (final state if
-// the sweep finished, a snapshot if one is running).
+// LastSweepStats returns the stats of the most recent run (final state if
+// it finished, a snapshot if one is running).
 func (r *Runner) LastSweepStats() SweepStats {
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
@@ -244,111 +284,38 @@ func (r *Runner) LastSweepStats() SweepStats {
 }
 
 // Sweep runs every (program × factory × cache) combination and returns the
-// results in deterministic order: program-major, then factory, then cache.
-//
-// Scheduling (DESIGN.md §7): each program's trace is replayed ONCE through
-// fetch.Broadcast, fanning every chunk out to all of the program's engines
-// (factories × caches), instead of re-reading the full trace per cell.
-// Programs run concurrently under a bounded pool — the semaphore is
-// acquired before the goroutine is spawned, so at most progPar program
-// goroutines exist at any time — and the leftover parallelism budget goes
-// to each broadcast's worker pool. Engines are deterministic, so results
-// are bit-identical to the per-cell replay (asserted by
-// TestSweepMatchesPerCellOracle).
-func (r *Runner) Sweep(factories []Factory, caches []cache.Geometry) ([]Result, error) {
-	chunked, err := r.Chunked()
+// rows in deterministic order: program-major, then factory, then cache.
+// It is the ad-hoc form of the grid pipeline — a one-off Grid run through
+// an Executor without a store — and shares all of its scheduling
+// (DESIGN.md §7, §9): each program's trace is replayed once through
+// fetch.Broadcast for all of the program's cells. Engines are
+// deterministic, so results are bit-identical to the per-cell replay
+// (asserted by TestSweepMatchesPerCellOracle).
+func (r *Runner) Sweep(factories []Factory, caches []cache.Geometry) ([]Row, error) {
+	arms := make([]Arm, len(factories))
+	for i, f := range factories {
+		arms[i] = Arm{Name: f.Name, Spec: f.Spec, Caches: caches}
+	}
+	g := Grid{Name: "sweep", Arms: arms}
+	x := &Executor{R: r}
+	rs, err := x.RunGrids(false, g)
 	if err != nil {
 		return nil, err
 	}
-	cellsPerProg := len(factories) * len(caches)
-	results := make([]Result, len(chunked)*cellsPerProg)
-	start := time.Now()
-	r.statsMu.Lock()
-	r.stats = SweepStats{TotalCells: len(results)}
-	r.statsMu.Unlock()
-
-	budget := maxParallel()
-	progPar := len(chunked)
-	if progPar > budget {
-		progPar = budget
-	}
-	if progPar < 1 {
-		progPar = 1
-	}
-	perProg := budget / progPar
-	if perProg < 1 {
-		perProg = 1
-	}
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, progPar)
-	for pi, ct := range chunked {
-		wg.Add(1)
-		sem <- struct{}{} // bound concurrency before spawning
-		go func(pi int, ct *trace.Chunked) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			engines := make([]fetch.Engine, 0, cellsPerProg)
-			for _, f := range factories {
-				for _, g := range caches {
-					engines = append(engines, f.New(g))
-				}
-			}
-			n := fetch.BroadcastWorkers(sweepSource(ct, caches), perProg, engines...)
-			slot := pi * cellsPerProg
-			for _, f := range factories {
-				for _, g := range caches {
-					results[slot] = Result{Program: ct.Name, Arch: f.Name, Cache: g,
-						M: *engines[slot-pi*cellsPerProg].Counters()}
-					slot++
-				}
-			}
-			r.statsMu.Lock()
-			r.stats.Cells += cellsPerProg
-			r.stats.Records += n
-			r.stats.Elapsed = time.Since(start)
-			if r.Progress != nil {
-				r.Progress(r.stats) // statsMu held: calls are serialized
-			}
-			r.statsMu.Unlock()
-		}(pi, ct)
-	}
-	wg.Wait()
-	r.statsMu.Lock()
-	r.stats.Elapsed = time.Since(start)
-	r.statsMu.Unlock()
-	return results, nil
-}
-
-// sweepSource picks the chunk source for one program's broadcast: when
-// every cache of the sweep shares one line size (always true for the
-// paper's 32-byte-line matrix), the blocks carry the trace's memoized
-// same-line run annotations (trace.Chunked.RunLens), so the run-boundary
-// scan happens once per chunk instead of once per engine. Mixed line sizes
-// fall back to plain blocks and per-engine scanning.
-func sweepSource(ct *trace.Chunked, caches []cache.Geometry) trace.ChunkSource {
-	if len(caches) == 0 {
-		return ct.Chunks()
-	}
-	lb := caches[0].LineBytes()
-	for _, g := range caches[1:] {
-		if g.LineBytes() != lb {
-			return ct.Chunks()
-		}
-	}
-	return ct.ChunksRuns(lb)
+	return rs.Rows(g), nil
 }
 
 // sweepPerCell is the legacy scheduler: every (program × factory × cache)
 // cell replays the full materialized trace independently through fetch.Run.
-// It is kept, unexported, as the differential-test oracle for Sweep and as
-// the baseline the root-level BenchmarkSweepPerCell measures against.
-func (r *Runner) sweepPerCell(factories []Factory, caches []cache.Geometry) ([]Result, error) {
+// It is kept, unexported, as the differential-test oracle for the grid
+// executor and as the baseline the root-level BenchmarkSweepPerCell
+// measures against.
+func (r *Runner) sweepPerCell(factories []Factory, caches []cache.Geometry) ([]Row, error) {
 	traces, err := r.Traces()
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(traces)*len(factories)*len(caches))
+	results := make([]Row, len(traces)*len(factories)*len(caches))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxParallel())
 	idx := 0
@@ -362,7 +329,8 @@ func (r *Runner) sweepPerCell(factories []Factory, caches []cache.Geometry) ([]R
 					defer func() { <-sem }()
 					e := f.New(g)
 					m := fetch.Run(e, t)
-					results[slot] = Result{Program: t.Name, Arch: f.Name, Cache: g, M: *m}
+					results[slot] = Row{Program: t.Name, Arch: f.Name,
+						Spec: f.Spec.WithGeometry(g), M: *m}
 				}(idx, t, f, g)
 				idx++
 			}
@@ -372,9 +340,16 @@ func (r *Runner) sweepPerCell(factories []Factory, caches []cache.Geometry) ([]R
 	return results, nil
 }
 
-// Average aggregates results over programs: for each (arch, cache) pair it
-// returns a Result whose metrics are the arithmetic means of the per-program
-// BEP components and CPI inputs, with Program set to "average". Order
+func maxParallel() int {
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Average aggregates rows over programs: for each (arch, cache) pair the
+// arithmetic means of the per-program BEP components and CPI inputs. Order
 // follows first appearance.
 type Average struct {
 	Arch  string
@@ -383,24 +358,28 @@ type Average struct {
 	MfBEP, MpBEP, CPI, MissRate float64
 }
 
-// Averages computes per-(arch, cache) means over programs.
-func (r *Runner) Averages(results []Result) []Average {
+// BEP returns the average's total branch execution penalty.
+func (a Average) BEP() float64 { return a.MfBEP + a.MpBEP }
+
+// Averages computes per-(arch, cache) means over programs. Accumulation
+// follows row order, so program-major rows reproduce the program-order
+// float summation of the pre-grid drivers exactly.
+func Averages(rows []Row, p metrics.Penalties) []Average {
 	type key struct {
 		arch  string
-		cache cache.Geometry
+		cache arch.CacheSpec
 	}
 	order := []key{}
 	sums := map[key]*Average{}
 	counts := map[key]int{}
-	for _, res := range results {
-		k := key{res.Arch, res.Cache}
+	for _, res := range rows {
+		k := key{res.Arch, res.Spec.Cache}
 		a, ok := sums[k]
 		if !ok {
-			a = &Average{Arch: res.Arch, Cache: res.Cache}
+			a = &Average{Arch: res.Arch, Cache: res.Cache()}
 			sums[k] = a
 			order = append(order, k)
 		}
-		p := r.Cfg.Penalties
 		a.MfBEP += res.M.MisfetchBEP(p)
 		a.MpBEP += res.M.MispredictBEP(p)
 		a.CPI += res.M.CPI(p)
@@ -419,6 +398,3 @@ func (r *Runner) Averages(results []Result) []Average {
 	}
 	return out
 }
-
-// BEP returns the average's total branch execution penalty.
-func (a Average) BEP() float64 { return a.MfBEP + a.MpBEP }

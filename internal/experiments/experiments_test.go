@@ -30,12 +30,46 @@ func avgBEP(avgs []Average, arch string, cacheStr string) (float64, bool) {
 	return 0, false
 }
 
-func TestTable1Renders(t *testing.T) {
-	r := runnerOn(100_000, workload.Espresso())
-	out, err := r.Table1()
+// runFigure executes one figure on a store-less executor and returns the
+// resolved result set alongside the figure.
+func runFigure(t testing.TB, r *Runner, name string) (Figure, *ResultSet) {
+	t.Helper()
+	f, ok := FigureByName(name)
+	if !ok {
+		t.Fatalf("unknown figure %q", name)
+	}
+	rs, err := (&Executor{R: r}).Run(f)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return f, rs
+}
+
+// figureData executes one figure and returns its rendered text and -json
+// data rows.
+func figureData(t testing.TB, r *Runner, name string) (string, any) {
+	t.Helper()
+	f, rs := runFigure(t, r, name)
+	text, data := f.Render(rs.Context(f))
+	return text, data
+}
+
+// figureRows executes one figure and returns its grid's resolved rows.
+func figureRows(t testing.TB, r *Runner, name string) []Row {
+	t.Helper()
+	f, rs := runFigure(t, r, name)
+	return rs.Rows(f.Grid)
+}
+
+// figureAverages executes one figure and averages its rows over programs.
+func figureAverages(t testing.TB, r *Runner, name string) []Average {
+	t.Helper()
+	return Averages(figureRows(t, r, name), r.Cfg.Penalties)
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := runnerOn(100_000, workload.Espresso())
+	out, _ := figureData(t, r, "table1")
 	if !strings.Contains(out, "espresso-like") {
 		t.Errorf("table missing program:\n%s", out)
 	}
@@ -45,10 +79,7 @@ func TestTable1Renders(t *testing.T) {
 // tables help with diminishing returns (512 -> 1024 > 1024 -> 2048).
 func TestShapeNLSTableBeatsNLSCache(t *testing.T) {
 	r := testRunner()
-	avgs, err := r.Fig4()
-	if err != nil {
-		t.Fatal(err)
-	}
+	avgs := figureAverages(t, r, "fig4")
 	for _, cacheStr := range []string{"8KB direct", "16KB direct", "32KB direct"} {
 		nlsCache, ok1 := avgBEP(avgs, "NLS-cache", cacheStr)
 		nlsTable, ok2 := avgBEP(avgs, "1024 NLS-table", cacheStr)
@@ -77,10 +108,7 @@ func TestShapeNLSTableBeatsNLSCache(t *testing.T) {
 // equal-cost 128-entry BTB on average BEP.
 func TestShapeNLSMatchesEqualCostBTB(t *testing.T) {
 	r := testRunner()
-	avgs, err := r.Fig5()
-	if err != nil {
-		t.Fatal(err)
-	}
+	avgs := figureAverages(t, r, "fig5")
 	btb128, ok := avgBEP(avgs, "128-entry direct BTB", "")
 	if !ok {
 		t.Fatal("no 128-entry BTB row")
@@ -104,10 +132,7 @@ func TestShapeNLSMatchesEqualCostBTB(t *testing.T) {
 func TestShapeNLSImprovesWithCacheSize(t *testing.T) {
 	// Use the branchy programs where the effect is visible.
 	r := runnerOn(400_000, workload.Gcc(), workload.Cfront())
-	avgs, err := r.Fig4()
-	if err != nil {
-		t.Fatal(err)
-	}
+	avgs := figureAverages(t, r, "fig4")
 	small, _ := avgBEP(avgs, "1024 NLS-table", "8KB direct")
 	large, _ := avgBEP(avgs, "1024 NLS-table", "32KB direct")
 	if large >= small {
@@ -119,9 +144,10 @@ func TestShapeNLSImprovesWithCacheSize(t *testing.T) {
 // with few hot sites show parity.
 func TestShapeProgramClassContrast(t *testing.T) {
 	r := testRunner()
-	byProg, err := r.Fig7()
-	if err != nil {
-		t.Fatal(err)
+	rows := figureRows(t, r, "fig7")
+	byProg := map[string][]Row{}
+	for _, res := range rows {
+		byProg[res.Program] = append(byProg[res.Program], res)
 	}
 	p := r.Cfg.Penalties
 	relAdvantage := func(prog string) float64 {
@@ -132,7 +158,7 @@ func TestShapeProgramClassContrast(t *testing.T) {
 				btbMf = res.M.MisfetchBEP(p)
 				found++
 			}
-			if res.Arch == "1024 NLS-table" && res.Cache.String() == "16KB direct" {
+			if res.Arch == "1024 NLS-table" && res.Cache().String() == "16KB direct" {
 				nlsMf = res.M.MisfetchBEP(p)
 				found++
 			}
@@ -200,10 +226,7 @@ func TestShapeAccessTime(t *testing.T) {
 // every CPI is >= 1.
 func TestFig8CPI(t *testing.T) {
 	r := runnerOn(400_000, workload.Gcc(), workload.Espresso())
-	avgs, err := r.Fig8()
-	if err != nil {
-		t.Fatal(err)
-	}
+	avgs := figureAverages(t, r, "fig8")
 	if len(avgs) == 0 {
 		t.Fatal("no CPI rows")
 	}
@@ -255,7 +278,7 @@ func TestJohnsonWorseThanNLS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	avgs := r.Averages(res)
+	avgs := Averages(res, r.Cfg.Penalties)
 	nls, _ := avgBEP(avgs, "1024 NLS-table", "")
 	johnson, _ := avgBEP(avgs, "Johnson 1-bit", "")
 	if nls >= johnson {

@@ -2,266 +2,487 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
-	"strings"
 
-	"repro/internal/area"
+	"repro/internal/arch"
 	"repro/internal/btb"
 	"repro/internal/cache"
-	"repro/internal/timing"
+	"repro/internal/multiissue"
 	"repro/internal/trace"
 )
 
-func maxParallel() int {
-	n := runtime.NumCPU()
-	if n < 2 {
-		n = 2
-	}
-	return n
+// A Figure is one deliverable of the evaluation: a name (the CLI's -only
+// key), the Grid of cells it needs, whether it also needs the per-program
+// replay statistics (Table 1, fetch-block counts), and a pure renderer
+// from the resolved RenderContext to the display text plus the rows behind
+// the -json report. The registry below is the entire experiment matrix;
+// one Executor.Run over any subset simulates each distinct cell once and
+// each program's trace at most once, however many figures share them.
+type Figure struct {
+	Name      string
+	Grid      Grid
+	NeedsInfo bool
+	Render    func(RenderContext) (text string, data any)
 }
 
-// Table1 reproduces Table 1: the measured attributes of each generated
-// trace.
-func (r *Runner) Table1() (string, error) {
-	traces, err := r.Traces()
-	if err != nil {
-		return "", err
+// Figures returns the full registry in presentation order (the order the
+// `-exp all` run prints).
+func Figures() []Figure {
+	return []Figure{
+		table1Figure(),
+		fig3Figure(),
+		fig4Figure(),
+		fig5Figure(),
+		fig6Figure(),
+		fig7Figure(),
+		fig8Figure(),
+		perLineFigure(),
+		coupledFigure(),
+		phtFigure(),
+		widthFigure(),
+		pollutionFigure(),
+		hybridFigure(),
 	}
-	rows := make([]*trace.Stats, len(traces))
-	for i, t := range traces {
-		rows[i] = trace.ComputeStats(t)
-	}
-	return trace.FormatTable(rows), nil
 }
 
-// Fig3Row is one bar group of Figure 3.
-type Fig3Row struct {
-	Label string
-	RBE   float64
+// FigureByName looks a figure up by its CLI name.
+func FigureByName(name string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Figure{}, false
 }
 
-// Fig3 reproduces Figure 3: register-bit-equivalent costs for the NLS-cache
-// and the 512/1024/2048-entry NLS-tables at 8K–64K cache sizes, and for
-// 128- and 256-entry BTBs at associativities 1, 2, 4. No simulation — pure
-// area model.
-func Fig3() []Fig3Row {
-	var rows []Fig3Row
-	sizes := []int{8, 16, 32, 64}
-	for _, kb := range sizes {
-		g := cache.MustGeometry(kb*1024, LineBytes, 1)
-		rows = append(rows, Fig3Row{
-			Label: fmt.Sprintf("NLS-cache %dK", kb),
-			RBE:   area.NLSCacheRBE(NLSPerLine, g),
+// cache16KDirect is the figure suite's reference cache configuration.
+func cache16KDirect() []cache.Geometry {
+	return []cache.Geometry{cache.MustGeometry(16*1024, LineBytes, 1)}
+}
+
+// table1Figure reproduces Table 1 — the measured attributes of each
+// generated trace — from the replay pass itself (no grid cells).
+func table1Figure() Figure {
+	return Figure{
+		Name:      "table1",
+		Grid:      Grid{Name: "table1"},
+		NeedsInfo: true,
+		Render: func(ctx RenderContext) (string, any) {
+			rows := make([]*trace.Stats, len(ctx.Infos))
+			for i, info := range ctx.Infos {
+				rows[i] = info.Stats
+			}
+			out := trace.FormatTable(rows)
+			return "Table 1: measured attributes of the traced programs\n" + out, out
+		},
+	}
+}
+
+// fig3Figure reproduces Figure 3 (pure area model, no simulation).
+func fig3Figure() Figure {
+	return Figure{
+		Name: "fig3",
+		Grid: Grid{Name: "fig3"},
+		Render: func(RenderContext) (string, any) {
+			rows := Fig3()
+			return RenderFig3(rows), rows
+		},
+	}
+}
+
+// fig4Figure reproduces Figure 4: average BEP of the NLS-cache and the
+// three NLS-table sizes over the paper's cache configurations.
+func fig4Figure() Figure {
+	arms := []Arm{{Name: "NLS-cache", Spec: arch.NLSCache(NLSPerLine), Caches: PaperCaches()}}
+	for _, n := range NLSTableSizes {
+		arms = append(arms, Arm{
+			Name: fmt.Sprintf("%d NLS-table", n), Spec: arch.NLSTable(n), Caches: PaperCaches(),
 		})
 	}
-	for _, entries := range NLSTableSizes {
-		for _, kb := range sizes {
-			g := cache.MustGeometry(kb*1024, LineBytes, 1)
-			rows = append(rows, Fig3Row{
-				Label: fmt.Sprintf("%d NLS-table %dK", entries, kb),
-				RBE:   area.NLSTableRBE(entries, g),
-			})
-		}
+	return Figure{
+		Name: "fig4",
+		Grid: Grid{Name: "fig4", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			avgs := Averages(ctx.Rows, ctx.Cfg.Penalties)
+			return RenderAverages("Figure 4: average BEP, NLS-cache vs NLS-table", avgs), avgRows(avgs)
+		},
 	}
-	for _, entries := range []int{128, 256} {
-		for _, assoc := range []int{1, 2, 4} {
-			rows = append(rows, Fig3Row{
-				Label: fmt.Sprintf("%d BTB %d-way", entries, assoc),
-				RBE:   area.BTBRBE(btb.Config{Entries: entries, Assoc: assoc}),
-			})
-		}
-	}
-	return rows
 }
 
-// RenderFig3 formats Figure 3 as a table with bars.
-func RenderFig3(rows []Fig3Row) string {
-	var b strings.Builder
-	b.WriteString("Figure 3: register bit equivalent costs (RBE)\n")
-	max := 0.0
-	for _, r := range rows {
-		if r.RBE > max {
-			max = r.RBE
-		}
-	}
-	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-22s %9.0f %s\n", r.Label, r.RBE, bar(r.RBE, max, 40))
-	}
-	return b.String()
-}
-
-// Fig4 reproduces Figure 4: average BEP of the NLS-cache and the three
-// NLS-table sizes over the paper's cache configurations.
-func (r *Runner) Fig4() ([]Average, error) {
-	factories := []Factory{NLSCacheFactory(NLSPerLine)}
-	for _, n := range NLSTableSizes {
-		factories = append(factories, NLSTableFactory(n))
-	}
-	results, err := r.Sweep(factories, PaperCaches())
-	if err != nil {
-		return nil, err
-	}
-	return r.Averages(results), nil
-}
-
-// Fig5 reproduces Figure 5: average BEP of the four BTB organizations and
-// the 1024-entry NLS-table. BTB BEP is cache-independent, so BTBs run on a
-// single cache configuration; the NLS-table runs on all of them.
-func (r *Runner) Fig5() ([]Average, error) {
-	oneCache := []cache.Geometry{cache.MustGeometry(16*1024, LineBytes, 1)}
-	var btbFacts []Factory
+// btbVsNLSArms is the shared arm set of Figures 5 and 7: the four BTB
+// organizations on one cache (BTB BEP is cache-independent) and the
+// 1024-entry NLS-table on every paper cache. Declaring the same arms in
+// both grids costs nothing — the executor dedupes cells by content key.
+func btbVsNLSArms() []Arm {
+	var arms []Arm
 	for _, cfg := range BTBConfigs() {
-		btbFacts = append(btbFacts, BTBFactory(cfg))
+		arms = append(arms, Arm{
+			Name: cfg.String(), Spec: arch.BTB(cfg.Entries, cfg.Assoc), Caches: cache16KDirect(),
+		})
 	}
-	btbRes, err := r.Sweep(btbFacts, oneCache)
-	if err != nil {
-		return nil, err
-	}
-	nlsRes, err := r.Sweep([]Factory{NLSTableFactory(1024)}, PaperCaches())
-	if err != nil {
-		return nil, err
-	}
-	return append(r.Averages(btbRes), r.Averages(nlsRes)...), nil
+	return append(arms, Arm{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: PaperCaches()})
 }
 
-// Fig6Row is one bar of Figure 6.
-type Fig6Row struct {
-	Entries, Assoc int
-	NS             float64
+// fig5Figure reproduces Figure 5: average BEP of the four BTB
+// organizations and the 1024-entry NLS-table.
+func fig5Figure() Figure {
+	return Figure{
+		Name: "fig5",
+		Grid: Grid{Name: "fig5", Arms: btbVsNLSArms()},
+		Render: func(ctx RenderContext) (string, any) {
+			avgs := Averages(ctx.Rows, ctx.Cfg.Penalties)
+			return RenderAverages("Figure 5: average BEP, BTB vs 1024 NLS-table", avgs), avgRows(avgs)
+		},
+	}
 }
 
-// Fig6 reproduces Figure 6: estimated BTB access times.
-func Fig6() []Fig6Row {
-	var rows []Fig6Row
-	for _, entries := range []int{128, 256} {
-		for _, assoc := range []int{1, 2, 4} {
-			rows = append(rows, Fig6Row{entries, assoc, timing.BTBAccessNS(entries, assoc)})
-		}
+// fig6Figure reproduces Figure 6 (pure timing model, no simulation).
+func fig6Figure() Figure {
+	return Figure{
+		Name: "fig6",
+		Grid: Grid{Name: "fig6"},
+		Render: func(RenderContext) (string, any) {
+			rows := Fig6()
+			return RenderFig6(rows), rows
+		},
 	}
-	return rows
 }
 
-// RenderFig6 formats Figure 6.
-func RenderFig6(rows []Fig6Row) string {
-	var b strings.Builder
-	b.WriteString("Figure 6: BTB access time (ns, CACTI-style model)\n")
-	for _, r := range rows {
-		way := fmt.Sprintf("%d-way", r.Assoc)
-		if r.Assoc == 1 {
-			way = "direct"
-		}
-		fmt.Fprintf(&b, "  %3d-entry %-6s %5.2f ns %s\n", r.Entries, way, r.NS, bar(r.NS, 8, 32))
-	}
-	return b.String()
-}
-
-// Fig7 reproduces Figure 7: per-program BEP comparison between the BTBs
-// (cache-independent, shown once) and the 1024-entry NLS-table on every
-// paper cache configuration. Results are keyed by program name.
-func (r *Runner) Fig7() (map[string][]Result, error) {
-	oneCache := []cache.Geometry{cache.MustGeometry(16*1024, LineBytes, 1)}
-	var btbFacts []Factory
-	for _, cfg := range BTBConfigs() {
-		btbFacts = append(btbFacts, BTBFactory(cfg))
-	}
-	btbRes, err := r.Sweep(btbFacts, oneCache)
-	if err != nil {
-		return nil, err
-	}
-	nlsRes, err := r.Sweep([]Factory{NLSTableFactory(1024)}, PaperCaches())
-	if err != nil {
-		return nil, err
-	}
-	byProg := map[string][]Result{}
-	for _, res := range append(btbRes, nlsRes...) {
-		byProg[res.Program] = append(byProg[res.Program], res)
-	}
-	return byProg, nil
-}
-
-// Fig8 reproduces Figure 8: average CPI for the BTB organizations and the
-// 1024-entry NLS-table over each cache configuration. Unlike BEP, CPI
-// depends on the cache for every architecture (the 5-cycle miss penalty),
-// so everything runs on all configurations.
-func (r *Runner) Fig8() ([]Average, error) {
-	var factories []Factory
-	for _, cfg := range BTBConfigs() {
-		factories = append(factories, BTBFactory(cfg))
-	}
-	factories = append(factories, NLSTableFactory(1024))
-	results, err := r.Sweep(factories, PaperCaches())
-	if err != nil {
-		return nil, err
-	}
-	return r.Averages(results), nil
-}
-
-// RenderAverages formats BEP averages as stacked misfetch/mispredict rows,
-// the textual equivalent of the paper's stacked bars.
-func RenderAverages(title string, avgs []Average) string {
-	var b strings.Builder
-	b.WriteString(title + "\n")
-	b.WriteString("  arch                        cache        misfetch  mispredict   BEP\n")
-	max := 0.0
-	for _, a := range avgs {
-		if a.BEP() > max {
-			max = a.BEP()
-		}
-	}
-	for _, a := range avgs {
-		fmt.Fprintf(&b, "  %-26s %-12s %8.3f %10.3f %7.3f %s\n",
-			a.Arch, a.Cache, a.MfBEP, a.MpBEP, a.BEP(), bar(a.BEP(), max, 30))
-	}
-	return b.String()
-}
-
-// RenderCPI formats Figure 8.
-func RenderCPI(avgs []Average) string {
-	var b strings.Builder
-	b.WriteString("Figure 8: cycles per instruction (single issue, 5-cycle miss penalty)\n")
-	b.WriteString("  arch                        cache          CPI   icache-miss%\n")
-	for _, a := range avgs {
-		fmt.Fprintf(&b, "  %-26s %-12s %6.3f %10.2f\n", a.Arch, a.Cache, a.CPI, 100*a.MissRate)
-	}
-	return b.String()
-}
-
-// RenderFig7 formats the per-program comparison.
-func RenderFig7(r *Runner, byProg map[string][]Result) string {
-	var b strings.Builder
-	b.WriteString("Figure 7: per-program branch execution penalty\n")
-	names := make([]string, 0, len(byProg))
-	for n := range byProg {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	p := r.Cfg.Penalties
-	for _, name := range names {
-		fmt.Fprintf(&b, "%s:\n", name)
-		for _, res := range byProg[name] {
-			cacheLabel := res.Cache.String()
-			if strings.Contains(res.Arch, "BTB") {
-				cacheLabel = "(any)"
+// fig7Figure reproduces Figure 7: the per-program BEP comparison over the
+// same cells as Figure 5.
+func fig7Figure() Figure {
+	return Figure{
+		Name: "fig7",
+		Grid: Grid{Name: "fig7", Arms: btbVsNLSArms()},
+		Render: func(ctx RenderContext) (string, any) {
+			p := ctx.Cfg.Penalties
+			data := map[string][]resultRow{}
+			for _, res := range ctx.Rows {
+				data[res.Program] = append(data[res.Program], resultRow{
+					Program: res.Program, Arch: res.Arch, Cache: res.Cache().String(),
+					MfBEP: res.M.MisfetchBEP(p), MpBEP: res.M.MispredictBEP(p),
+					BEP: res.M.BEP(p),
+				})
 			}
-			fmt.Fprintf(&b, "  %-26s %-12s mf=%6.3f mp=%6.3f BEP=%6.3f\n",
-				res.Arch, cacheLabel, res.M.MisfetchBEP(p), res.M.MispredictBEP(p), res.M.BEP(p))
-		}
+			return RenderFig7(ctx.Rows, len(ctx.Cfg.Programs), p), data
+		},
 	}
-	return b.String()
 }
 
-// bar renders a proportional ASCII bar.
-func bar(v, max float64, width int) string {
-	if max <= 0 {
-		return ""
+// fig8Figure reproduces Figure 8: average CPI for the BTB organizations
+// and the 1024-entry NLS-table over each cache configuration. Unlike BEP,
+// CPI depends on the cache for every architecture (the 5-cycle miss
+// penalty), so everything runs on all configurations.
+func fig8Figure() Figure {
+	var arms []Arm
+	for _, cfg := range BTBConfigs() {
+		arms = append(arms, Arm{
+			Name: cfg.String(), Spec: arch.BTB(cfg.Entries, cfg.Assoc), Caches: PaperCaches(),
+		})
 	}
-	n := int(v / max * float64(width))
-	if n < 0 {
-		n = 0
+	arms = append(arms, Arm{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: PaperCaches()})
+	return Figure{
+		Name: "fig8",
+		Grid: Grid{Name: "fig8", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			avgs := Averages(ctx.Rows, ctx.Cfg.Penalties)
+			return RenderCPI(avgs), avgRows(avgs)
+		},
 	}
-	if n > width {
-		n = width
+}
+
+// perLineFigure evaluates the NLS-cache with 1, 2, 4 predictors per line
+// (§5.1: "we used one to four NLS predictors per cache line ... two NLS
+// predictors per cache line gave performance comparable to the
+// NLS-table").
+func perLineFigure() Figure {
+	caches := []cache.Geometry{
+		cache.MustGeometry(8*1024, LineBytes, 1),
+		cache.MustGeometry(16*1024, LineBytes, 1),
 	}
-	return strings.Repeat("█", n)
+	var arms []Arm
+	for _, per := range []int{1, 2, 4} {
+		arms = append(arms, Arm{
+			Name: fmt.Sprintf("NLS-cache %d/line", per), Spec: arch.NLSCache(per), Caches: caches,
+		})
+	}
+	arms = append(arms, Arm{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: caches})
+	return Figure{
+		Name: "perline",
+		Grid: Grid{Name: "perline", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			avgs := Averages(ctx.Rows, ctx.Cfg.Penalties)
+			return RenderAverages("Ablation: NLS-cache predictors per line (§5.1)", avgs), avgRows(avgs)
+		},
+	}
+}
+
+// coupledFigure compares the decoupled BTB+PHT design against the coupled
+// (Pentium-style) BTB with per-entry 2-bit counters, and against Johnson's
+// coupled one-bit successor-index design — isolating the value of
+// decoupling, the design decision both the paper and its predecessor
+// emphasize. Both 128-entry and 32-entry BTBs are swept: the coupled
+// design's weakness — a branch evicted from the BTB also loses its
+// direction state and falls back to static prediction — scales with BTB
+// capacity pressure, so the small configuration shows it starkly.
+func coupledFigure() Figure {
+	var arms []Arm
+	for _, entries := range []int{128, 32} {
+		arms = append(arms,
+			Arm{Name: btb.Config{Entries: entries, Assoc: 1}.String(),
+				Spec: arch.BTB(entries, 1), Caches: cache16KDirect()},
+			Arm{Name: fmt.Sprintf("coupled %d-entry BTB", entries),
+				Spec: arch.CoupledBTB(entries, 1), Caches: cache16KDirect()},
+		)
+	}
+	arms = append(arms,
+		Arm{Name: "Johnson 1-bit", Spec: arch.Johnson(), Caches: cache16KDirect()},
+		Arm{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: cache16KDirect()},
+	)
+	return Figure{
+		Name: "coupled",
+		Grid: Grid{Name: "coupled", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			avgs := Averages(ctx.Rows, ctx.Cfg.Penalties)
+			return RenderAverages("Ablation: decoupled vs coupled designs (§2, §6.2)", avgs), avgRows(avgs)
+		},
+	}
+}
+
+// phtKinds are the direction predictors of the PHT ablation: the paper's
+// gshare, the pure-global GAs degenerate scheme, a per-address bimodal
+// table, a one-bit table, and static not-taken.
+func phtKinds() []struct {
+	name string
+	pht  arch.PHTSpec
+} {
+	return []struct {
+		name string
+		pht  arch.PHTSpec
+	}{
+		{"gshare-4096", arch.PaperPHT()},
+		{"GAs-4096", arch.PHTSpec{Kind: "gas", Entries: PHTEntries}},
+		{"bimodal-4096", arch.PHTSpec{Kind: "bimodal", Entries: PHTEntries}},
+		{"1bit-4096", arch.PHTSpec{Kind: "1bit", Entries: PHTEntries}},
+		{"static-not-taken", arch.PHTSpec{Kind: "static-not-taken"}},
+	}
+}
+
+// phtArchs are the two equal-cost architectures each direction predictor
+// is paired with (§5.1's methodological requirement: the PHT is
+// architecturally identical across NLS and BTB in every row).
+func phtArchs() []struct {
+	name string
+	base arch.Spec
+} {
+	return []struct {
+		name string
+		base arch.Spec
+	}{
+		{"1024 NLS-table", arch.NLSTable(1024)},
+		{"128-entry direct BTB", arch.BTB(128, 1)},
+	}
+}
+
+// phtFigure runs both architectures under different direction predictors
+// of equal entry count.
+func phtFigure() Figure {
+	kinds, archs := phtKinds(), phtArchs()
+	var arms []Arm
+	for _, k := range kinds {
+		for _, a := range archs {
+			spec := a.base
+			spec.PHT = k.pht
+			arms = append(arms, Arm{
+				Name: fmt.Sprintf("%s (%s)", a.name, k.name), Spec: spec, Caches: cache16KDirect(),
+			})
+		}
+	}
+	return Figure{
+		Name: "pht",
+		Grid: Grid{Name: "pht", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			var rows []PHTRow
+			arm := 0
+			for _, k := range kinds {
+				for _, a := range archs {
+					var accSum, bepSum float64
+					armRows := ctx.ArmRows(arm)
+					for _, res := range armRows {
+						accSum += res.M.CondAccuracy()
+						bepSum += res.M.BEP(ctx.Cfg.Penalties)
+					}
+					n := float64(len(armRows))
+					rows = append(rows, PHTRow{
+						PHT: k.name, Arch: a.name,
+						CondAcc: accSum / n, BEP: bepSum / n, SizeBits: phtSizeBits(k.pht),
+					})
+					arm++
+				}
+			}
+			return RenderPHTSweep(rows), rows
+		},
+	}
+}
+
+// phtSizeBits returns the storage cost of a direction predictor spec. The
+// ablation's specs are static and valid, so Build cannot fail.
+func phtSizeBits(s arch.PHTSpec) int {
+	dir, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return dir.SizeBits()
+}
+
+// widthFigure evaluates the equal-cost 1024-entry NLS-table and 128-entry
+// BTB under fetch widths 1–8 (averaged over programs). The paper argues
+// penalties grow in importance with issue width and that nothing in NLS is
+// hostile to wide fetch; the sweep quantifies both: penalty share rises
+// with W for every architecture, and the NLS-vs-BTB IPC gap widens. The
+// penalty events are width-independent, so each architecture costs one
+// cell per program; the per-width fetch-block counts come from the replay
+// pass (ProgramInfo), making the width axis pure arithmetic.
+func widthFigure() Figure {
+	arms := []Arm{
+		{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: cache16KDirect()},
+		{Name: btb.Config{Entries: 128, Assoc: 1}.String(), Spec: arch.BTB(128, 1), Caches: cache16KDirect()},
+	}
+	return Figure{
+		Name:      "width",
+		Grid:      Grid{Name: "width", Arms: arms},
+		NeedsInfo: true,
+		Render: func(ctx RenderContext) (string, any) {
+			var rows []WidthRow
+			for arm := range arms {
+				armRows := ctx.ArmRows(arm)
+				for _, width := range FetchWidths() {
+					var ipcSum, shareSum float64
+					for i, res := range armRows {
+						r := multiissue.EvaluateBlocks(ctx.Infos[i].FetchBlocks[width], &res.M,
+							multiissue.Config{Width: width, LineBytes: LineBytes}, ctx.Cfg.Penalties)
+						ipcSum += r.IPC
+						shareSum += r.PenaltyShare
+					}
+					n := float64(len(armRows))
+					rows = append(rows, WidthRow{
+						Arch: armRows[0].Arch, Width: width,
+						IPC: ipcSum / n, PenaltyShare: shareSum / n,
+					})
+				}
+			}
+			return RenderWidthSweep(rows), rows
+		},
+	}
+}
+
+// pollutionFigure quantifies the §5.2 remark that the architectures "may
+// fetch different instructions, even for the same cache organization":
+// wrong-path fetches touch the cache, raising the miss rate — and, for the
+// NLS architecture only, feeding back into fetch prediction (displaced
+// lines invalidate pointers).
+func pollutionFigure() Figure {
+	cache8K := []cache.Geometry{cache.MustGeometry(8*1024, LineBytes, 1)}
+	variants := []struct {
+		name string
+		spec arch.Spec
+	}{
+		{"1024 NLS-table", arch.NLSTable(1024)},
+		{"128-entry direct BTB", arch.BTB(128, 1)},
+	}
+	var arms []Arm
+	for _, v := range variants {
+		polluted := v.spec
+		polluted.Pollution = true
+		arms = append(arms,
+			Arm{Name: v.name, Spec: v.spec, Caches: cache8K},
+			Arm{Name: v.name + " (polluted)", Spec: polluted, Caches: cache8K},
+		)
+	}
+	return Figure{
+		Name: "pollution",
+		Grid: Grid{Name: "pollution", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			p := ctx.Cfg.Penalties
+			var rows []PollutionRow
+			for i, v := range variants {
+				row := PollutionRow{Arch: v.name}
+				for j, pollute := range []bool{false, true} {
+					var miss, mf, cpi float64
+					armRows := ctx.ArmRows(2*i + j)
+					for _, res := range armRows {
+						miss += res.M.ICacheMissRate()
+						mf += res.M.MisfetchBEP(p)
+						cpi += res.M.CPI(p)
+					}
+					n := float64(len(armRows))
+					if pollute {
+						row.PollutedMissRate = miss / n
+						row.PollutedMisfetch = mf / n
+						row.PollutedCPI = cpi / n
+					} else {
+						row.CleanMissRate = miss / n
+						row.CleanMisfetchBEP = mf / n
+						row.CleanCPI = cpi / n
+					}
+				}
+				rows = append(rows, row)
+			}
+			return RenderPollutionSweep(rows, p), rows
+		},
+	}
+}
+
+// hybridFigure is the equal-cost comparison for the hybrid NLS+BTB
+// predictor (satellite of the grid refactor): the hybrid keeps the
+// NLS-table's cache-relative pointer as the first-class target source and
+// falls back to a small BTB for lines the cache has displaced. Its
+// neighbours in predictor-cost space bracket it from both sides — the two
+// pure NLS-tables and the two pure direct BTBs — so the row shows what the
+// fallback buys at what cost. Only the hybrid cell is new; the four
+// comparison arms reuse cells other figures already simulate.
+func hybridFigure() Figure {
+	arms := []Arm{
+		{Name: btb.Config{Entries: 128, Assoc: 1}.String(), Spec: arch.BTB(128, 1), Caches: cache16KDirect()},
+		{Name: btb.Config{Entries: 256, Assoc: 1}.String(), Spec: arch.BTB(256, 1), Caches: cache16KDirect()},
+		{Name: "512 NLS-table", Spec: arch.NLSTable(512), Caches: cache16KDirect()},
+		{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: cache16KDirect()},
+		{Name: "512 NLS+64 BTB hybrid", Spec: arch.Hybrid(512, 64, 1), Caches: cache16KDirect()},
+	}
+	return Figure{
+		Name: "hybrid",
+		Grid: Grid{Name: "hybrid", Arms: arms},
+		Render: func(ctx RenderContext) (string, any) {
+			p := ctx.Cfg.Penalties
+			rows := make([]HybridRow, 0, len(arms))
+			for arm := range arms {
+				armRows := ctx.ArmRows(arm)
+				var mf, mp float64
+				for _, res := range armRows {
+					mf += res.M.MisfetchBEP(p)
+					mp += res.M.MispredictBEP(p)
+				}
+				n := float64(len(armRows))
+				rows = append(rows, HybridRow{
+					Arch:  armRows[0].Arch,
+					MfBEP: mf / n, MpBEP: mp / n, BEP: (mf + mp) / n,
+					SizeBits: specSizeBits(armRows[0].Spec),
+				})
+			}
+			return RenderHybrid(rows), rows
+		},
+	}
+}
+
+// specSizeBits returns the target-predictor storage cost of a spec by
+// building its engine (cheap: table allocation only, no simulation).
+func specSizeBits(s arch.Spec) int {
+	type sizer interface{ PredictorSizeBits() int }
+	e, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	if sz, ok := e.(sizer); ok {
+		return sz.PredictorSizeBits()
+	}
+	return 0
 }

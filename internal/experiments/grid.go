@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// A Grid is the declarative form of one experiment: the architecture arms
+// to simulate and, per arm, the cache geometries to sweep them over. The
+// program axis comes from the Runner's Config, so one Grid declaration
+// serves any program set. Every table and figure of the evaluation is a
+// Grid plus a renderer (see Figures); the executor is the only code that
+// turns grids into simulations.
+type Grid struct {
+	Name string
+	Arms []Arm
+}
+
+// An Arm is one architecture axis entry: a display name, the declarative
+// spec, and the cache geometries to instantiate it on. An empty Caches list
+// means "the spec's own geometry" (a single cell per program).
+//
+// Two arms of different grids whose (spec, geometry) coincide denote the
+// same cell: the executor simulates it once and every renderer reads it
+// under its own arm name.
+type Arm struct {
+	Name   string
+	Spec   arch.Spec
+	Caches []cache.Geometry
+}
+
+// A Cell is one fully resolved simulation point of a grid: a program and a
+// complete spec (geometry applied). Cell identity for the executor and the
+// results store is the content key — see Key — not the arm name, which is
+// presentation only.
+type Cell struct {
+	Prog workload.Spec
+	Arm  string
+	Spec arch.Spec
+}
+
+// Key returns the cell's content-addressed store key under the given
+// penalties and instruction budget.
+func (c Cell) Key(cfg Config) string {
+	return cellKey(c.Prog, cfg.Insns, c.Spec, cfg.Penalties)
+}
+
+// cells enumerates the grid's cells program-major (all of one program's
+// cells, arm-major, then the next program's). The order is load-bearing:
+// renderers aggregate per (arm, cache) key by walking rows in this order,
+// which reproduces the per-key program-order float accumulation of the
+// pre-grid drivers bit for bit.
+func (g Grid) cells(programs []workload.Spec) []Cell {
+	cells := make([]Cell, 0, len(programs)*g.cellsPerProgram())
+	for _, p := range programs {
+		for _, a := range g.Arms {
+			if len(a.Caches) == 0 {
+				cells = append(cells, Cell{Prog: p, Arm: a.Name, Spec: a.Spec})
+				continue
+			}
+			for _, geo := range a.Caches {
+				cells = append(cells, Cell{Prog: p, Arm: a.Name, Spec: a.Spec.WithGeometry(geo)})
+			}
+		}
+	}
+	return cells
+}
+
+// cellsPerProgram returns the number of cells each program contributes.
+func (g Grid) cellsPerProgram() int {
+	n := 0
+	for _, a := range g.Arms {
+		if len(a.Caches) == 0 {
+			n++
+		} else {
+			n += len(a.Caches)
+		}
+	}
+	return n
+}

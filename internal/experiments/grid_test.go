@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fetch"
+	"repro/internal/workload"
+)
+
+// gridTestConfig is shared by the golden and accounting tests: two
+// programs with contrasting branch behaviour, small enough to oracle
+// every cell per-cell.
+func gridTestConfig() Config {
+	cfg := DefaultConfig(80_000)
+	cfg.Programs = []workload.Spec{workload.Espresso(), workload.Gcc()}
+	return cfg
+}
+
+// TestGridGolden is the equivalence test for the whole pipeline: every
+// figure's rendered output from the grid executor must be identical (a)
+// to a per-cell oracle that replays each cell's trace independently
+// through fetch.Run, and (b) across a cold store-backed run, a store-less
+// run, and a warm run that loads every cell. This pins the refactor's
+// bit-for-bit claim: shared replay, cell dedup across figures, and the
+// store round-trip change nothing observable.
+func TestGridGolden(t *testing.T) {
+	cfg := gridTestConfig()
+	figs := Figures()
+
+	// Cold run, store-backed.
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldR := NewRunner(cfg)
+	cold, err := (&Executor{R: coldR, Store: store}).Run(figs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Loaded != 0 {
+		t.Errorf("cold run loaded %d cells from an empty store", cold.Loaded)
+	}
+
+	// Per-cell oracle: every unique cell of every grid, replayed
+	// independently on the materialized trace.
+	traces := map[string]int{}
+	for i, p := range cfg.Programs {
+		traces[p.Name] = i
+	}
+	r := NewRunner(cfg)
+	checked := map[string]bool{}
+	for _, f := range figs {
+		rows := cold.Rows(f.Grid)
+		for i, c := range f.Grid.cells(cfg.Programs) {
+			k := c.Key(cfg)
+			if checked[k] {
+				continue
+			}
+			checked[k] = true
+			tr, err := r.TraceOne(traces[c.Prog.Name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fetch.Run(c.Spec.MustBuild(), tr)
+			if rows[i].M != *want {
+				t.Errorf("%s cell %s/%s: executor counters diverge from per-cell oracle\n got %+v\nwant %+v",
+					f.Name, c.Prog.Name, c.Arm, rows[i].M, *want)
+			}
+		}
+	}
+
+	// Render every figure from three sources; all must match byte for byte.
+	renderAll := func(rs *ResultSet) map[string]string {
+		out := map[string]string{}
+		for _, f := range figs {
+			text, _ := f.Render(rs.Context(f))
+			out[f.Name] = text
+		}
+		return out
+	}
+	coldText := renderAll(cold)
+
+	noStore, err := (&Executor{R: NewRunner(cfg)}).Run(figs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, text := range renderAll(noStore) {
+		if text != coldText[name] {
+			t.Errorf("figure %s: store-less run differs from cold store-backed run\n%q\nvs\n%q",
+				name, text, coldText[name])
+		}
+	}
+
+	warmR := NewRunner(cfg)
+	warm, err := (&Executor{R: warmR, Store: store}).Run(figs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated != 0 || warm.Replays != 0 {
+		t.Errorf("warm run simulated %d cells, replayed %d traces; want 0, 0",
+			warm.Simulated, warm.Replays)
+	}
+	if warm.Loaded != cold.Loaded+cold.Simulated {
+		t.Errorf("warm run loaded %d cells, want %d", warm.Loaded, cold.Simulated)
+	}
+	for name, text := range renderAll(warm) {
+		if text != coldText[name] {
+			t.Errorf("figure %s: warm store-backed run differs from cold run\n%q\nvs\n%q",
+				name, text, coldText[name])
+		}
+	}
+	// A fully warm run must not even generate traces (laziness is what
+	// makes the warm path fast).
+	if s := warmR.LastSweepStats(); s.Records != 0 {
+		t.Errorf("warm run replayed %d records, want 0", s.Records)
+	}
+}
+
+// TestExecutorReplayAccounting pins the tentpole's scheduling claim: a
+// full multi-figure run replays each program's trace EXACTLY once, no
+// matter how many figures and cells share it, and a warm run replays
+// nothing.
+func TestExecutorReplayAccounting(t *testing.T) {
+	cfg := gridTestConfig()
+	figs := Figures()
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(cfg)
+	rs, err := (&Executor{R: r, Store: store}).Run(figs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.LastSweepStats()
+	if s.Replays != len(cfg.Programs) || rs.Replays != len(cfg.Programs) {
+		t.Errorf("cold run replayed %d/%d traces, want exactly %d (one per program)",
+			s.Replays, rs.Replays, len(cfg.Programs))
+	}
+	wantRecords := int64(len(cfg.Programs)) * int64(cfg.Insns)
+	if s.Records != wantRecords {
+		t.Errorf("cold run replayed %d records, want %d (each trace read once)",
+			s.Records, wantRecords)
+	}
+	if s.Cells != s.TotalCells || s.Cells != rs.Simulated {
+		t.Errorf("cell accounting: Cells=%d TotalCells=%d Simulated=%d", s.Cells, s.TotalCells, rs.Simulated)
+	}
+
+	warmR := NewRunner(cfg)
+	warm, err := (&Executor{R: warmR, Store: store}).Run(figs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warmR.LastSweepStats()
+	if warm.Replays != 0 || ws.Records != 0 {
+		t.Errorf("warm run: replays=%d records=%d, want 0, 0", warm.Replays, ws.Records)
+	}
+	if ws.Loaded != s.TotalCells {
+		t.Errorf("warm run loaded %d cells, want %d", ws.Loaded, s.TotalCells)
+	}
+
+	// -force bypasses the warm path and re-simulates everything.
+	forceR := NewRunner(cfg)
+	forced, err := (&Executor{R: forceR, Store: store, Force: true}).Run(figs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Loaded != 0 || forced.Replays != len(cfg.Programs) {
+		t.Errorf("forced run: loaded=%d replays=%d, want 0, %d",
+			forced.Loaded, forced.Replays, len(cfg.Programs))
+	}
+}
+
+// TestCellDedupAcrossGrids: two grids declaring the same (spec, cache)
+// under different arm names share one cell, and each reads it back under
+// its own labels.
+func TestCellDedupAcrossGrids(t *testing.T) {
+	cfg := Config{Insns: 50_000, Programs: []workload.Spec{workload.Li()},
+		Penalties: DefaultConfig(0).Penalties}
+	a := Grid{Name: "a", Arms: []Arm{{Name: "first name", Spec: arch.NLSTable(1024), Caches: cache16KDirect()}}}
+	b := Grid{Name: "b", Arms: []Arm{{Name: "second name", Spec: arch.NLSTable(1024), Caches: cache16KDirect()}}}
+	r := NewRunner(cfg)
+	rs, err := (&Executor{R: r}).RunGrids(false, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Simulated != 1 {
+		t.Errorf("simulated %d cells for two aliased grids, want 1", rs.Simulated)
+	}
+	ra, rb := rs.Rows(a), rs.Rows(b)
+	if ra[0].Arch != "first name" || rb[0].Arch != "second name" {
+		t.Errorf("arm labels not applied per grid: %q, %q", ra[0].Arch, rb[0].Arch)
+	}
+	if ra[0].M != rb[0].M {
+		t.Error("aliased cells returned different counters")
+	}
+}

@@ -4,16 +4,13 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
 func TestPollutionSweepDirections(t *testing.T) {
 	r := runnerOn(300_000, workload.Gcc())
-	rows, err := r.PollutionSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, data := figureData(t, r, "pollution")
+	rows := data.([]PollutionRow)
 	for _, row := range rows {
 		// Wrong-path fetches can only add accesses and misses.
 		if row.PollutedMissRate < row.CleanMissRate*0.99 {
@@ -46,11 +43,7 @@ func TestPollutionSweepDirections(t *testing.T) {
 
 func TestRenderPollutionSweep(t *testing.T) {
 	r := runnerOn(100_000, workload.Espresso())
-	rows, err := r.PollutionSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := RenderPollutionSweep(rows, metrics.Default())
+	out, _ := figureData(t, r, "pollution")
 	if !strings.Contains(out, "NLS-table") || !strings.Contains(out, "BTB") {
 		t.Error("render incomplete")
 	}

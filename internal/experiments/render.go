@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/area"
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/timing"
+)
+
+// Pure presentation: every function here maps result rows (or the static
+// area/timing models) to text and to the machine-readable rows behind the
+// -json report. Nothing in this file simulates; renderers may be re-run
+// over stored rows at will. The text formats are pinned by
+// TestGridGolden against the pre-grid drivers.
+
+// Fig3Row is one bar group of Figure 3.
+type Fig3Row struct {
+	Label string
+	RBE   float64
+}
+
+// Fig3 reproduces Figure 3: register-bit-equivalent costs for the NLS-cache
+// and the 512/1024/2048-entry NLS-tables at 8K–64K cache sizes, and for
+// 128- and 256-entry BTBs at associativities 1, 2, 4. No simulation — pure
+// area model.
+func Fig3() []Fig3Row {
+	var rows []Fig3Row
+	sizes := []int{8, 16, 32, 64}
+	for _, kb := range sizes {
+		g := cache.MustGeometry(kb*1024, LineBytes, 1)
+		rows = append(rows, Fig3Row{
+			Label: fmt.Sprintf("NLS-cache %dK", kb),
+			RBE:   area.NLSCacheRBE(NLSPerLine, g),
+		})
+	}
+	for _, entries := range NLSTableSizes {
+		for _, kb := range sizes {
+			g := cache.MustGeometry(kb*1024, LineBytes, 1)
+			rows = append(rows, Fig3Row{
+				Label: fmt.Sprintf("%d NLS-table %dK", entries, kb),
+				RBE:   area.NLSTableRBE(entries, g),
+			})
+		}
+	}
+	for _, entries := range []int{128, 256} {
+		for _, assoc := range []int{1, 2, 4} {
+			rows = append(rows, Fig3Row{
+				Label: fmt.Sprintf("%d BTB %d-way", entries, assoc),
+				RBE:   area.BTBRBE(btb.Config{Entries: entries, Assoc: assoc}),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFig3 formats Figure 3 as a table with bars.
+func RenderFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: register bit equivalent costs (RBE)\n")
+	max := 0.0
+	for _, r := range rows {
+		if r.RBE > max {
+			max = r.RBE
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s %9.0f %s\n", r.Label, r.RBE, bar(r.RBE, max, 40))
+	}
+	return b.String()
+}
+
+// Fig6Row is one bar of Figure 6.
+type Fig6Row struct {
+	Entries, Assoc int
+	NS             float64
+}
+
+// Fig6 reproduces Figure 6: estimated BTB access times.
+func Fig6() []Fig6Row {
+	var rows []Fig6Row
+	for _, entries := range []int{128, 256} {
+		for _, assoc := range []int{1, 2, 4} {
+			rows = append(rows, Fig6Row{entries, assoc, timing.BTBAccessNS(entries, assoc)})
+		}
+	}
+	return rows
+}
+
+// RenderFig6 formats Figure 6.
+func RenderFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: BTB access time (ns, CACTI-style model)\n")
+	for _, r := range rows {
+		way := fmt.Sprintf("%d-way", r.Assoc)
+		if r.Assoc == 1 {
+			way = "direct"
+		}
+		fmt.Fprintf(&b, "  %3d-entry %-6s %5.2f ns %s\n", r.Entries, way, r.NS, bar(r.NS, 8, 32))
+	}
+	return b.String()
+}
+
+// RenderAverages formats BEP averages as stacked misfetch/mispredict rows,
+// the textual equivalent of the paper's stacked bars.
+func RenderAverages(title string, avgs []Average) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("  arch                        cache        misfetch  mispredict   BEP\n")
+	max := 0.0
+	for _, a := range avgs {
+		if a.BEP() > max {
+			max = a.BEP()
+		}
+	}
+	for _, a := range avgs {
+		fmt.Fprintf(&b, "  %-26s %-12s %8.3f %10.3f %7.3f %s\n",
+			a.Arch, a.Cache, a.MfBEP, a.MpBEP, a.BEP(), bar(a.BEP(), max, 30))
+	}
+	return b.String()
+}
+
+// RenderCPI formats Figure 8.
+func RenderCPI(avgs []Average) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: cycles per instruction (single issue, 5-cycle miss penalty)\n")
+	b.WriteString("  arch                        cache          CPI   icache-miss%\n")
+	for _, a := range avgs {
+		fmt.Fprintf(&b, "  %-26s %-12s %6.3f %10.2f\n", a.Arch, a.Cache, a.CPI, 100*a.MissRate)
+	}
+	return b.String()
+}
+
+// RenderFig7 formats the per-program comparison. Rows must be the fig7
+// grid's rows (program-major); programs print sorted by name, each with
+// its rows in grid arm order. BTBs are cache-independent, so their cache
+// column collapses to "(any)".
+func RenderFig7(rows []Row, programs int, p metrics.Penalties) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: per-program branch execution penalty\n")
+	perProg := 0
+	if programs > 0 {
+		perProg = len(rows) / programs
+	}
+	byProg := map[string][]Row{}
+	names := make([]string, 0, programs)
+	for i := 0; i < programs; i++ {
+		prog := rows[i*perProg : (i+1)*perProg]
+		byProg[prog[0].Program] = prog
+		names = append(names, prog[0].Program)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s:\n", name)
+		for _, res := range byProg[name] {
+			cacheLabel := res.Cache().String()
+			if strings.Contains(res.Arch, "BTB") {
+				cacheLabel = "(any)"
+			}
+			fmt.Fprintf(&b, "  %-26s %-12s mf=%6.3f mp=%6.3f BEP=%6.3f\n",
+				res.Arch, cacheLabel, res.M.MisfetchBEP(p), res.M.MispredictBEP(p), res.M.BEP(p))
+		}
+	}
+	return b.String()
+}
+
+// PHTRow is one row of the direction-predictor ablation.
+type PHTRow struct {
+	PHT      string
+	Arch     string
+	CondAcc  float64
+	BEP      float64
+	SizeBits int
+}
+
+// RenderPHTSweep formats the direction-predictor ablation.
+func RenderPHTSweep(rows []PHTRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: direction predictor choice (16KB direct i-cache)\n")
+	b.WriteString("  PHT                  arch                   cond-acc     BEP    bits\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-20s %-22s %7.2f%% %7.3f %7d\n",
+			r.PHT, r.Arch, 100*r.CondAcc, r.BEP, r.SizeBits)
+	}
+	return b.String()
+}
+
+// WidthRow is one point of the multi-issue extension sweep (§8): an
+// architecture evaluated under a W-wide fetch front end.
+type WidthRow struct {
+	Arch         string
+	Width        int
+	IPC          float64
+	PenaltyShare float64
+}
+
+// RenderWidthSweep formats the multi-issue sweep.
+func RenderWidthSweep(rows []WidthRow) string {
+	var b strings.Builder
+	b.WriteString("Extension (§8): fetch-width sweep, 16KB direct i-cache\n")
+	b.WriteString("  arch                       width    IPC   penalty-share\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %5d %7.3f %11.1f%%\n",
+			r.Arch, r.Width, r.IPC, 100*r.PenaltyShare)
+	}
+	return b.String()
+}
+
+// PollutionRow compares an architecture with and without wrong-path fetch
+// pollution modelling.
+type PollutionRow struct {
+	Arch             string
+	CleanMissRate    float64
+	PollutedMissRate float64
+	CleanMisfetchBEP float64
+	PollutedMisfetch float64
+	CleanCPI         float64
+	PollutedCPI      float64
+}
+
+// RenderPollutionSweep formats the wrong-path ablation.
+func RenderPollutionSweep(rows []PollutionRow, p metrics.Penalties) string {
+	var b strings.Builder
+	b.WriteString("Ablation: wrong-path fetch pollution (8KB direct i-cache)\n")
+	b.WriteString("  arch                       miss% clean/poll   mf-BEP clean/poll    CPI clean/poll\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %6.2f / %-6.2f %10.4f / %-8.4f %7.3f / %-7.3f\n",
+			r.Arch, 100*r.CleanMissRate, 100*r.PollutedMissRate,
+			r.CleanMisfetchBEP, r.PollutedMisfetch,
+			r.CleanCPI, r.PollutedCPI)
+	}
+	return b.String()
+}
+
+// HybridRow is one arm of the hybrid equal-cost comparison.
+type HybridRow struct {
+	Arch     string  `json:"arch"`
+	MfBEP    float64 `json:"misfetch_bep"`
+	MpBEP    float64 `json:"mispredict_bep"`
+	BEP      float64 `json:"bep"`
+	SizeBits int     `json:"size_bits"`
+}
+
+// RenderHybrid formats the hybrid comparison, Figure-5-style with a
+// predictor-cost column.
+func RenderHybrid(rows []HybridRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: hybrid NLS-table + BTB, equal-cost comparison (16KB direct i-cache)\n")
+	b.WriteString("  arch                        misfetch  mispredict   BEP      bits\n")
+	max := 0.0
+	for _, r := range rows {
+		if r.BEP > max {
+			max = r.BEP
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %8.3f %10.3f %7.3f %9d %s\n",
+			r.Arch, r.MfBEP, r.MpBEP, r.BEP, r.SizeBits, bar(r.BEP, max, 30))
+	}
+	return b.String()
+}
+
+// avgRow flattens an Average for the -json report (cache.Geometry renders
+// as its display string).
+type avgRow struct {
+	Arch     string  `json:"arch"`
+	Cache    string  `json:"cache"`
+	MfBEP    float64 `json:"misfetch_bep"`
+	MpBEP    float64 `json:"mispredict_bep"`
+	BEP      float64 `json:"bep"`
+	CPI      float64 `json:"cpi"`
+	MissRate float64 `json:"icache_miss_rate"`
+}
+
+func avgRows(avgs []Average) []avgRow {
+	rows := make([]avgRow, len(avgs))
+	for i, a := range avgs {
+		rows[i] = avgRow{
+			Arch: a.Arch, Cache: a.Cache.String(),
+			MfBEP: a.MfBEP, MpBEP: a.MpBEP, BEP: a.BEP(),
+			CPI: a.CPI, MissRate: a.MissRate,
+		}
+	}
+	return rows
+}
+
+// resultRow flattens one per-program Row for the -json report.
+type resultRow struct {
+	Program string  `json:"program"`
+	Arch    string  `json:"arch"`
+	Cache   string  `json:"cache"`
+	MfBEP   float64 `json:"misfetch_bep"`
+	MpBEP   float64 `json:"mispredict_bep"`
+	BEP     float64 `json:"bep"`
+}
+
+// bar renders a proportional ASCII bar.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n)
+}

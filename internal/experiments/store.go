@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// The content-addressed results store. Every simulated grid cell is
+// persisted as one JSON file named by the SHA-256 of everything its
+// counters depend on — the workload spec (name, seed, generator
+// parameters), the instruction budget, the complete arch.Spec (predictor
+// sizing, cache geometry, PHT, RAS depth, pollution flag), and the penalty
+// assumptions. A later run whose inputs are unchanged loads the cell
+// instead of re-simulating it; any change to any input changes the key, so
+// stale results can never be served (invalidation is structural, not
+// tracked). Keys use the canonical-JSON convention of arch.Spec.Hash:
+// encoding/json marshals struct fields in declaration order with
+// deterministic formatting, and a deliberate schema change must not
+// silently alias old cells — hence the version tag in each key document.
+
+// cellSchema versions the cell key derivation. Bump it when the meaning of
+// a stored cell changes without any key field changing (e.g. an engine
+// recalibration), so every old cell misses and is recomputed.
+const cellSchema = "nls-cell/v1"
+
+// infoSchema versions the per-program replay-derived info (Table-1 stats
+// and fetch-block counts).
+const infoSchema = "nls-info/v1"
+
+// cellKey derives the store key of one simulation cell.
+func cellKey(w workload.Spec, insns int, s arch.Spec, p metrics.Penalties) string {
+	return hashDoc(struct {
+		Schema    string            `json:"schema"`
+		Workload  workload.Spec     `json:"workload"`
+		Insns     int               `json:"insns"`
+		Spec      arch.Spec         `json:"spec"`
+		Penalties metrics.Penalties `json:"penalties"`
+	}{cellSchema, w, insns, s, p})
+}
+
+// infoKey derives the store key of a program's replay-derived info.
+func infoKey(w workload.Spec, insns int) string {
+	return hashDoc(struct {
+		Schema    string        `json:"schema"`
+		Workload  workload.Spec `json:"workload"`
+		Insns     int           `json:"insns"`
+		LineBytes int           `json:"line_bytes"`
+		Widths    []int         `json:"widths"`
+	}{infoSchema, w, insns, LineBytes, FetchWidths()})
+}
+
+// hashDoc returns the lowercase-hex SHA-256 of the document's canonical
+// JSON encoding.
+func hashDoc(doc any) string {
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		// Key documents contain only marshalable fields; reaching this is
+		// a programming error.
+		panic(err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
+// DefaultStoreDir is where the CLIs keep the results store, relative to
+// the working directory.
+func DefaultStoreDir() string { return filepath.Join("results", "cells") }
+
+// Store is a content-addressed directory of JSON documents keyed by hex
+// hashes. Concurrent writers of distinct keys are safe (each key is its
+// own file, written via rename); two writers of the same key write the
+// same content by construction.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path shards keys by their first byte to keep directories small.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Load reads the document stored under key into v. A missing or unreadable
+// document reports (false, nil): the store is a cache, so corruption
+// degrades to recomputation, never to an error.
+func (s *Store) Load(key string, v any) (bool, error) {
+	buf, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return false, nil // corrupt cell: treat as a miss and overwrite
+	}
+	return true, nil
+}
+
+// Save writes v under key, atomically replacing any previous document.
+func (s *Store) Save(key string, v any) error {
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

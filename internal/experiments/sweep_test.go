@@ -43,14 +43,14 @@ func TestSweepMatchesPerCellOracle(t *testing.T) {
 	}
 	for i := range want {
 		if got[i].Program != want[i].Program || got[i].Arch != want[i].Arch ||
-			got[i].Cache != want[i].Cache {
+			got[i].Spec.Cache != want[i].Spec.Cache {
 			t.Fatalf("cell %d keyed (%s, %s, %s), oracle (%s, %s, %s)",
-				i, got[i].Program, got[i].Arch, got[i].Cache,
-				want[i].Program, want[i].Arch, want[i].Cache)
+				i, got[i].Program, got[i].Arch, got[i].Cache(),
+				want[i].Program, want[i].Arch, want[i].Cache())
 		}
 		if got[i].M != want[i].M {
 			t.Errorf("cell %d (%s, %s, %s): counters diverge\n got %+v\nwant %+v",
-				i, got[i].Program, got[i].Arch, got[i].Cache, got[i].M, want[i].M)
+				i, got[i].Program, got[i].Arch, got[i].Cache(), got[i].M, want[i].M)
 		}
 	}
 }

@@ -9,10 +9,8 @@ import (
 
 func TestWidthSweepShapes(t *testing.T) {
 	r := runnerOn(300_000, workload.Gcc(), workload.Li())
-	rows, err := r.WidthSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, data := figureData(t, r, "width")
+	rows := data.([]WidthRow)
 	get := func(arch string, width int) WidthRow {
 		for _, row := range rows {
 			if row.Arch == arch && row.Width == width {
@@ -54,11 +52,7 @@ func TestWidthSweepShapes(t *testing.T) {
 
 func TestRenderWidthSweep(t *testing.T) {
 	r := runnerOn(100_000, workload.Espresso())
-	rows, err := r.WidthSweep()
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := RenderWidthSweep(rows)
+	out, _ := figureData(t, r, "width")
 	if !strings.Contains(out, "width") || !strings.Contains(out, "NLS-table") {
 		t.Error("render incomplete")
 	}

@@ -23,29 +23,34 @@ func Default() Penalties {
 	return Penalties{Misfetch: 1, Mispredict: 4, CacheMiss: 5}
 }
 
-// Counters accumulates the raw event counts of one simulation.
+// Counters accumulates the raw event counts of one simulation. The JSON
+// tags fix the serialized schema the content-addressed results store
+// persists per grid cell; every derived metric (BEP, CPI, rates) is
+// recomputable from these raw counts, so stored cells stay valid when
+// penalty assumptions change (penalties are part of the cell key, not the
+// cell value).
 type Counters struct {
 	// Instructions is the number of instructions executed.
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// Breaks is the number of executed control-transfer instructions.
-	Breaks uint64
+	Breaks uint64 `json:"breaks"`
 	// Misfetches counts branches whose next fetch had to wait for decode
 	// (target or type unavailable) although the direction was right.
-	Misfetches uint64
+	Misfetches uint64 `json:"misfetches"`
 	// Mispredicts counts branches whose predicted direction or target
 	// value was wrong, discovered at execute. A branch is never both
 	// misfetched and mispredicted (§5.2).
-	Mispredicts uint64
+	Mispredicts uint64 `json:"mispredicts"`
 	// MisfetchByKind / MispredictByKind break the penalties down by
 	// branch kind for diagnosis.
-	MisfetchByKind   [isa.NumKinds]uint64
-	MispredictByKind [isa.NumKinds]uint64
+	MisfetchByKind   [isa.NumKinds]uint64 `json:"misfetch_by_kind"`
+	MispredictByKind [isa.NumKinds]uint64 `json:"mispredict_by_kind"`
 	// CondBranches and CondDirWrong track raw PHT direction accuracy.
-	CondBranches uint64
-	CondDirWrong uint64
+	CondBranches uint64 `json:"cond_branches"`
+	CondDirWrong uint64 `json:"cond_dir_wrong"`
 	// ICacheAccesses and ICacheMisses are the instruction cache counters.
-	ICacheAccesses uint64
-	ICacheMisses   uint64
+	ICacheAccesses uint64 `json:"icache_accesses"`
+	ICacheMisses   uint64 `json:"icache_misses"`
 }
 
 // AddMisfetch records a misfetched branch of the given kind.

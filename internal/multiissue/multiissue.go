@@ -49,6 +49,52 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// BlockCounter counts fetch blocks incrementally, block of records by block
+// of records, so the count can be accumulated during a single streamed
+// trace replay (the grid executor feeds it from the same read that drives
+// the simulators). A fetch block may span record-block boundaries: the
+// in-progress block carries over between Add calls, so feeding a trace in
+// any chunking yields exactly FetchBlocks of the flat trace.
+type BlockCounter struct {
+	cfg           Config
+	instrsPerLine int
+	blocks        uint64
+	inBlock       int
+}
+
+// NewBlockCounter validates the configuration and starts a counter.
+func NewBlockCounter(cfg Config) (*BlockCounter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	instrsPerLine := 0
+	if cfg.LineBytes > 0 {
+		instrsPerLine = cfg.LineBytes / isa.InstrBytes
+	}
+	return &BlockCounter{cfg: cfg, instrsPerLine: instrsPerLine}, nil
+}
+
+// Add accumulates consecutive trace records.
+func (b *BlockCounter) Add(recs []trace.Record) {
+	for _, r := range recs {
+		if b.inBlock == 0 {
+			b.blocks++
+		}
+		b.inBlock++
+		endOfLine := b.instrsPerLine > 0 &&
+			r.PC.Word()%uint32(b.instrsPerLine) == uint32(b.instrsPerLine-1)
+		if b.inBlock >= b.cfg.Width || (r.IsBreak() && r.Taken) || endOfLine {
+			b.inBlock = 0
+		}
+	}
+}
+
+// Blocks returns the fetch blocks counted so far.
+func (b *BlockCounter) Blocks() uint64 { return b.blocks }
+
+// Width returns the configured fetch width.
+func (b *BlockCounter) Width() int { return b.cfg.Width }
+
 // FetchBlocks counts the fetch cycles a W-wide front end needs to deliver
 // the trace, assuming perfect next-block prediction (penalties are added
 // separately from the simulated engine's counters). A block ends at:
@@ -57,26 +103,12 @@ func (c Config) Validate() error {
 //     target), or
 //   - a cache line boundary.
 func FetchBlocks(t *trace.Trace, cfg Config) (uint64, error) {
-	if err := cfg.Validate(); err != nil {
+	bc, err := NewBlockCounter(cfg)
+	if err != nil {
 		return 0, err
 	}
-	instrsPerLine := 0
-	if cfg.LineBytes > 0 {
-		instrsPerLine = cfg.LineBytes / isa.InstrBytes
-	}
-	var blocks uint64
-	inBlock := 0
-	for _, r := range t.Records {
-		if inBlock == 0 {
-			blocks++
-		}
-		inBlock++
-		endOfLine := instrsPerLine > 0 && r.PC.Word()%uint32(instrsPerLine) == uint32(instrsPerLine-1)
-		if inBlock >= cfg.Width || (r.IsBreak() && r.Taken) || endOfLine {
-			inBlock = 0
-		}
-	}
-	return blocks, nil
+	bc.Add(t.Records)
+	return bc.Blocks(), nil
 }
 
 // Result is the wide-fetch performance of one simulated configuration.
@@ -97,6 +129,13 @@ func Evaluate(t *trace.Trace, m *metrics.Counters, cfg Config, p metrics.Penalti
 	if err != nil {
 		return Result{}, err
 	}
+	return EvaluateBlocks(blocks, m, cfg, p), nil
+}
+
+// EvaluateBlocks is Evaluate with the fetch-block count already known — the
+// pure-arithmetic half, usable when the count was accumulated during a
+// replay (BlockCounter) or loaded from the results store.
+func EvaluateBlocks(blocks uint64, m *metrics.Counters, cfg Config, p metrics.Penalties) Result {
 	penalty := float64(m.Misfetches)*p.Misfetch +
 		float64(m.Mispredicts)*p.Mispredict +
 		float64(m.ICacheMisses)*p.CacheMiss
@@ -110,5 +149,5 @@ func Evaluate(t *trace.Trace, m *metrics.Counters, cfg Config, p metrics.Penalti
 	if cycles > 0 {
 		res.PenaltyShare = penalty / cycles
 	}
-	return res, nil
+	return res
 }

@@ -1,0 +1,53 @@
+package trace
+
+import "repro/internal/isa"
+
+// StatsCollector accumulates Table-1 statistics incrementally, block by
+// block, so the grid executor's single broadcast replay of a program can
+// derive the trace's Stats from the same read that feeds the simulators
+// (instead of re-scanning the materialized trace per figure). Feeding the
+// collector every record of a trace exactly once and finalizing yields a
+// Stats identical to ComputeStats on the flat trace.
+type StatsCollector struct {
+	s          Stats
+	condCounts map[isa.Addr]uint64
+}
+
+// NewStatsCollector starts a collector for a trace with the given name and
+// static conditional-site metadata (0 when the trace carries none).
+func NewStatsCollector(name string, staticCondSites int) *StatsCollector {
+	return &StatsCollector{
+		s:          Stats{Name: name, StaticCondSites: staticCondSites},
+		condCounts: make(map[isa.Addr]uint64),
+	}
+}
+
+// Add accumulates one block of consecutive trace records.
+func (c *StatsCollector) Add(recs []Record) {
+	for _, r := range recs {
+		c.s.Instructions++
+		if !r.IsBreak() {
+			continue
+		}
+		c.s.Breaks++
+		c.s.BreaksByKind[r.Kind]++
+		if r.Kind == isa.CondBranch {
+			c.condCounts[r.PC]++
+			if r.Taken {
+				c.s.CondTaken++
+			}
+		}
+	}
+}
+
+// Stats finalizes and returns the collected statistics: the quantile
+// columns are derived from the accumulated per-site counts. The collector
+// may keep accumulating; each call finalizes the records seen so far.
+func (c *StatsCollector) Stats() *Stats {
+	s := c.s
+	s.Q50, s.Q90, s.Q99, s.Q100 = quantileSites(c.condCounts)
+	if s.StaticCondSites == 0 {
+		s.StaticCondSites = s.Q100
+	}
+	return &s
+}

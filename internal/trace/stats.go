@@ -58,29 +58,13 @@ func (s *Stats) PctOfBreaks(k isa.Kind) float64 {
 	return 100 * float64(s.BreaksByKind[k]) / float64(s.Breaks)
 }
 
-// ComputeStats scans a trace and produces its Table 1 row.
+// ComputeStats scans a trace and produces its Table 1 row. It is the
+// one-shot form of StatsCollector: feeding the collector the same records
+// block by block yields an identical result.
 func ComputeStats(t *Trace) *Stats {
-	s := &Stats{Name: t.Name, StaticCondSites: t.StaticCondSites}
-	condCounts := make(map[isa.Addr]uint64)
-	for _, r := range t.Records {
-		s.Instructions++
-		if !r.IsBreak() {
-			continue
-		}
-		s.Breaks++
-		s.BreaksByKind[r.Kind]++
-		if r.Kind == isa.CondBranch {
-			condCounts[r.PC]++
-			if r.Taken {
-				s.CondTaken++
-			}
-		}
-	}
-	s.Q50, s.Q90, s.Q99, s.Q100 = quantileSites(condCounts)
-	if s.StaticCondSites == 0 {
-		s.StaticCondSites = s.Q100
-	}
-	return s
+	c := NewStatsCollector(t.Name, t.StaticCondSites)
+	c.Add(t.Records)
+	return c.Stats()
 }
 
 // quantileSites returns how many of the most frequently executed sites are
