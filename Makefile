@@ -3,11 +3,13 @@
 # concurrency tier covering the grid executor, Runner.Traces, and the
 # trace generators. `make grid-golden` + `make smoke` pin the grid
 # pipeline: bit-identical figures vs the per-cell oracle, and a live
-# nlstables -only run against the results store.
+# nlstables -only run against the results store. `make attribution-golden`
+# pins the probe's cause mix on a fixed seed (§4.1's eviction-loss claim).
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench verify figures grid-golden smoke
+.PHONY: build vet test race fuzz bench verify figures grid-golden smoke \
+	attribution-golden profile
 
 build:
 	$(GO) build ./...
@@ -26,9 +28,13 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=20s ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzChunked -fuzztime=20s ./internal/trace
 
-# Sweep scheduler comparison (see EXPERIMENTS.md "Sweep throughput").
+# Sweep scheduler comparison (see EXPERIMENTS.md "Sweep throughput"). The
+# text stream passes through cmd/benchjson, which also records the results
+# machine-readably in BENCH_sweep.json (schema nls-bench/v1, committed as
+# the throughput baseline; see EXPERIMENTS.md "Benchmark JSON").
 bench:
-	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem .
+	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
 
 # Regenerate every table and figure (EXPERIMENTS.md numbers). Warm runs
 # load unchanged cells from results/cells; -force re-simulates.
@@ -40,9 +46,22 @@ figures:
 grid-golden:
 	$(GO) test -run 'TestGridGolden' ./internal/experiments
 
+# The probe pipeline's golden gate: attribution totals restate the engine
+# counters exactly, and the eviction-loss cause appears only for the
+# line-coupled NLS organization (pinned mixes on a fixed workload seed).
+attribution-golden:
+	$(GO) test -run 'TestAttributionGolden' ./internal/obs
+
 # End-to-end smoke: one figure through the real CLI and store (small n).
 smoke:
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
 
-verify: build vet test race grid-golden smoke
+# pprof smoke run: a small figure sweep under both profilers, then the
+# hottest frames. Profiles land in cpu.prof / mem.prof (gitignored).
+profile:
+	$(GO) run ./cmd/nlstables -only fig5 -n 300000 -store "" -manifest "" \
+		-cpuprofile cpu.prof -memprofile mem.prof >/dev/null
+	$(GO) tool pprof -top -nodecount=8 cpu.prof
+
+verify: build vet test race grid-golden attribution-golden smoke

@@ -1,0 +1,139 @@
+// Command benchjson turns `go test -bench` text output into a
+// machine-readable JSON file while echoing the text through unchanged, so
+// it sits at the end of a pipe without hiding anything:
+//
+//	go test -run='^$' -bench='BenchmarkSweep(Broadcast|PerCell)$' -benchmem . \
+//	    | benchjson -o BENCH_sweep.json
+//
+// This is what `make bench` runs; the committed BENCH_sweep.json at the
+// repo root is the throughput baseline the probe's zero-overhead contract
+// is judged against (see EXPERIMENTS.md "Benchmark JSON" for the schema).
+//
+// The parser understands the standard benchmark result line — name,
+// iteration count, then (value, unit) pairs, including custom
+// b.ReportMetric units like Mstep/s — plus the goos/goarch/pkg/cpu header
+// lines. Anything else passes through untouched. If stdin ends with no
+// benchmark lines seen (e.g. the compile failed), benchjson exits nonzero
+// so the pipeline still fails loudly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schema identifies the BENCH_sweep.json layout; bump on incompatible
+// change.
+const Schema = "nls-bench/v1"
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// -P GOMAXPROCS suffix (e.g. "SweepBroadcast", "Engines/NLSCache").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N of the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every (value, unit) pair on the line:
+	// ns/op, B/op, allocs/op, and custom units like Mstep/s.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the written JSON document.
+type File struct {
+	Schema    string    `json:"schema"`
+	CreatedAt time.Time `json:"created_at"`
+	GoVersion string    `json:"go_version"`
+	// Goos, Goarch, Pkg, and CPU come from the benchmark header lines.
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sweep.json", "output JSON file")
+	flag.Parse()
+
+	file := File{Schema: Schema, CreatedAt: time.Now(), GoVersion: runtime.Version()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo through
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			file.Goos = v
+		} else if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			file.Goarch = v
+		} else if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			file.Pkg = v
+		} else if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			file.CPU = v
+		} else if b, ok := parseLine(line); ok {
+			file.Benchmarks = append(file.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(file.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   5   234567890 ns/op   73.9 Mstep/s   12 B/op   3 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters,
+		Metrics: make(map[string]float64)}
+	// The rest are (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSweepBroadcast-8   \t       3\t 412345678 ns/op\t  73.9 Mstep/s\t 1024 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "SweepBroadcast" || b.Procs != 8 || b.Iterations != 3 {
+		t.Errorf("header fields: %+v", b)
+	}
+	want := map[string]float64{"ns/op": 412345678, "Mstep/s": 73.9, "B/op": 1024, "allocs/op": 12}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+
+	// Subbenchmark names keep their path; no -P suffix means procs=1.
+	b, ok = parseLine("BenchmarkEngines/NLSCache 1000000 74.1 ns/op")
+	if !ok || b.Name != "Engines/NLSCache" || b.Procs != 1 {
+		t.Errorf("subbenchmark: ok=%v %+v", ok, b)
+	}
+
+	for _, bad := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"BenchmarkBroken abc 1 ns/op",
+		"BenchmarkNoMetrics-4 12",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("parsed non-result line %q", bad)
+		}
+	}
+}

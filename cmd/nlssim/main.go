@@ -1,6 +1,7 @@
 // Command nlssim runs a single workload through one fetch-architecture
 // configuration and reports the paper's metrics (%MfB, %MpB, BEP, CPI,
-// i-cache miss rate), optionally with a per-branch-kind breakdown.
+// i-cache miss rate), optionally with a per-branch-kind breakdown and a
+// per-branch penalty attribution.
 //
 // The -arch flag accepts either a registered architecture-spec name (run
 // with -list to see them; e.g. nls-table-1024, btb-128, johnson), which
@@ -14,6 +15,7 @@
 //	nlssim -workload li  -arch btb -entries 128 -assoc 4 -breakdown
 //	nlssim -workload espresso -arch nls-table-1024          # registered spec
 //	nlssim -workload gcc -arch btb-128 -json                # machine-readable
+//	nlssim -workload gcc -arch nls-cache -attribute   # per-branch penalty causes
 //	nlssim -workload gcc -n 50000000 -stream    # O(chunk) memory, no materialized trace
 //
 // The non-streaming path runs through the experiments pipeline as a
@@ -22,6 +24,13 @@
 // re-running a figure that contains the same cell) loads it instead of
 // re-simulating. -force re-simulates; -store "" disables the store; the
 // -stream path always simulates (it exists to avoid materializing state).
+//
+// -attribute attaches the fetch frontend's probe and replays the workload
+// once more (attribution is an event-stream product the counter store
+// cannot serve), printing the per-branch cause table — or embedding it in
+// the -json object. With -json, stdout carries exactly one JSON document;
+// all diagnostics go to stderr. -cpuprofile/-memprofile write standard
+// pprof profiles.
 package main
 
 import (
@@ -36,27 +45,32 @@ import (
 	"repro/internal/fetch"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		wl        = flag.String("workload", "gcc", "workload name (doduc, espresso, gcc, li, cfront, groff)")
-		n         = flag.Int("n", 1_000_000, "instructions to simulate")
-		archName  = flag.String("arch", "nls-table", "registered spec name (see -list) or predictor kind: nls-table, nls-cache, btb, coupled-btb, johnson")
-		entries   = flag.Int("entries", 1024, "NLS-table or BTB entries")
-		perLine   = flag.Int("perline", 2, "NLS-cache predictors per line")
-		cacheKB   = flag.Int("cache", 16, "instruction cache size in KB")
-		assoc     = flag.Int("assoc", 1, "cache associativity (nls) or BTB associativity (btb)")
-		phtKind   = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, taken, nottaken")
-		phtSize   = flag.Int("phtsize", 4096, "PHT entries")
-		breakdown = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
-		stream    = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON on stdout")
-		list      = flag.Bool("list", false, "list registered architecture specs and exit")
-		force     = flag.Bool("force", false, "re-simulate even when the results store has the cell")
-		storeDir  = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
+		wl         = flag.String("workload", "gcc", "workload name (doduc, espresso, gcc, li, cfront, groff)")
+		n          = flag.Int("n", 1_000_000, "instructions to simulate")
+		archName   = flag.String("arch", "nls-table", "registered spec name (see -list) or predictor kind: nls-table, nls-cache, btb, coupled-btb, johnson")
+		entries    = flag.Int("entries", 1024, "NLS-table or BTB entries")
+		perLine    = flag.Int("perline", 2, "NLS-cache predictors per line")
+		cacheKB    = flag.Int("cache", 16, "instruction cache size in KB")
+		assoc      = flag.Int("assoc", 1, "cache associativity (nls) or BTB associativity (btb)")
+		phtKind    = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, taken, nottaken")
+		phtSize    = flag.Int("phtsize", 4096, "PHT entries")
+		breakdown  = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
+		attribute  = flag.Bool("attribute", false, "attach the fetch probe and report per-branch penalty attribution")
+		stream     = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON on stdout")
+		list       = flag.Bool("list", false, "list registered architecture specs and exit")
+		force      = flag.Bool("force", false, "re-simulate even when the results store has the cell")
+		storeDir   = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -66,6 +80,11 @@ func main() {
 			fmt.Printf("%-16s %s\n", name, s.MustBuild().Name())
 		}
 		return
+	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
 	}
 
 	spec, ok := workload.ByName(*wl)
@@ -100,8 +119,16 @@ func main() {
 	}
 	p := metrics.Default()
 
+	var reports []obs.Report
+	if *attribute {
+		if reports, err = attributionReports(spec, s, *n, engine.Name()); err != nil {
+			fail(err)
+		}
+	}
+
 	if *jsonOut {
-		emitJSON(engine, spec.Name, s, m, p)
+		emitJSON(engine, spec.Name, s, m, p, reports)
+		check(stopProf())
 		return
 	}
 
@@ -115,10 +142,13 @@ func main() {
 		for k := isa.CondBranch; k < isa.NumKinds; k++ {
 			mf, mp := m.MisfetchByKind[k], m.MispredictByKind[k]
 			fmt.Printf("    %-9s misfetch %9d (%5.2f)  mispredict %9d (%5.2f)\n",
-				k, mf, 100*float64(mf)/float64(m.Breaks),
-				mp, 100*float64(mp)/float64(m.Breaks))
+				k, mf, m.Per100Breaks(mf), mp, m.Per100Breaks(mp))
 		}
 	}
+	if *attribute {
+		fmt.Print(obs.RenderReports(reports, p))
+	}
+	check(stopProf())
 }
 
 // runCell runs one (workload, spec) cell through the grid pipeline — a
@@ -145,6 +175,23 @@ func runCell(w workload.Spec, s arch.Spec, insns int, storeDir string, force boo
 	}
 	m := rs.Rows(g)[0].M
 	return &m, nil
+}
+
+// attributionReports replays the workload once through a probe-attached
+// engine (a one-arm grid on the spec's own geometry) and returns the
+// attribution report. The replay is separate from the metrics run: probe
+// events are not stored, and the probe contract guarantees the counters
+// are bit-identical either way.
+func attributionReports(w workload.Spec, s arch.Spec, insns int, name string) ([]obs.Report, error) {
+	cfg := experiments.Config{
+		Insns:     insns,
+		Programs:  []workload.Spec{w},
+		Penalties: metrics.Default(),
+	}
+	x := &experiments.Executor{R: experiments.NewRunner(cfg)}
+	g := experiments.Grid{Name: "nlssim-attribute",
+		Arms: []experiments.Arm{{Name: name, Spec: s}}}
+	return x.RunAttribution(g, experiments.AttributionTopN)
 }
 
 // specFromFlags assembles an ad-hoc spec for a bare predictor kind. The
@@ -200,11 +247,11 @@ func phtSpecFromFlags(kind string, size int) arch.PHTSpec {
 
 // emitJSON writes the run's configuration and headline metrics as one JSON
 // object, so scripts consume results without scraping the report text.
-func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Counters, p metrics.Penalties) {
+func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Counters, p metrics.Penalties, reports []obs.Report) {
 	out := struct {
-		Engine   string        `json:"engine"`
-		Workload string        `json:"workload"`
-		Spec     arch.Spec     `json:"spec"`
+		Engine   string    `json:"engine"`
+		Workload string    `json:"workload"`
+		Spec     arch.Spec `json:"spec"`
 		Counters struct {
 			Instructions uint64 `json:"instructions"`
 			Breaks       uint64 `json:"breaks"`
@@ -212,11 +259,12 @@ func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Count
 			Mispredicts  uint64 `json:"mispredicts"`
 			ICacheMisses uint64 `json:"icache_misses"`
 		} `json:"counters"`
-		BEP           float64 `json:"bep"`
-		MisfetchBEP   float64 `json:"misfetch_bep"`
-		MispredictBEP float64 `json:"mispredict_bep"`
-		CPI           float64 `json:"cpi"`
-		ICacheMiss    float64 `json:"icache_miss_rate"`
+		BEP           float64      `json:"bep"`
+		MisfetchBEP   float64      `json:"misfetch_bep"`
+		MispredictBEP float64      `json:"mispredict_bep"`
+		CPI           float64      `json:"cpi"`
+		ICacheMiss    float64      `json:"icache_miss_rate"`
+		Attribution   []obs.Report `json:"attribution,omitempty"`
 	}{
 		Engine:        e.Name(),
 		Workload:      workloadName,
@@ -226,6 +274,7 @@ func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Count
 		MispredictBEP: m.MispredictBEP(p),
 		CPI:           m.CPI(p),
 		ICacheMiss:    m.ICacheMissRate(),
+		Attribution:   reports,
 	}
 	out.Counters.Instructions = m.Instructions
 	out.Counters.Breaks = m.Breaks
@@ -235,6 +284,12 @@ func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Count
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
+		fail(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
 		fail(err)
 	}
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinary compiles this command into dir and returns the binary path.
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "nlssim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestJSONStdoutPurity pins the -json contract: stdout carries exactly one
+// JSON document and diagnostics stay on stderr, including with -attribute
+// (the attribution reports embed in the same document).
+func TestJSONStdoutPurity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+
+	cmd := exec.Command(bin, "-json", "-attribute",
+		"-workload", "espresso", "-n", "30000", "-arch", "nls-cache", "-store", "")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("nlssim: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	var out struct {
+		Engine   string `json:"engine"`
+		Workload string `json:"workload"`
+		Counters struct {
+			Breaks uint64 `json:"breaks"`
+		} `json:"counters"`
+		Attribution []struct {
+			Arch   string            `json:"arch"`
+			Breaks uint64            `json:"breaks"`
+			Causes map[string]uint64 `json:"causes"`
+		} `json:"attribution"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("stdout is not JSON: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if dec.More() {
+		t.Errorf("stdout carries more than one JSON document:\n%s", stdout.String())
+	}
+	if out.Workload != "espresso-like" || out.Counters.Breaks == 0 {
+		t.Errorf("result shape wrong: %+v", out)
+	}
+	if len(out.Attribution) != 1 || out.Attribution[0].Breaks != out.Counters.Breaks {
+		t.Errorf("attribution must restate the run's counters: %+v vs breaks=%d",
+			out.Attribution, out.Counters.Breaks)
+	}
+	if len(out.Attribution) == 1 && len(out.Attribution[0].Causes) == 0 {
+		t.Error("attribution report carries no causes")
+	}
+}

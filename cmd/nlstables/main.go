@@ -2,23 +2,34 @@
 // the benchmark-analogue workloads — Table 1 and Figures 3–8 — plus the
 // repo's ablations (predictors per line, coupled vs decoupled designs,
 // direction-predictor choice, fetch width, wrong-path pollution, the
-// hybrid NLS+BTB predictor). This is the harness behind EXPERIMENTS.md.
+// hybrid NLS+BTB predictor, and the per-branch penalty attribution). This
+// is the harness behind EXPERIMENTS.md.
 //
 // Usage:
 //
 //	nlstables [-n insns] [-only figure] [-force] [-progress] [-json] [-store dir]
+//	          [-manifest dir] [-cpuprofile f] [-memprofile f]
 //
 // The figures are declarative grids over one executor (see package
 // experiments): the run gathers every requested cell, loads unchanged ones
 // from the content-addressed store under -store, and replays each
 // program's trace exactly once for all remaining cells. -only restricts
 // the run to one figure; -force re-simulates even stored cells; -store ""
-// disables the store entirely.
+// disables the store entirely. The attribution figure is special: it
+// replays probe-attached engines itself (the store holds counters, not
+// event streams).
 //
-// With -json, the rows behind each rendered table are also written as a
-// machine-readable report to results/<exp>.json (per-figure rows plus the
-// final sweep-throughput stats), so downstream tooling can track result
-// and performance trajectories without scraping the ASCII tables.
+// With -json, the machine-readable report — the rows behind each rendered
+// table plus the run's sweep-throughput stats — is the ONLY thing printed
+// to stdout (the ASCII tables move to stderr with the other diagnostics,
+// so `nlstables -json | jq` just works), and the same report is written to
+// results/<exp>.json.
+//
+// Every run also writes a run manifest (schema nls-run/v1) under -manifest
+// (default results/runs/): store hits/misses, cells deduped across
+// figures, replay throughput, per-cell engine wall time, and the Go build
+// info — the telemetry record for tracking performance trajectories
+// across commits. -manifest "" disables it.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
 // report is the -json output: one entry per experiment run, keyed by
@@ -54,15 +66,21 @@ type sweepReport struct {
 
 func main() {
 	var (
-		n        = flag.Int("n", 2_000_000, "instructions to simulate per program")
-		exp      = flag.String("exp", "all", "experiment to run (alias of -only; 'all' runs every figure)")
-		only     = flag.String("only", "", "run a single figure: table1, fig3..fig8, perline, coupled, pht, width, pollution, hybrid")
-		force    = flag.Bool("force", false, "re-simulate cells even when the results store has them")
-		progress = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
-		jsonOut  = flag.Bool("json", false, "also write machine-readable rows to results/<exp>.json")
-		storeDir = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
+		n           = flag.Int("n", 2_000_000, "instructions to simulate per program")
+		exp         = flag.String("exp", "all", "experiment to run (alias of -only; 'all' runs every figure)")
+		only        = flag.String("only", "", "run a single figure: table1, fig3..fig8, perline, coupled, pht, width, pollution, hybrid, attribution")
+		force       = flag.Bool("force", false, "re-simulate cells even when the results store has them")
+		progress    = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
+		jsonOut     = flag.Bool("json", false, "print the machine-readable report to stdout (tables move to stderr) and write it to results/<exp>.json")
+		storeDir    = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
+		manifestDir = flag.String("manifest", experiments.DefaultManifestDir(), "run-manifest directory (empty disables)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	check(err)
 
 	sel := *exp
 	if *only != "" {
@@ -102,10 +120,19 @@ func main() {
 	rs, err := x.Run(figs...)
 	check(err)
 
+	// With -json, stdout carries exactly one JSON document; the rendered
+	// tables join the diagnostics on stderr.
+	tables := os.Stdout
+	if *jsonOut {
+		tables = os.Stderr
+	}
 	rep := report{InsnsPerProgram: *n, Experiments: map[string]any{}}
-	for _, f := range figs {
-		text, data := f.Render(rs.Context(f))
-		fmt.Println(text)
+	figNames := make([]string, len(figs))
+	for i, f := range figs {
+		figNames[i] = f.Name
+		text, data, err := x.RenderFigure(f, rs)
+		check(err)
+		fmt.Fprintln(tables, text)
 		rep.Experiments[f.Name] = data
 	}
 
@@ -121,7 +148,18 @@ func main() {
 			Replays:    s.Replays,
 		}
 		check(writeReport(rep, sel))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
 	}
+
+	if *manifestDir != "" {
+		m := experiments.NewRunManifest(x, rs, figNames, os.Args)
+		path, err := m.Write(*manifestDir)
+		check(err)
+		fmt.Fprintf(os.Stderr, "nlstables: wrote %s\n", path)
+	}
+	check(stopProf())
 }
 
 // writeReport writes the JSON report to results/<exp>.json.

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinary compiles this command into dir and returns the binary path.
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "nlstables")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestJSONStdoutPurity pins the -json contract: stdout carries exactly one
+// JSON document (tables and diagnostics go to stderr), so
+// `nlstables -json | jq` works. The run happens in a scratch directory, so
+// the report, store, and manifest land there, not in the repo.
+func TestJSONStdoutPurity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := buildBinary(t, dir)
+
+	cmd := exec.Command(bin, "-json", "-only", "fig5", "-n", "30000")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("nlstables: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	var rep struct {
+		InsnsPerProgram int            `json:"insns_per_program"`
+		Experiments     map[string]any `json:"experiments"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("stdout is not JSON: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if dec.More() {
+		t.Errorf("stdout carries more than one JSON document:\n%s", stdout.String())
+	}
+	if rep.InsnsPerProgram != 30000 || rep.Experiments["fig5"] == nil {
+		t.Errorf("report shape wrong: %+v", rep)
+	}
+	// The tables and the wrote-file notices must be on stderr.
+	if !bytes.Contains(stderr.Bytes(), []byte("Figure 5")) {
+		t.Errorf("rendered table not on stderr:\n%s", stderr.String())
+	}
+
+	// The run manifest must exist and carry the schema marker.
+	matches, err := filepath.Glob(filepath.Join(dir, "results", "runs", "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one run manifest, got %v (err %v)", matches, err)
+	}
+	buf, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest struct {
+		Schema string `json:"schema"`
+		Cells  []any  `json:"cells"`
+	}
+	if err := json.Unmarshal(buf, &manifest); err != nil {
+		t.Fatalf("manifest is not JSON: %v", err)
+	}
+	if manifest.Schema != "nls-run/v1" || len(manifest.Cells) == 0 {
+		t.Errorf("manifest shape wrong: schema=%q cells=%d", manifest.Schema, len(manifest.Cells))
+	}
+}

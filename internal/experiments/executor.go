@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/fetch"
 	"repro/internal/multiissue"
 	"repro/internal/trace"
@@ -55,8 +56,23 @@ type ResultSet struct {
 
 	// Loaded counts cells served from the store, Simulated cells computed
 	// this run, Replays program traces actually replayed (0 on a fully
-	// warm run).
-	Loaded, Simulated, Replays int
+	// warm run), and Deduped cell requests that were satisfied by another
+	// grid's identical cell (same content key) within the same run.
+	Loaded, Simulated, Replays, Deduped int
+
+	// Timings holds the engine wall time of every simulated cell (empty
+	// for store-served cells), in completion order; it feeds the run
+	// manifest.
+	Timings []CellTiming
+}
+
+// CellTiming is the wall time one cell's engine spent replaying its
+// program, measured inside the broadcast worker that owned the engine.
+type CellTiming struct {
+	Program string  `json:"program"`
+	Arch    string  `json:"arch"`
+	Cache   string  `json:"cache"`
+	Seconds float64 `json:"seconds"`
 }
 
 // Rows resolves a grid against the result set: one Row per grid cell, in
@@ -136,6 +152,7 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 		for _, c := range g.cells(cfg.Programs) {
 			k := c.Key(cfg)
 			if seen[k] {
+				rs.Deduped++
 				continue
 			}
 			seen[k] = true
@@ -228,11 +245,14 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 				return
 			}
 			engines := make([]fetch.Engine, len(w.cells))
+			durs := make([]*time.Duration, len(w.cells))
 			for j, c := range w.cells {
-				if engines[j], err = c.Spec.Build(); err != nil {
+				e, err := c.Spec.Build()
+				if err != nil {
 					fail(fmt.Errorf("cell %s/%s: %w", c.Prog.Name, c.Arm, err))
 					return
 				}
+				engines[j], durs[j] = timeEngine(e)
 			}
 			src := cellSource(ct, w.cells)
 
@@ -271,9 +291,12 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 			}
 
 			rows := make([]Row, len(w.cells))
+			timings := make([]CellTiming, len(w.cells))
 			for j, c := range w.cells {
 				rows[j] = Row{Program: c.Prog.Name, Arch: c.Arm, Spec: c.Spec,
 					M: *engines[j].Counters()}
+				timings[j] = CellTiming{Program: c.Prog.Name, Arch: c.Arm,
+					Cache: rows[j].Cache().String(), Seconds: durs[j].Seconds()}
 			}
 			var info *ProgramInfo
 			if w.needInfo {
@@ -289,6 +312,7 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 			for j := range rows {
 				rs.rows[w.keys[j]] = rows[j]
 			}
+			rs.Timings = append(rs.Timings, timings...)
 			rs.Simulated += len(rows)
 			if info != nil {
 				rs.infos[ct.Name] = info
@@ -330,6 +354,57 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 		return nil, firstErr
 	}
 	return rs, nil
+}
+
+// timedEngine wraps a cell's engine to meter the wall time spent stepping
+// it. An engine is owned by exactly one worker for a whole replay
+// (fetch.BroadcastWorkers), so dur needs no locking; time.Now is taken once
+// per block (tens of thousands of records), so the meter is invisible next
+// to the replay itself.
+type timedEngine struct {
+	fetch.Engine
+	dur time.Duration
+}
+
+func (t *timedEngine) StepBlock(recs []trace.Record) {
+	start := time.Now()
+	t.Engine.StepBlock(recs)
+	t.dur += time.Since(start)
+}
+
+// runFastPath mirrors the broadcaster's optional shared-run-annotation
+// interface; the timing wrapper must forward it, or wrapping would silently
+// demote every engine to the per-engine boundary-scan path.
+type runFastPath interface {
+	StepBlockRuns(recs []trace.Record, runs []uint8)
+	ICache() *cache.Cache
+}
+
+// timedRunEngine is timedEngine for engines that consume shared run
+// annotations (all the built-in engines).
+type timedRunEngine struct {
+	timedEngine
+	fast runFastPath
+}
+
+func (t *timedRunEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	start := time.Now()
+	t.fast.StepBlockRuns(recs, runs)
+	t.dur += time.Since(start)
+}
+
+func (t *timedRunEngine) ICache() *cache.Cache { return t.fast.ICache() }
+
+// timeEngine wraps e with the timing meter matching its capabilities and
+// returns the wrapped engine plus a pointer to its accumulated duration
+// (valid to read once the replay's broadcast has returned).
+func timeEngine(e fetch.Engine) (fetch.Engine, *time.Duration) {
+	if f, ok := e.(runFastPath); ok {
+		te := &timedRunEngine{timedEngine: timedEngine{Engine: e}, fast: f}
+		return te, &te.dur
+	}
+	te := &timedEngine{Engine: e}
+	return te, &te.dur
 }
 
 // cellSource picks the chunk source for one program's broadcast: when

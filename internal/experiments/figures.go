@@ -7,6 +7,7 @@ import (
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/multiissue"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -22,6 +23,11 @@ type Figure struct {
 	Grid      Grid
 	NeedsInfo bool
 	Render    func(RenderContext) (text string, data any)
+	// Probed, when set, replaces Render: the figure drives its own
+	// probe-attached replay against the executor instead of resolving
+	// stored grid cells (attribution is an event-stream product the
+	// counter store cannot serve). Grid stays empty for such figures.
+	Probed func(*Executor) (text string, data any, err error)
 }
 
 // Figures returns the full registry in presentation order (the order the
@@ -41,6 +47,7 @@ func Figures() []Figure {
 		widthFigure(),
 		pollutionFigure(),
 		hybridFigure(),
+		attributionFigure(),
 	}
 }
 
@@ -52,6 +59,17 @@ func FigureByName(name string) (Figure, bool) {
 		}
 	}
 	return Figure{}, false
+}
+
+// RenderFigure renders one figure of a finished run: Probed figures replay
+// through the executor, everything else resolves against the result set.
+// This is the uniform dispatch the CLIs use after Executor.Run.
+func (x *Executor) RenderFigure(f Figure, rs *ResultSet) (string, any, error) {
+	if f.Probed != nil {
+		return f.Probed(x)
+	}
+	text, data := f.Render(rs.Context(f))
+	return text, data, nil
 }
 
 // cache16KDirect is the figure suite's reference cache configuration.
@@ -469,6 +487,30 @@ func hybridFigure() Figure {
 				})
 			}
 			return RenderHybrid(rows), rows
+		},
+	}
+}
+
+// attributionFigure compares *why* each equal-cost configuration pays its
+// penalty cycles — the per-branch cause taxonomy of the fetch probe
+// (dir-wrong, stale pointers, state lost to line eviction, RAS misses, BTB
+// conflicts, cold branches) aggregated into a cause matrix. It is the only
+// Probed figure: the executor replays the AttributionGrid with probe-attached
+// engines rather than resolving stored counter cells.
+func attributionFigure() Figure {
+	g := AttributionGrid()
+	return Figure{
+		Name: "attribution",
+		Grid: Grid{Name: "attribution"}, // no stored cells; Probed replays itself
+		Probed: func(x *Executor) (string, any, error) {
+			reports, err := x.RunAttribution(g, AttributionTopN)
+			if err != nil {
+				return "", nil, err
+			}
+			text := obs.RenderCauseMatrix(
+				"Attribution: penalty-cause mix across equal-cost configs (8KB direct i-cache)",
+				reports)
+			return text, reports, nil
 		},
 	}
 }

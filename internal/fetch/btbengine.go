@@ -27,6 +27,10 @@ type btbPredictor struct {
 	// The entry read by the last Lookup, retained for WrongPath.
 	lastEntry btb.Entry
 	lastHit   bool
+
+	// track records which PCs ever entered the BTB, for cause attribution
+	// only (nil until a probe enables tracking).
+	track trainedSet
 }
 
 // Lookup implements TargetPredictor.
@@ -60,6 +64,7 @@ func (p *btbPredictor) Lookup(rec trace.Record, _, _ int, dirTaken bool) Outcome
 // the BTB (§3); full addresses need no deferral.
 func (p *btbPredictor) Update(rec trace.Record) bool {
 	if rec.Taken {
+		p.track.mark(rec.PC)
 		p.buf.RecordTaken(rec.PC, rec.Target, rec.Kind)
 	}
 	return false
@@ -67,6 +72,28 @@ func (p *btbPredictor) Update(rec trace.Record) bool {
 
 // Resolve implements TargetPredictor (never deferred).
 func (p *btbPredictor) Resolve(trace.Record, int) {}
+
+// enableTracking implements causeExplainer.
+func (p *btbPredictor) enableTracking() {
+	if p.track == nil {
+		p.track = make(trainedSet)
+	}
+}
+
+// lastCause implements causeExplainer. A BTB miss for a branch that was
+// inserted before means its entry was displaced by conflict or capacity
+// pressure (§3's tagged, set-associative organization has no other way to
+// lose an entry); the only penalized hit that reaches here is a moving
+// indirect target (direction and return errors are the frontend's).
+func (p *btbPredictor) lastCause(rec trace.Record, _ bool) Cause {
+	if !p.lastHit {
+		if p.track.has(rec.PC) {
+			return CauseBTBConflict
+		}
+		return CauseCold
+	}
+	return CauseWrongTarget
+}
 
 // WrongPath implements TargetPredictor, approximating the wrong-path fetch
 // as the predicted target on a hit, the fall-through otherwise.
@@ -84,7 +111,12 @@ func (p *btbPredictor) Name() string { return p.buf.Config().String() }
 func (p *btbPredictor) SizeBits() int { return p.buf.SizeBits() }
 
 // Reset implements TargetPredictor.
-func (p *btbPredictor) Reset() { p.buf.Reset() }
+func (p *btbPredictor) Reset() {
+	p.buf.Reset()
+	if p.track != nil {
+		clear(p.track)
+	}
+}
 
 // BTBEngine is the decoupled BTB architecture: a Frontend driven by a
 // btbPredictor.

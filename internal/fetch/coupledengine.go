@@ -39,6 +39,10 @@ type coupledBTBPredictor struct {
 	// The slot found by the last Lookup (-1 on a miss), consumed by the
 	// counter update and by WrongPath.
 	lastSlot int
+
+	// track records which PCs ever entered the BTB, for cause attribution
+	// only (nil until a probe enables tracking).
+	track trainedSet
 }
 
 func newCoupledBTBPredictor(cfg btb.Config, rstack *ras.Stack) *coupledBTBPredictor {
@@ -159,6 +163,7 @@ func (p *coupledBTBPredictor) Update(rec trace.Record) bool {
 		}
 	}
 	if rec.Taken {
+		p.track.mark(rec.PC)
 		p.insert(rec.PC, rec.Target, rec.Kind)
 	}
 	return false
@@ -166,6 +171,31 @@ func (p *coupledBTBPredictor) Update(rec trace.Record) bool {
 
 // Resolve implements TargetPredictor (never deferred).
 func (p *coupledBTBPredictor) Resolve(trace.Record, int) {}
+
+// enableTracking implements causeExplainer.
+func (p *coupledBTBPredictor) enableTracking() {
+	if p.track == nil {
+		p.track = make(trainedSet)
+	}
+}
+
+// lastCause implements causeExplainer. The coupled design's defining
+// weakness shows up here: a displaced entry loses the branch's direction
+// history along with its target, so a previously-inserted branch that
+// misses classifies as conflict loss, not cold. Conditional direction
+// errors on a hit are left to the frontend's DirWrong labeling.
+func (p *coupledBTBPredictor) lastCause(rec trace.Record, _ bool) Cause {
+	if p.lastSlot < 0 {
+		if p.track.has(rec.PC) {
+			return CauseBTBConflict
+		}
+		return CauseCold
+	}
+	if rec.Kind == isa.CondBranch {
+		return CauseNone // frontend labels the coupled counter's DirWrong
+	}
+	return CauseWrongTarget
+}
 
 // WrongPath implements TargetPredictor, approximating the wrong-path fetch
 // as the predicted target on a hit, the fall-through otherwise.
@@ -194,6 +224,9 @@ func (p *coupledBTBPredictor) Reset() {
 	}
 	p.clock = 0
 	p.lastSlot = -1
+	if p.track != nil {
+		clear(p.track)
+	}
 }
 
 // CoupledBTBEngine is the coupled (Pentium-style) BTB architecture: a

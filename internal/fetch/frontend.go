@@ -96,6 +96,9 @@ type Frontend struct {
 	pollution
 	tp     TargetPredictor
 	traits Traits
+	// probe, when non-nil, receives one BreakEvent per resolved break
+	// (see probe.go). The unprobed fast path costs one nil check.
+	probe Probe
 
 	// pending holds a break whose predictor update was deferred by
 	// TargetPredictor.Update until the successor's cache way is known;
@@ -181,7 +184,7 @@ func (f *Frontend) Step(rec trace.Record) {
 
 	// Classify a wrong fetch by its root cause (DESIGN.md §6) and keep
 	// the architectural predictors trained.
-	mispredicted := false
+	penalty := PenaltyNone
 	switch rec.Kind {
 	case isa.CondBranch:
 		f.m.CondBranches++
@@ -194,9 +197,10 @@ func (f *Frontend) Step(rec trace.Record) {
 				// Direction was right but the target was
 				// unavailable (or stale) until decode.
 				f.m.AddMisfetch(rec.Kind)
+				penalty = PenaltyMisfetch
 			} else {
 				f.m.AddMispredict(rec.Kind)
-				mispredicted = true
+				penalty = PenaltyMispredict
 			}
 		}
 		if !f.traits.CoupledDirection {
@@ -206,11 +210,13 @@ func (f *Frontend) Step(rec trace.Record) {
 	case isa.UncondBranch:
 		if !out.Correct {
 			f.m.AddMisfetch(rec.Kind)
+			penalty = PenaltyMisfetch
 		}
 
 	case isa.Call:
 		if !out.Correct {
 			f.m.AddMisfetch(rec.Kind)
+			penalty = PenaltyMisfetch
 		}
 		if !f.traits.NoRAS {
 			f.rstack.Push(rec.PC.Next())
@@ -222,9 +228,10 @@ func (f *Frontend) Step(rec trace.Record) {
 				// A prediction was followed and disproved at
 				// execute.
 				f.m.AddMispredict(rec.Kind)
-				mispredicted = true
+				penalty = PenaltyMispredict
 			} else {
 				f.m.AddMisfetch(rec.Kind)
+				penalty = PenaltyMisfetch
 			}
 		}
 
@@ -235,9 +242,10 @@ func (f *Frontend) Step(rec trace.Record) {
 			if !out.Correct {
 				if out.Followed {
 					f.m.AddMispredict(rec.Kind)
-					mispredicted = true
+					penalty = PenaltyMispredict
 				} else {
 					f.m.AddMisfetch(rec.Kind)
+					penalty = PenaltyMisfetch
 				}
 			}
 			break
@@ -249,9 +257,10 @@ func (f *Frontend) Step(rec trace.Record) {
 				// Not identified as a return until decode, but
 				// the stack had the right address there.
 				f.m.AddMisfetch(rec.Kind)
+				penalty = PenaltyMisfetch
 			} else {
 				f.m.AddMispredict(rec.Kind)
-				mispredicted = true
+				penalty = PenaltyMispredict
 			}
 		}
 	}
@@ -260,8 +269,14 @@ func (f *Frontend) Step(rec trace.Record) {
 	// fetched before the redirect (see wrongpath.go).
 	if f.pollution.enabled && !out.Correct {
 		if wp, ok := f.tp.WrongPath(rec); ok {
-			f.pollute(wp, mispredicted)
+			f.pollute(wp, penalty == PenaltyMispredict)
 		}
+	}
+
+	// Attribution probe: emit after the break's architectural effects and
+	// before the predictor trains on it (see probe.go).
+	if f.probe != nil {
+		f.emitBreak(rec, out, dirTaken, penalty)
 	}
 
 	// Train the target predictor; a deferred update waits for the

@@ -144,6 +144,35 @@ func (p *hybridPredictor) Resolve(rec trace.Record, way int) {
 	p.table.Update(rec.PC, rec.Kind, true, rec.Target, way)
 }
 
+// enableTracking implements causeExplainer. The hybrid needs no shadow
+// state: its table half is tag-less (a written entry never invalidates, so
+// eviction loss is structurally impossible), and an invalid table entry
+// implies the branch never trained — which also means its taken target never
+// entered the BTB half.
+func (p *hybridPredictor) enableTracking() {}
+
+// lastCause implements causeExplainer, explaining the last Lookup's miss
+// from the mechanism the hybrid followed. Decoupled direction errors never
+// reach here (the frontend claims them first).
+func (p *hybridPredictor) lastCause(rec trace.Record, _ bool) Cause {
+	switch p.lastMode {
+	case hybFallThrough:
+		if p.lastEntry.Type == core.TypeInvalid {
+			return CauseCold
+		}
+		// An aliased entry chose fall-through for a taken break.
+		return CauseStalePointer
+	case hybRAS, hybPointer:
+		// hybRAS only reaches here for a non-return an aliased entry
+		// routed to the stack (a return served wrong is the frontend's
+		// RASMiss); hybPointer is a stale cache-relative pointer.
+		return CauseStalePointer
+	case hybBTB:
+		return CauseWrongTarget
+	}
+	return CauseNone
+}
+
 // WrongPath implements TargetPredictor: the address actually fetched by the
 // mechanism the hybrid followed.
 func (p *hybridPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {

@@ -26,6 +26,10 @@ type johnsonPredictor struct {
 	// The last Lookup's pointer state, retained for WrongPath.
 	lastEntry    core.JohnsonEntry
 	lastFollowed bool
+
+	// track records which PCs ever wrote a successor pointer, for cause
+	// attribution only (nil until a probe enables tracking).
+	track trainedSet
 }
 
 // Lookup implements TargetPredictor.
@@ -62,7 +66,34 @@ func (p *johnsonPredictor) Update(trace.Record) bool { return true }
 // Resolve implements TargetPredictor, completing the deferred successor
 // update now that the successor's cache way is known.
 func (p *johnsonPredictor) Resolve(rec trace.Record, way int) {
+	p.track.mark(rec.PC)
 	p.store.Update(rec.PC, rec.Next(), way)
+}
+
+// enableTracking implements causeExplainer.
+func (p *johnsonPredictor) enableTracking() {
+	if p.track == nil {
+		p.track = make(trainedSet)
+	}
+}
+
+// lastCause implements causeExplainer. Johnson's successor pointers are
+// line-coupled, so an invalid pointer for a branch that updated one before
+// means the line (and its predictor state) was evicted. A followed pointer
+// that encoded the wrong direction is the implicit one-bit direction
+// predictor's fault (the frontend labels it DirWrong); any other followed
+// miss is a stale cache-relative pointer.
+func (p *johnsonPredictor) lastCause(rec trace.Record, dirTaken bool) Cause {
+	if !p.lastFollowed {
+		if p.track.has(rec.PC) {
+			return CauseEvictionLoss
+		}
+		return CauseCold
+	}
+	if rec.Kind == isa.CondBranch && dirTaken != rec.Taken {
+		return CauseNone // frontend labels the implicit direction error
+	}
+	return CauseStalePointer
 }
 
 // WrongPath implements TargetPredictor: the resident line at the followed
@@ -87,7 +118,12 @@ func (p *johnsonPredictor) Name() string { return p.store.Name() }
 func (p *johnsonPredictor) SizeBits() int { return p.store.SizeBits() }
 
 // Reset implements TargetPredictor.
-func (p *johnsonPredictor) Reset() { p.store.Reset() }
+func (p *johnsonPredictor) Reset() {
+	p.store.Reset()
+	if p.track != nil {
+		clear(p.track)
+	}
+}
 
 // noDir is a placeholder direction predictor for architectures without one.
 type noDir struct{}

@@ -68,6 +68,10 @@ type nlsPredictor struct {
 	// for WrongPath.
 	lastMode  predMode
 	lastEntry core.Entry
+
+	// track records which PCs ever had NLS state written, for cause
+	// attribution only (nil until a probe enables tracking).
+	track trainedSet
 }
 
 // Lookup implements TargetPredictor.
@@ -117,6 +121,7 @@ func (p *nlsPredictor) Update(rec trace.Record) bool {
 	if rec.Taken {
 		return true
 	}
+	p.track.mark(rec.PC)
 	p.store.update(rec.PC, rec.Kind, false, 0, 0)
 	return false
 }
@@ -124,7 +129,48 @@ func (p *nlsPredictor) Update(rec trace.Record) bool {
 // Resolve implements TargetPredictor, completing the deferred taken-branch
 // pointer update now that the target's cache way is known.
 func (p *nlsPredictor) Resolve(rec trace.Record, way int) {
+	p.track.mark(rec.PC)
 	p.store.update(rec.PC, rec.Kind, true, rec.Target, way)
+}
+
+// enableTracking implements causeExplainer.
+func (p *nlsPredictor) enableTracking() {
+	if p.track == nil {
+		p.track = make(trainedSet)
+	}
+}
+
+// lastCause implements causeExplainer, explaining the last Lookup's miss
+// from the mechanism it selected. An invalid entry for a branch that was
+// trained before can only mean line-coupled state died with an evicted line
+// (the tag-less table never invalidates a written entry), which is exactly
+// the NLS-cache weakness the attribution report exists to expose.
+func (p *nlsPredictor) lastCause(rec trace.Record, _ bool) Cause {
+	switch p.lastMode {
+	case modeRAS:
+		if rec.Kind == isa.Return {
+			return CauseRASMiss
+		}
+		// An aliased (or stale line-coupled) entry mislabeled a
+		// non-return as a return and routed it to the stack.
+		return CauseStalePointer
+	case modePointer:
+		return CauseStalePointer
+	case modeFallThrough:
+		if p.lastEntry.Type == core.TypeInvalid {
+			if p.track.has(rec.PC) {
+				return CauseEvictionLoss
+			}
+			return CauseCold
+		}
+		// A valid entry chose fall-through and was wrong: a decoupled
+		// direction error (the frontend labels it) or an aliased type.
+		if rec.Kind == isa.CondBranch {
+			return CauseNone
+		}
+		return CauseStalePointer
+	}
+	return CauseNone
 }
 
 // WrongPath implements TargetPredictor: the address the NLS hardware
@@ -159,7 +205,12 @@ func (p *nlsPredictor) Name() string { return p.store.name() }
 func (p *nlsPredictor) SizeBits() int { return p.store.sizeBits() }
 
 // Reset implements TargetPredictor.
-func (p *nlsPredictor) Reset() { p.store.reset() }
+func (p *nlsPredictor) Reset() {
+	p.store.reset()
+	if p.track != nil {
+		clear(p.track)
+	}
+}
 
 // NLSEngine is the NLS fetch architecture: a Frontend driven by an
 // nlsPredictor over either NLS organization.

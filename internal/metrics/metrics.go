@@ -65,21 +65,25 @@ func (c *Counters) AddMispredict(k isa.Kind) {
 	c.MispredictByKind[k]++
 }
 
-// PctMisfetched returns %MfB: misfetched branches per 100 executed breaks.
-func (c *Counters) PctMisfetched() float64 {
+// Per100Breaks returns n per 100 executed breaks — the guarded division
+// every per-break rate shares, so an empty run (zero breaks) reads as a
+// zero rate rather than NaN in reports and JSON.
+func (c *Counters) Per100Breaks(n uint64) float64 {
 	if c.Breaks == 0 {
 		return 0
 	}
-	return 100 * float64(c.Misfetches) / float64(c.Breaks)
+	return 100 * float64(n) / float64(c.Breaks)
+}
+
+// PctMisfetched returns %MfB: misfetched branches per 100 executed breaks.
+func (c *Counters) PctMisfetched() float64 {
+	return c.Per100Breaks(c.Misfetches)
 }
 
 // PctMispredicted returns %MpB: mispredicted branches per 100 executed
 // breaks.
 func (c *Counters) PctMispredicted() float64 {
-	if c.Breaks == 0 {
-		return 0
-	}
-	return 100 * float64(c.Mispredicts) / float64(c.Breaks)
+	return c.Per100Breaks(c.Mispredicts)
 }
 
 // BEP returns the branch execution penalty of Yeh & Patt as used in §5.2:

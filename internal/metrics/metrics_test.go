@@ -130,3 +130,41 @@ func TestDefaultPenalties(t *testing.T) {
 		t.Errorf("Default() = %+v, want the paper's 1/4/5", p)
 	}
 }
+
+// TestEmptyRunRatesAreZero pins the zero-denominator contract: every
+// derived rate of a zero-value (empty-run) Counters is exactly 0, never
+// NaN or Inf, so reports and JSON for degenerate runs stay well-formed.
+func TestEmptyRunRatesAreZero(t *testing.T) {
+	var c Counters
+	p := Default()
+	rates := map[string]float64{
+		"PctMisfetched":   c.PctMisfetched(),
+		"PctMispredicted": c.PctMispredicted(),
+		"Per100Breaks":    c.Per100Breaks(7),
+		"BEP":             c.BEP(p),
+		"MisfetchBEP":     c.MisfetchBEP(p),
+		"MispredictBEP":   c.MispredictBEP(p),
+		"ICacheMissRate":  c.ICacheMissRate(),
+		"CondAccuracy":    c.CondAccuracy(),
+		"CPI":             c.CPI(p),
+	}
+	for name, v := range rates {
+		if v != 0 {
+			t.Errorf("%s on empty run = %v, want 0", name, v)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s on empty run is not finite: %v", name, v)
+		}
+	}
+	if s := c.Summary(p); strings.Contains(s, "NaN") {
+		t.Errorf("empty-run summary contains NaN: %s", s)
+	}
+}
+
+// TestPer100Breaks checks the guarded helper against a direct computation.
+func TestPer100Breaks(t *testing.T) {
+	c := Counters{Breaks: 200}
+	if got := c.Per100Breaks(3); got != 1.5 {
+		t.Errorf("Per100Breaks(3) over 200 breaks = %v, want 1.5", got)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/fetch"
+	"repro/internal/metrics"
+)
+
+// Pure presentation, in the style of experiments/render.go: reports in,
+// text or JSON out, nothing here simulates. The text formats are pinned by
+// the attribution golden test.
+
+// MarshalJSON renders the mix as an object keyed by cause name, omitting
+// zero causes, so reports stay readable and schema-stable as causes grow.
+func (m CauseMix) MarshalJSON() ([]byte, error) {
+	o := make(map[string]uint64)
+	for c := fetch.CauseNone + 1; c < fetch.NumCauses; c++ {
+		if m[c] > 0 {
+			o[c.String()] = m[c]
+		}
+	}
+	return json.Marshal(o)
+}
+
+// MarshalJSON renders one offender row with a hex PC and named causes.
+func (s PCStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		PC          string   `json:"pc"`
+		Kind        string   `json:"kind"`
+		Breaks      uint64   `json:"breaks"`
+		Misfetches  uint64   `json:"misfetches"`
+		Mispredicts uint64   `json:"mispredicts"`
+		Causes      CauseMix `json:"causes"`
+		Polluted    uint64   `json:"polluted,omitempty"`
+	}{
+		PC: s.PC.String(), Kind: s.Kind.String(),
+		Breaks: s.Breaks, Misfetches: s.Misfetches, Mispredicts: s.Mispredicts,
+		Causes: s.Causes, Polluted: s.Polluted,
+	})
+}
+
+// causeList formats the nonzero causes in taxonomy order.
+func causeList(m CauseMix) string {
+	var parts []string
+	for c := fetch.CauseNone + 1; c < fetch.NumCauses; c++ {
+		if m[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, m[c]))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// RenderReports formats full attribution reports (the nlssim -attribute
+// view): run totals, the cause mix, and the top offender branches.
+func RenderReports(reports []Report, p metrics.Penalties) string {
+	var b strings.Builder
+	b.WriteString("Attribution: per-branch penalty causes\n")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%s / %s: breaks=%d mf=%d mp=%d penalty-cycles=%.0f static-branches=%d\n",
+			r.Arch, r.Program, r.Breaks, r.Misfetches, r.Mispredicts,
+			r.PenaltyCycles, r.StaticBranches)
+		fmt.Fprintf(&b, "  causes: %s\n", causeList(r.Causes))
+		if len(r.Top) == 0 {
+			continue
+		}
+		b.WriteString("  pc          kind        breaks      mf      mp    cycles  causes\n")
+		for _, s := range r.Top {
+			fmt.Fprintf(&b, "  %s  %-8s %9d %7d %7d %9.0f  %s\n",
+				s.PC, s.Kind, s.Breaks, s.Misfetches, s.Mispredicts,
+				s.PenaltyCycles(p), causeList(s.Causes))
+		}
+	}
+	return b.String()
+}
+
+// RenderCauseMatrix formats the cross-architecture comparison (the
+// nlstables attribution figure): one row per architecture with its cause
+// mix as a share of penalized breaks, reports aggregated over programs in
+// first-appearance arch order.
+func RenderCauseMatrix(title string, reports []Report) string {
+	type aggRow struct {
+		arch      string
+		mix       CauseMix
+		penalized uint64
+	}
+	var order []string
+	agg := map[string]*aggRow{}
+	for _, r := range reports {
+		a := agg[r.Arch]
+		if a == nil {
+			a = &aggRow{arch: r.Arch}
+			agg[r.Arch] = a
+			order = append(order, r.Arch)
+		}
+		a.mix.Add(r.Causes)
+		a.penalized += r.Misfetches + r.Mispredicts
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("  arch                      penalized")
+	for c := fetch.CauseNone + 1; c < fetch.NumCauses; c++ {
+		fmt.Fprintf(&b, " %13s", c)
+	}
+	b.WriteString("\n")
+	for _, arch := range order {
+		a := agg[arch]
+		fmt.Fprintf(&b, "  %-26s %8d", a.arch, a.penalized)
+		for c := fetch.CauseNone + 1; c < fetch.NumCauses; c++ {
+			if a.penalized == 0 {
+				fmt.Fprintf(&b, " %12.1f%%", 0.0)
+				continue
+			}
+			fmt.Fprintf(&b, " %12.1f%%", 100*float64(a.mix[c])/float64(a.penalized))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

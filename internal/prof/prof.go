@@ -1,0 +1,52 @@
+// Package prof wires the standard pprof profilers into the CLIs: both
+// nlssim and nlstables take -cpuprofile/-memprofile flags, and the `make
+// profile` target smoke-runs them. It exists so the two commands share one
+// correct shutdown order (stop the CPU profile, then GC, then snapshot the
+// heap) instead of two slightly different copies.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. cpu and mem name the output files;
+// either may be empty to skip that profile. The returned stop function
+// flushes and closes everything and must run on the success path before
+// the process exits (os.Exit skips defers — call it explicitly). When
+// nothing is requested, stop is a no-op.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // snapshot live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
