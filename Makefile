@@ -8,8 +8,8 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench verify figures grid-golden smoke \
-	attribution-golden profile
+.PHONY: build vet test race fuzz bench bench-check verify figures \
+	grid-golden smoke attribution-golden profile
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,19 @@ fuzz:
 # Sweep scheduler comparison (see EXPERIMENTS.md "Sweep throughput"). The
 # text stream passes through cmd/benchjson, which also records the results
 # machine-readably in BENCH_sweep.json (schema nls-bench/v1, committed as
-# the throughput baseline; see EXPERIMENTS.md "Benchmark JSON").
+# the throughput baseline; see EXPERIMENTS.md "Benchmark JSON"). The JSON
+# is deterministic; the run's timestamp goes to a manifest under
+# results/runs/ (gitignored).
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem . \
-		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json
+		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json -manifest results/runs
+
+# Re-run the sweep benchmarks and gate against the committed baseline:
+# prints per-benchmark deltas and fails on a >10% Mstep/s regression,
+# without touching BENCH_sweep.json.
+bench-check:
+	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o '' -compare BENCH_sweep.json
 
 # Regenerate every table and figure (EXPERIMENTS.md numbers). Warm runs
 # load unchanged cells from results/cells; -force re-simulates.

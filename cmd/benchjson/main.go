@@ -8,6 +8,15 @@
 // This is what `make bench` runs; the committed BENCH_sweep.json at the
 // repo root is the throughput baseline the probe's zero-overhead contract
 // is judged against (see EXPERIMENTS.md "Benchmark JSON" for the schema).
+// The JSON is a pure function of the benchmark text: run metadata that
+// varies per invocation (the timestamp, the command line) goes to a run
+// manifest (-manifest, schema nls-run/v1) instead, so re-running `make
+// bench` on identical results leaves the committed file byte-identical.
+//
+// -compare old.json prints per-benchmark deltas against a previously
+// written file and exits nonzero when any benchmark's Mstep/s throughput
+// regresses by more than 10% — `make bench-check` uses it with -o '' as a
+// regression gate against the committed baseline.
 //
 // The parser understands the standard benchmark result line — name,
 // iteration count, then (value, unit) pairs, including custom
@@ -23,7 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +43,14 @@ import (
 // Schema identifies the BENCH_sweep.json layout; bump on incompatible
 // change.
 const Schema = "nls-bench/v1"
+
+// ManifestSchema identifies the run-manifest layout, shared with the
+// nlstables run telemetry (internal/experiments.ManifestSchema).
+const ManifestSchema = "nls-run/v1"
+
+// regressTolerance is the fraction of Mstep/s a benchmark may lose before
+// -compare fails the run.
+const regressTolerance = 0.10
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
@@ -47,11 +66,12 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// File is the written JSON document.
+// File is the written JSON document. It deliberately carries no timestamp
+// or other per-invocation state: identical benchmark text must marshal to
+// identical bytes (timestamps live in the run manifest).
 type File struct {
-	Schema    string    `json:"schema"`
-	CreatedAt time.Time `json:"created_at"`
-	GoVersion string    `json:"go_version"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
 	// Goos, Goarch, Pkg, and CPU come from the benchmark header lines.
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
@@ -60,11 +80,27 @@ type File struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// manifest is the per-invocation record written next to the nlstables run
+// manifests under results/runs/: when the bench ran, how it was invoked,
+// and which benchmarks it produced — everything deliberately excluded from
+// the deterministic File.
+type manifest struct {
+	Schema     string    `json:"schema"`
+	CreatedAt  time.Time `json:"created_at"`
+	Command    []string  `json:"command,omitempty"`
+	GoVersion  string    `json:"go_version"`
+	CPU        string    `json:"cpu,omitempty"`
+	Output     string    `json:"bench_output,omitempty"`
+	Benchmarks []string  `json:"benchmarks"`
+}
+
 func main() {
-	out := flag.String("o", "BENCH_sweep.json", "output JSON file")
+	out := flag.String("o", "BENCH_sweep.json", "output JSON file ('' skips writing)")
+	compareWith := flag.String("compare", "", "compare against a previously written JSON file; exit nonzero on >10% Mstep/s regression")
+	manifestDir := flag.String("manifest", "", "directory for the timestamped run manifest ('' skips it)")
 	flag.Parse()
 
-	file := File{Schema: Schema, CreatedAt: time.Now(), GoVersion: runtime.Version()}
+	file := File{Schema: Schema, GoVersion: runtime.Version()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -88,14 +124,141 @@ func main() {
 	if len(file.Benchmarks) == 0 {
 		fail(fmt.Errorf("no benchmark result lines on stdin"))
 	}
-	buf, err := json.MarshalIndent(file, "", "  ")
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
+	}
+
+	if *manifestDir != "" {
+		if err := writeManifest(*manifestDir, *out, file); err != nil {
+			fail(err)
+		}
+	}
+
+	if *compareWith != "" {
+		old, err := readFile(*compareWith)
+		if err != nil {
+			fail(err)
+		}
+		report, regressed := compare(old, file, regressTolerance)
+		fmt.Fprintf(os.Stderr, "benchjson: compare vs %s\n", *compareWith)
+		for _, l := range report {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+		if len(regressed) > 0 {
+			fail(fmt.Errorf("Mstep/s regressed >%d%%: %s",
+				int(regressTolerance*100), strings.Join(regressed, ", ")))
+		}
+	}
+}
+
+// readFile loads and validates a previously written benchmark JSON file.
+func readFile(path string) (File, error) {
+	var f File
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		fail(err)
+		return f, err
 	}
-	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
-		fail(err)
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("%s: %v", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(file.Benchmarks))
+	if f.Schema != Schema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	return f, nil
+}
+
+// benchKey identifies a benchmark across files.
+func benchKey(b Benchmark) string {
+	if b.Procs == 1 {
+		return b.Name
+	}
+	return fmt.Sprintf("%s-%d", b.Name, b.Procs)
+}
+
+// compare reports the per-benchmark metric deltas of cur against old and
+// which benchmarks regressed: present in both files, with an Mstep/s
+// throughput below (1-tol) of the old value. New or vanished benchmarks
+// are reported but never fail the comparison.
+func compare(old, cur File, tol float64) (report, regressed []string) {
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		key := benchKey(b)
+		seen[key] = true
+		prev, ok := oldBy[key]
+		if !ok {
+			report = append(report, fmt.Sprintf("%s: new benchmark (no baseline)", key))
+			continue
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			if _, ok := prev.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		parts := make([]string, 0, len(units))
+		for _, u := range units {
+			ov, nv := prev.Metrics[u], b.Metrics[u]
+			switch {
+			case ov == 0:
+				parts = append(parts, fmt.Sprintf("%s %.4g -> %.4g", u, ov, nv))
+			default:
+				parts = append(parts, fmt.Sprintf("%s %.4g -> %.4g (%+.1f%%)", u, ov, nv, 100*(nv-ov)/ov))
+			}
+		}
+		report = append(report, fmt.Sprintf("%s: %s", key, strings.Join(parts, ", ")))
+		if ov, ok := prev.Metrics["Mstep/s"]; ok && ov > 0 {
+			if b.Metrics["Mstep/s"] < ov*(1-tol) {
+				regressed = append(regressed, key)
+			}
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if key := benchKey(b); !seen[key] {
+			report = append(report, fmt.Sprintf("%s: missing from this run", key))
+		}
+	}
+	return report, regressed
+}
+
+// writeManifest records the invocation under dir as <timestamp>-bench.json.
+func writeManifest(dir, output string, f File) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{
+		Schema:    ManifestSchema,
+		CreatedAt: time.Now(),
+		Command:   os.Args,
+		GoVersion: f.GoVersion,
+		CPU:       f.CPU,
+		Output:    output,
+	}
+	for _, b := range f.Benchmarks {
+		m.Benchmarks = append(m.Benchmarks, benchKey(b))
+	}
+	path := filepath.Join(dir, m.CreatedAt.UTC().Format("20060102T150405.000000000Z")+"-bench.json")
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: manifest %s\n", path)
+	return nil
 }
 
 // parseLine parses one benchmark result line:

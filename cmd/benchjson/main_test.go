@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkSweepBroadcast-8   \t       3\t 412345678 ns/op\t  73.9 Mstep/s\t 1024 B/op\t      12 allocs/op")
@@ -34,5 +38,78 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(bad); ok {
 			t.Errorf("parsed non-result line %q", bad)
 		}
+	}
+}
+
+func benchWith(name string, mstep float64) Benchmark {
+	return Benchmark{Name: name, Procs: 1, Iterations: 1,
+		Metrics: map[string]float64{"Mstep/s": mstep, "ns/op": 1e9 / mstep}}
+}
+
+func TestCompare(t *testing.T) {
+	old := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("SweepBroadcast", 100),
+		benchWith("SweepPerCell", 50),
+		benchWith("Vanished", 10),
+	}}
+
+	// Within tolerance (and improvements) pass; >10% loss fails.
+	cur := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("SweepBroadcast", 91), // -9%: inside the 10% band
+		benchWith("SweepPerCell", 44),   // -12%: regression
+		benchWith("Fresh", 5),           // no baseline: reported, not failed
+	}}
+	report, regressed := compare(old, cur, 0.10)
+	if len(regressed) != 1 || regressed[0] != "SweepPerCell" {
+		t.Errorf("regressed = %v, want [SweepPerCell]", regressed)
+	}
+	// One line per current benchmark plus one for the vanished baseline.
+	if len(report) != 4 {
+		t.Errorf("report has %d lines, want 4: %v", len(report), report)
+	}
+
+	// Exactly at the threshold is not a regression (strictly below fails).
+	_, regressed = compare(old, File{Schema: Schema,
+		Benchmarks: []Benchmark{benchWith("SweepBroadcast", 90)}}, 0.10)
+	if len(regressed) != 0 {
+		t.Errorf("exact -10%% flagged as regression: %v", regressed)
+	}
+
+	// A benchmark without an Mstep/s metric never regresses.
+	oldNs := File{Schema: Schema, Benchmarks: []Benchmark{{
+		Name: "Parse", Procs: 1, Metrics: map[string]float64{"ns/op": 100}}}}
+	curNs := File{Schema: Schema, Benchmarks: []Benchmark{{
+		Name: "Parse", Procs: 1, Metrics: map[string]float64{"ns/op": 500}}}}
+	if _, regressed = compare(oldNs, curNs, 0.10); len(regressed) != 0 {
+		t.Errorf("ns/op-only benchmark flagged: %v", regressed)
+	}
+}
+
+// TestFileDeterministic: the written document is a pure function of the
+// benchmark text — no timestamps, stable key order — so re-running `make
+// bench` with identical results leaves BENCH_sweep.json byte-identical.
+func TestFileDeterministic(t *testing.T) {
+	mk := func() File {
+		f := File{Schema: Schema, GoVersion: "go1.24.0", Goos: "linux"}
+		b, ok := parseLine("BenchmarkSweepBroadcast \t1\t 2791835170 ns/op\t 103.2 Mstep/s\t 3635072 B/op\t 4788 allocs/op")
+		if !ok {
+			t.Fatal("result line did not parse")
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+		return f
+	}
+	a, err := json.MarshalIndent(mk(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(mk(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("identical input marshalled differently:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Contains(string(a), "created_at") {
+		t.Errorf("document carries a timestamp:\n%s", a)
 	}
 }

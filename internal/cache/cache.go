@@ -2,6 +2,13 @@ package cache
 
 import "repro/internal/isa"
 
+// tagValid marks an occupied slot in the packed tag array. Line addresses
+// are word addresses shifted down by at least lineShift >= 2 bits, so bit
+// 31 is never part of a real line address and packing the valid bit there
+// lets the hit check (and every content probe) touch one word instead of
+// two parallel arrays.
+const tagValid = 1 << 31
+
 // Cache is an instruction cache with true-LRU replacement. It tracks only
 // tags (the simulator never needs instruction bytes) and counts accesses and
 // misses.
@@ -9,9 +16,12 @@ type Cache struct {
 	geom Geometry
 
 	// Flattened [set][way] arrays.
-	tags  []uint32 // line address resident in the slot
-	valid []bool
-	stamp []uint64 // LRU clock; larger = more recently used
+	tags []uint32 // tagValid | resident line address; 0 = empty slot
+	// stamp is the LRU clock per slot (larger = more recently used),
+	// allocated on first Access: a cache used only as the tag mirror of
+	// an annotated replay (DESIGN.md §11) never makes LRU decisions and
+	// never pays for the array.
+	stamp []uint64
 
 	clock uint64
 
@@ -31,12 +41,9 @@ type Cache struct {
 
 // New builds an empty cache with the given geometry.
 func New(g Geometry) *Cache {
-	n := g.NumSets() * g.Assoc()
 	return &Cache{
-		geom:  g,
-		tags:  make([]uint32, n),
-		valid: make([]bool, n),
-		stamp: make([]uint64, n),
+		geom: g,
+		tags: make([]uint32, g.NumSets()*g.Assoc()),
 	}
 }
 
@@ -47,17 +54,16 @@ func (c *Cache) Geometry() Geometry { return c.geom }
 // line in (set, way).
 func (c *Cache) SetOnReplace(fn func(set, way int)) { c.onReplace = fn }
 
-func (c *Cache) slot(set, way int) int { return set*c.geom.Assoc() + way }
+func (c *Cache) slot(set, way int) int { return set*c.geom.assoc + way }
 
 // Probe looks up the line containing address a without changing any cache
 // state (no LRU update, no fill, no statistics). It returns the way where
 // the line resides.
 func (c *Cache) Probe(a isa.Addr) (way int, hit bool) {
-	line := c.geom.LineAddr(a)
-	set := c.geom.SetOfLine(line)
-	for w := 0; w < c.geom.Assoc(); w++ {
-		s := c.slot(set, w)
-		if c.valid[s] && c.tags[s] == line {
+	want := c.geom.LineAddr(a) | tagValid
+	base := int(want&c.geom.setMask) * c.geom.assoc
+	for w := 0; w < c.geom.assoc; w++ {
+		if c.tags[base+w] == want {
 			return w, true
 		}
 	}
@@ -69,19 +75,26 @@ func (c *Cache) Probe(a isa.Addr) (way int, hit bool) {
 // returns whether the access hit and the way where the line now resides.
 func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 	c.accesses++
-	line := c.geom.LineAddr(a)
-	set := c.geom.SetOfLine(line)
+	if c.stamp == nil {
+		c.stamp = make([]uint64, len(c.tags))
+	}
+	want := c.geom.LineAddr(a) | tagValid
+	// setMask is well below the valid bit, so masking the packed tag
+	// selects the set directly.
+	set := int(want & c.geom.setMask)
+	base := set * c.geom.assoc
 	c.clock++
 	// Hit check and LRU victim search in one pass.
 	victim, victimStamp := 0, ^uint64(0)
-	for w := 0; w < c.geom.Assoc(); w++ {
-		s := c.slot(set, w)
-		if c.valid[s] && c.tags[s] == line {
+	for w := 0; w < c.geom.assoc; w++ {
+		s := base + w
+		t := c.tags[s]
+		if t == want {
 			c.stamp[s] = c.clock
 			c.lastSet, c.lastWay = set, w
 			return true, w
 		}
-		if !c.valid[s] {
+		if t&tagValid == 0 {
 			// Prefer invalid slots; stamp 0 loses to any valid slot.
 			if victimStamp != 0 {
 				victim, victimStamp = w, 0
@@ -93,9 +106,8 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 		}
 	}
 	c.misses++
-	s := c.slot(set, victim)
-	c.tags[s] = line
-	c.valid[s] = true
+	s := base + victim
+	c.tags[s] = want
 	c.stamp[s] = c.clock
 	c.lastSet, c.lastWay = set, victim
 	if c.onReplace != nil {
@@ -122,6 +134,32 @@ func (c *Cache) AccessRun(set, way int, n uint64) {
 	c.stamp[c.slot(set, way)] = c.clock
 }
 
+// ApplyFill installs the line containing a into way of its set, firing
+// onReplace exactly as the fill path of Access does. It is the mirror half
+// of the annotated replay (DESIGN.md §11): a shared fetch Oracle running
+// the identical access stream decided this access misses and fills way, so
+// the engine replays only the fill's architectural effect — tag contents
+// and the replacement callback that predictor state is coupled to. LRU
+// stamps and the access counters are deliberately NOT touched: annotated
+// replay never consults this cache's LRU state (the oracle owns the
+// replacement decisions) and credits counters in bulk via AddAccesses.
+func (c *Cache) ApplyFill(a isa.Addr, way int) {
+	line := c.geom.LineAddr(a)
+	set := c.geom.SetOfLine(line)
+	c.tags[c.slot(set, way)] = line | tagValid
+	if c.onReplace != nil {
+		c.onReplace(set, way)
+	}
+}
+
+// AddAccesses credits n accesses, misses of them missing, to the counters
+// in one step — the annotated replay's per-block bulk equivalent of the
+// per-record counting inside Access.
+func (c *Cache) AddAccesses(n, misses uint64) {
+	c.accesses += n
+	c.misses += misses
+}
+
 // Contains reports whether the line holding address a is resident, and if
 // so, in which way. It never mutates state.
 func (c *Cache) Contains(a isa.Addr) (way int, resident bool) {
@@ -130,11 +168,11 @@ func (c *Cache) Contains(a isa.Addr) (way int, resident bool) {
 
 // ResidentAt reports which line address currently occupies (set, way).
 func (c *Cache) ResidentAt(set, way int) (lineAddr uint32, ok bool) {
-	s := c.slot(set, way)
-	if !c.valid[s] {
+	t := c.tags[c.slot(set, way)]
+	if t&tagValid == 0 {
 		return 0, false
 	}
-	return c.tags[s], true
+	return t &^ tagValid, true
 }
 
 // HoldsAt reports whether the slot (set, way) currently holds the line
@@ -142,11 +180,10 @@ func (c *Cache) ResidentAt(set, way int) (lineAddr uint32, ok bool) {
 // the predicted location must contain the target's line for the fetch to be
 // correct.
 func (c *Cache) HoldsAt(set, way int, a isa.Addr) bool {
-	if set < 0 || set >= c.geom.NumSets() || way < 0 || way >= c.geom.Assoc() {
+	if uint(set) >= uint(c.geom.numSets) || uint(way) >= uint(c.geom.assoc) {
 		return false
 	}
-	s := c.slot(set, way)
-	return c.valid[s] && c.tags[s] == c.geom.LineAddr(a)
+	return c.tags[set*c.geom.assoc+way] == c.geom.LineAddr(a)|tagValid
 }
 
 // Accesses returns the number of Access calls.
@@ -165,10 +202,11 @@ func (c *Cache) MissRate() float64 {
 
 // Reset empties the cache and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.stamp[i] = 0
+	for i := range c.tags {
 		c.tags[i] = 0
+	}
+	for i := range c.stamp {
+		c.stamp[i] = 0
 	}
 	c.clock = 0
 	c.accesses = 0

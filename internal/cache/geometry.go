@@ -28,6 +28,7 @@ type Geometry struct {
 	numSets   int
 	lineShift uint
 	setMask   uint32
+	offMask   uint32 // InstrsPerLine - 1, precomputed for InstrOffset
 }
 
 // NewGeometry validates and builds a cache geometry. Sizes and associativity
@@ -51,6 +52,7 @@ func NewGeometry(sizeBytes, lineBytes, assoc int) (Geometry, error) {
 	g.numSets = sizeBytes / lineBytes / assoc
 	g.lineShift = uint(bits.TrailingZeros(uint(lineBytes)))
 	g.setMask = uint32(g.numSets - 1)
+	g.offMask = uint32(lineBytes/isa.InstrBytes - 1)
 	return g, nil
 }
 
@@ -99,7 +101,7 @@ func (g Geometry) SetOfLine(lineAddr uint32) int { return int(lineAddr & g.setMa
 // InstrOffset returns the index of the instruction within its line
 // (0..InstrsPerLine-1). This is the low-order portion of the NLS line field.
 func (g Geometry) InstrOffset(a isa.Addr) int {
-	return int(uint32(a)>>2) & (g.InstrsPerLine() - 1)
+	return int((uint32(a) >> 2) & g.offMask)
 }
 
 // IndexBits returns log2(NumSets), the number of bits selecting a set.

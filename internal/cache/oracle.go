@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// This file implements the shared fetch oracle behind the geometry-sharded
+// broadcast replay (DESIGN.md §11). With wrong-path pollution off, every
+// engine that shares a cache Geometry drives bit-identical i-cache state
+// from the same trace, so a sweep cell of E same-geometry engines pays for
+// the same LRU simulation E times. The Oracle runs that simulation ONCE per
+// record block and publishes the per-record (hit, way) outcomes as an
+// AccessAnnotations value; each engine in the geometry group then mirrors
+// the outcomes into its own tags (Cache.ApplyFill + Cache.AddAccesses)
+// instead of calling Cache.Access per record.
+
+// Annotation slot encoding: bit 7 is the hit flag, the low bits are the way
+// the accessed line resides in after the access (the fill victim on a
+// miss). The set is not stored — it is a pure function of the record's PC
+// and the group's shared Geometry (SetIndex), so consumers rederive it for
+// free.
+const (
+	// AnnHit is set in an annotation slot when the access hit.
+	AnnHit uint8 = 0x80
+	// AnnWayMask extracts the way from an annotation slot (associativity
+	// is at most 127 by far — the paper's maximum is 4).
+	AnnWayMask uint8 = 0x7f
+)
+
+// AccessAnnotations is the columnar access outcome of one record block
+// under one cache geometry: one encoded (hit, way) slot per record, plus
+// the block's miss count so consumers can credit counters in bulk. Slots
+// are written only for the records an engine's batched replay actually
+// dispatches on — run leaders and breaks; the same-line followers that
+// stepBlockRuns batches into one AccessRun always hit the leader's slot
+// and their annotation bytes are left stale. Slot buffers are recycled
+// through trace's annotation-buffer pool (see Release).
+type AccessAnnotations struct {
+	// Slots holds one encoded slot per record (AnnHit | way), valid at
+	// run-leader and break positions only.
+	Slots []uint8
+	// Misses is the number of block accesses that missed.
+	Misses uint64
+}
+
+// Release returns the slot buffer to the shared pool. The annotation must
+// not be used afterwards.
+func (a *AccessAnnotations) Release() {
+	trace.PutAnnBuf(a.Slots)
+	a.Slots = nil
+}
+
+// Oracle replays record blocks through a private cache exactly as an
+// engine's batched replay would (Access per leader/break, AccessRun per
+// same-line run), annotating each block with the access outcomes. Because
+// the oracle applies the identical access stream, its cache state — and
+// therefore every (hit, way) it publishes and every fill it implies — is
+// bit-identical to what each group member's private cache would have done.
+type Oracle struct {
+	c *Cache
+}
+
+// NewOracle builds a cold oracle for the geometry.
+func NewOracle(g Geometry) *Oracle { return &Oracle{c: New(g)} }
+
+// Geometry returns the geometry the oracle simulates.
+func (o *Oracle) Geometry() Geometry { return o.c.Geometry() }
+
+// Reset restores the oracle to its cold state.
+func (o *Oracle) Reset() { o.c.Reset() }
+
+// Annotate simulates one record block and fills ann with its access
+// outcomes. runs, when non-nil, is the block's shared same-line run
+// annotation for this geometry's line size (trace.Chunked.RunLens
+// contract); nil runs falls back to scanning the line boundaries, exactly
+// like the engines' own stepBlock path. ann's slot buffer is grown from
+// the trace annotation pool as needed and reused across calls.
+func (o *Oracle) Annotate(recs []trace.Record, runs []uint8, ann *AccessAnnotations) {
+	if cap(ann.Slots) < len(recs) {
+		trace.PutAnnBuf(ann.Slots)
+		ann.Slots = trace.GetAnnBuf(len(recs))
+	}
+	slots := ann.Slots[:len(recs)]
+	ann.Slots = slots
+	c := o.c
+	missBase := c.misses
+	for i := 0; i < len(recs); {
+		r := recs[i]
+		hit, way := c.Access(r.PC)
+		s := uint8(way)
+		if hit {
+			s |= AnnHit
+		}
+		slots[i] = s
+		i++
+		if r.IsBreak() {
+			continue
+		}
+		if runs != nil {
+			// Precomputed boundaries: identical traversal to
+			// base.stepBlockRuns.
+			if n := uint64(runs[i-1]); n > 0 {
+				set, w := c.LastSlot()
+				c.AccessRun(set, w, n)
+				i += int(n)
+			}
+			for i < len(recs) && recs[i].Kind == isa.NonBranch {
+				i = o.annotateLeader(recs, slots, i)
+				if n := uint64(runs[i-1]); n > 0 {
+					set, w := c.LastSlot()
+					c.AccessRun(set, w, n)
+					i += int(n)
+				}
+			}
+		} else {
+			// Scanning path: identical traversal to base.stepBlock.
+			i = o.runTail(recs, i, c.geom.LineAddr(r.PC))
+			for i < len(recs) && recs[i].Kind == isa.NonBranch {
+				i = o.annotateLeader(recs, slots, i)
+				i = o.runTail(recs, i, c.geom.LineAddr(recs[i-1].PC))
+			}
+		}
+	}
+	ann.Misses = c.misses - missBase
+}
+
+// annotateLeader accesses the run-leader record at i and records its slot,
+// returning i+1.
+func (o *Oracle) annotateLeader(recs []trace.Record, slots []uint8, i int) int {
+	hit, way := o.c.Access(recs[i].PC)
+	s := uint8(way)
+	if hit {
+		s |= AnnHit
+	}
+	slots[i] = s
+	return i + 1
+}
+
+// runTail batches the same-line non-branch records from i on (the mirror
+// of base.sameLineTail), returning the index after the run.
+func (o *Oracle) runTail(recs []trace.Record, i int, line uint32) int {
+	c := o.c
+	j := i
+	for j < len(recs) && recs[j].Kind == isa.NonBranch && c.geom.LineAddr(recs[j].PC) == line {
+		j++
+	}
+	if j > i {
+		set, way := c.LastSlot()
+		c.AccessRun(set, way, uint64(j-i))
+	}
+	return j
+}

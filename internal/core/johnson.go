@@ -19,8 +19,10 @@ import (
 // isolates the value of decoupling.
 type JohnsonCoupled struct {
 	c           *cache.Cache
+	g           cache.Geometry // c's geometry, cached off the hot paths
 	perLine     int
 	instrsPer   int
+	instrShift  uint // log2(instrsPer)
 	valid       []bool
 	set         []uint16
 	offset      []uint8
@@ -49,8 +51,10 @@ func NewJohnson(c *cache.Cache) *JohnsonCoupled {
 	n := g.NumSets() * g.Assoc() * perLine
 	j := &JohnsonCoupled{
 		c:           c,
+		g:           g,
 		perLine:     perLine,
 		instrsPer:   instrsPerPred,
+		instrShift:  2, // log2(instrsPerPred)
 		valid:       make([]bool, n),
 		set:         make([]uint16, n),
 		offset:      make([]uint8, n),
@@ -69,13 +73,13 @@ func (j *JohnsonCoupled) invalidateLine(set, way int) {
 }
 
 func (j *JohnsonCoupled) slotFor(set, way, offset int) int {
-	return set*j.slotsPerSet + way*j.perLine + offset/j.instrsPer
+	return set*j.slotsPerSet + way*j.perLine + offset>>j.instrShift
 }
 
 // Lookup returns the successor pointer covering the branch at pc, resident
 // at (set, way).
 func (j *JohnsonCoupled) Lookup(pc isa.Addr, set, way int) JohnsonEntry {
-	s := j.slotFor(set, way, j.c.Geometry().InstrOffset(pc))
+	s := j.slotFor(set, way, j.g.InstrOffset(pc))
 	return JohnsonEntry{Valid: j.valid[s], Set: j.set[s], Offset: j.offset[s], Way: j.way[s]}
 }
 
@@ -101,7 +105,7 @@ func (j *JohnsonCoupled) Update(pc isa.Addr, next isa.Addr, nextWay int) {
 	if !resident {
 		return
 	}
-	g := j.c.Geometry()
+	g := j.g
 	s := j.slotFor(g.SetIndex(pc), way, g.InstrOffset(pc))
 	j.valid[s] = true
 	j.set[s] = uint16(g.SetIndex(next))

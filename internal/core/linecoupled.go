@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -21,8 +22,10 @@ import (
 // was just fetched from the cache).
 type LineCoupled struct {
 	c           *cache.Cache
+	g           cache.Geometry // c's geometry, cached off the hot paths
 	perLine     int
-	instrsPer   int // instructions covered by one predictor slot
+	instrsPer   int  // instructions covered by one predictor slot
+	instrShift  uint // log2(instrsPer); instrsPer divides a power of two
 	entries     []Entry
 	slotsPerSet int
 }
@@ -37,10 +40,13 @@ func NewLineCoupled(c *cache.Cache, perLine int) *LineCoupled {
 		panic(fmt.Sprintf("core: %d predictors per line does not divide %d instructions",
 			perLine, g.InstrsPerLine()))
 	}
+	instrsPer := g.InstrsPerLine() / perLine
 	l := &LineCoupled{
 		c:           c,
+		g:           g,
 		perLine:     perLine,
-		instrsPer:   g.InstrsPerLine() / perLine,
+		instrsPer:   instrsPer,
+		instrShift:  uint(bits.TrailingZeros(uint(instrsPer))),
 		entries:     make([]Entry, g.NumSets()*g.Assoc()*perLine),
 		slotsPerSet: g.Assoc() * perLine,
 	}
@@ -58,16 +64,18 @@ func (l *LineCoupled) invalidateLine(set, way int) {
 }
 
 // slotFor maps a branch resident at (set, way) with the given
-// instruction-offset-in-line to its predictor slot index.
+// instruction-offset-in-line to its predictor slot index. instrsPer
+// divides the power-of-two instructions-per-line count, so it is itself a
+// power of two and the divide is a shift.
 func (l *LineCoupled) slotFor(set, way, offset int) int {
-	return set*l.slotsPerSet + way*l.perLine + offset/l.instrsPer
+	return set*l.slotsPerSet + way*l.perLine + offset>>l.instrShift
 }
 
 // Lookup returns the NLS entry covering the branch at pc, which must be
 // resident at (set, way) of the cache (the fetch that delivered the branch
 // establishes this).
 func (l *LineCoupled) Lookup(pc isa.Addr, set, way int) Entry {
-	return l.entries[l.slotFor(set, way, l.c.Geometry().InstrOffset(pc))]
+	return l.entries[l.slotFor(set, way, l.g.InstrOffset(pc))]
 }
 
 // Update trains the predictor covering the branch at pc after it resolves.
@@ -80,7 +88,7 @@ func (l *LineCoupled) Update(pc isa.Addr, kind isa.Kind, taken bool, target isa.
 	if !resident {
 		return
 	}
-	g := l.c.Geometry()
+	g := l.g
 	e := &l.entries[l.slotFor(g.SetIndex(pc), way, g.InstrOffset(pc))]
 	e.Type = TypeForKind(kind)
 	if taken {

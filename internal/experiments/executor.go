@@ -380,11 +380,21 @@ type runFastPath interface {
 	ICache() *cache.Cache
 }
 
+// oracleFastPath mirrors the broadcaster's shared-fetch-oracle interface
+// (DESIGN.md §11); like runFastPath, the timing wrapper must forward it or
+// wrapped engines would silently lose oracle grouping and re-simulate
+// their i-caches privately.
+type oracleFastPath interface {
+	StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnnotations, runs []uint8)
+	OracleGroup() (cache.Geometry, bool)
+}
+
 // timedRunEngine is timedEngine for engines that consume shared run
 // annotations (all the built-in engines).
 type timedRunEngine struct {
 	timedEngine
 	fast runFastPath
+	orc  oracleFastPath // nil when the engine has no annotated path
 }
 
 func (t *timedRunEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
@@ -395,12 +405,30 @@ func (t *timedRunEngine) StepBlockRuns(recs []trace.Record, runs []uint8) {
 
 func (t *timedRunEngine) ICache() *cache.Cache { return t.fast.ICache() }
 
+func (t *timedRunEngine) StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnnotations, runs []uint8) {
+	start := time.Now()
+	t.orc.StepBlockAnnotated(recs, ann, runs)
+	t.dur += time.Since(start)
+}
+
+// OracleGroup forwards the wrapped engine's grouping key; an engine with
+// no annotated path is simply never eligible. The meter only times the
+// member-side annotated replay — the shared oracle's own simulation is
+// broadcast overhead, attributed to no single cell.
+func (t *timedRunEngine) OracleGroup() (cache.Geometry, bool) {
+	if t.orc == nil {
+		return cache.Geometry{}, false
+	}
+	return t.orc.OracleGroup()
+}
+
 // timeEngine wraps e with the timing meter matching its capabilities and
 // returns the wrapped engine plus a pointer to its accumulated duration
 // (valid to read once the replay's broadcast has returned).
 func timeEngine(e fetch.Engine) (fetch.Engine, *time.Duration) {
 	if f, ok := e.(runFastPath); ok {
 		te := &timedRunEngine{timedEngine: timedEngine{Engine: e}, fast: f}
+		te.orc, _ = e.(oracleFastPath)
 		return te, &te.dur
 	}
 	te := &timedEngine{Engine: e}

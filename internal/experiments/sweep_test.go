@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/btb"
+	"repro/internal/cache"
 )
 
 // sweepMatrix is the architecture axis used by the scheduler tests: one
@@ -51,6 +53,72 @@ func TestSweepMatchesPerCellOracle(t *testing.T) {
 		if got[i].M != want[i].M {
 			t.Errorf("cell %d (%s, %s, %s): counters diverge\n got %+v\nwant %+v",
 				i, got[i].Program, got[i].Arch, got[i].Cache(), got[i].M, want[i].M)
+		}
+	}
+}
+
+// TestSweepPropertyRandomMatrix: randomized differential for the grouped
+// fetch-oracle scheduler. Each trial draws a random architecture matrix —
+// factories duplicated and reordered, wrong-path pollution flipped per arm
+// (pollution-on arms must take the private-cache fallback), line sizes and
+// associativities mixed so geometry groups form and dissolve — and asserts
+// the broadcast Sweep is counter-for-counter identical to the per-cell
+// replay. The probed/unprobed mix is asserted at the fetch layer
+// (TestBroadcastMixedEligibility); Sweep itself never attaches probes.
+func TestSweepPropertyRandomMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1995)) // deterministic trials
+	pool := func() []Factory {
+		return []Factory{
+			NLSCacheFactory(NLSPerLine),
+			NLSCacheFactory(1),
+			NLSTableFactory(256),
+			NLSTableFactory(1024),
+			BTBFactory(btb.Config{Entries: 128, Assoc: 1}),
+			BTBFactory(btb.Config{Entries: 256, Assoc: 4}),
+			JohnsonFactory(),
+		}
+	}
+	allCaches := []cache.Geometry{
+		cache.MustGeometry(4*1024, 16, 1),
+		cache.MustGeometry(8*1024, 32, 1),
+		cache.MustGeometry(8*1024, 32, 4),
+		cache.MustGeometry(16*1024, 64, 2),
+	}
+
+	for trial := 0; trial < 4; trial++ {
+		src := pool()
+		var factories []Factory
+		for len(factories) < 2+rng.Intn(4) {
+			f := src[rng.Intn(len(src))]
+			if rng.Intn(2) == 0 {
+				f.Name += " (polluted)"
+				f.Spec.Pollution = true
+			}
+			factories = append(factories, f)
+		}
+		caches := append([]cache.Geometry(nil), allCaches...)
+		rng.Shuffle(len(caches), func(i, j int) { caches[i], caches[j] = caches[j], caches[i] })
+		caches = caches[:1+rng.Intn(len(caches))]
+
+		cfg := DefaultConfig(40_000)
+		cfg.Programs = cfg.Programs[:2]
+		r := NewRunner(cfg)
+		got, err := r.Sweep(factories, caches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.sweepPerCell(factories, caches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Sweep returned %d cells, oracle %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].M != want[i].M {
+				t.Errorf("trial %d cell %d (%s, %s, %s): counters diverge\n got %+v\nwant %+v",
+					trial, i, got[i].Program, got[i].Arch, got[i].Cache(), got[i].M, want[i].M)
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package fetch
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/trace"
@@ -40,12 +41,49 @@ type runStepper interface {
 	ICache() *cache.Cache
 }
 
+// annStepper is the optional interface an engine satisfies to replay from
+// a shared fetch oracle's access annotations instead of simulating its own
+// i-cache (Frontend implements it; see DESIGN.md §11). OracleGroup gates
+// eligibility: engines whose cache state is not a pure function of the
+// trace — wrong-path pollution on, or a probe attached — report ok=false
+// and keep the private-cache path.
+type annStepper interface {
+	StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnnotations, runs []uint8)
+	OracleGroup() (cache.Geometry, bool)
+}
+
+// groupMember is one grouped engine: its broadcast index (for worker
+// assignment) and its annotated-replay view.
+type groupMember struct {
+	idx int
+	as  annStepper
+}
+
+// oracleGroup shares one fetch oracle among the eligible engines of equal
+// geometry: the oracle simulates the group's i-cache once per block and
+// every member consumes the resulting annotation.
+type oracleGroup struct {
+	oracle  *cache.Oracle
+	members []groupMember
+	// runsOK records that the source's shared run annotation was computed
+	// for this geometry's line size; otherwise members (and the oracle)
+	// scan line boundaries themselves, with runs forced nil so both sides
+	// agree on run-leader positions.
+	runsOK bool
+	// ann is the group's reusable annotation on the sequential path.
+	ann cache.AccessAnnotations
+}
+
 // replayPlan resolves how blocks are drawn and how each engine replays
-// them. When src annotates its blocks (trace.RunChunkSource) and an engine
-// both accepts annotations and uses the line size they were computed for,
-// that engine replays via StepBlockRuns — sharing the per-chunk boundary
-// scan instead of re-deriving it; every other engine replays via StepBlock.
-func replayPlan(src trace.ChunkSource, engines []Engine) (next func() annotated, step []func(annotated)) {
+// them. Eligible engines (annStepper with OracleGroup ok) sharing a cache
+// geometry with at least one other eligible engine form an oracleGroup and
+// replay via StepBlockAnnotated from the group's shared oracle. Every
+// other engine — pollution-on, probed, non-Frontend, or alone in its
+// geometry (an oracle for one engine is pure overhead) — replays privately:
+// via StepBlockRuns when src annotates blocks for its line size, else via
+// StepBlock. private holds the private replay closures; groups the oracle
+// groups (singletons already demoted).
+func replayPlan(src trace.ChunkSource, engines []Engine) (next func() annotated, private []func(annotated), groups []*oracleGroup) {
 	rs, _ := src.(trace.RunChunkSource)
 	if rs != nil && rs.RunLineBytes() > 0 {
 		next = func() annotated {
@@ -56,17 +94,65 @@ func replayPlan(src trace.ChunkSource, engines []Engine) (next func() annotated,
 		rs = nil
 		next = func() annotated { return annotated{recs: src.NextChunk()} }
 	}
-	step = make([]func(annotated), len(engines))
-	for i, e := range engines {
+
+	privateStep := func(e Engine) func(annotated) {
 		if re, ok := e.(runStepper); ok && rs != nil &&
 			re.ICache().Geometry().LineBytes() == rs.RunLineBytes() {
-			step[i] = func(b annotated) { re.StepBlockRuns(b.recs, b.runs) }
-		} else {
-			e := e
-			step[i] = func(b annotated) { e.StepBlock(b.recs) }
+			return func(b annotated) { re.StepBlockRuns(b.recs, b.runs) }
 		}
+		return func(b annotated) { e.StepBlock(b.recs) }
 	}
-	return next, step
+
+	// Tentatively group every eligible engine by geometry, in engine order
+	// (map only for lookup, so the plan is deterministic).
+	groupOf := make(map[cache.Geometry]*oracleGroup)
+	for i, e := range engines {
+		if as, ok := e.(annStepper); ok {
+			if geom, eligible := as.OracleGroup(); eligible {
+				g := groupOf[geom]
+				if g == nil {
+					g = &oracleGroup{
+						oracle: cache.NewOracle(geom),
+						runsOK: rs != nil && geom.LineBytes() == rs.RunLineBytes(),
+					}
+					groupOf[geom] = g
+					groups = append(groups, g)
+				}
+				g.members = append(g.members, groupMember{idx: i, as: as})
+				continue
+			}
+		}
+		private = append(private, privateStep(e))
+	}
+	// Demote singleton groups: simulating an oracle plus one mirror is
+	// strictly more work than one private cache.
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g.members) < 2 {
+			private = append(private, privateStep(engines[g.members[0].idx]))
+			continue
+		}
+		kept = append(kept, g)
+	}
+	groups = kept
+	return next, private, groups
+}
+
+// sharedAnn is one block's access annotation fanned to the workers owning
+// a group's members; the last consumer recycles the slot buffer.
+type sharedAnn struct {
+	cache.AccessAnnotations
+	refs atomic.Int32
+}
+
+// workItem is one unit handed to a parallel broadcast worker: a block for
+// the worker's private engines (ann nil) or an annotated block for the
+// worker's members of group gid.
+type workItem struct {
+	recs []trace.Record
+	runs []uint8
+	gid  int
+	ann  *sharedAnn
 }
 
 // BroadcastWorkers is Broadcast with an explicit worker bound. Each engine
@@ -77,54 +163,141 @@ func BroadcastWorkers(src trace.ChunkSource, workers int, engines ...Engine) int
 	if len(engines) == 0 {
 		return 0
 	}
-	next, step := replayPlan(src, engines)
+	next, private, groups := replayPlan(src, engines)
 	if workers > len(engines) {
 		workers = len(engines)
 	}
 	if workers <= 1 {
 		// Sequential chunk-major replay: block k visits every engine
-		// while it is hot, then block k+1 is drawn.
+		// while it is hot, then block k+1 is drawn. Each group's oracle
+		// annotates the block once, inline, into the group's reusable
+		// buffer; its members then consume the annotation back to back.
 		var n int64
 		for blk := next(); len(blk.recs) > 0; blk = next() {
-			for _, s := range step {
+			for _, g := range groups {
+				runs := blk.runs
+				if !g.runsOK {
+					runs = nil
+				}
+				g.oracle.Annotate(blk.recs, runs, &g.ann)
+				for _, m := range g.members {
+					m.as.StepBlockAnnotated(blk.recs, &g.ann, runs)
+				}
+			}
+			for _, s := range private {
 				s(blk)
 			}
 			n += int64(len(blk.recs))
 		}
+		for _, g := range groups {
+			g.ann.Release()
+		}
 		return n
 	}
 
-	// Static round-robin partition of engines onto workers; each worker
-	// drains its own bounded channel of shared (read-only) blocks.
-	var wg sync.WaitGroup
-	chans := make([]chan annotated, workers)
-	for w := range chans {
-		own := make([]func(annotated), 0, (len(engines)+workers-1)/workers)
-		for i := w; i < len(engines); i += workers {
-			own = append(own, step[i])
+	// Parallel fan-out. Engines keep their static round-robin worker
+	// assignment (engine i → worker i mod workers); each worker drains its
+	// own bounded channel. Grouped engines add one producer goroutine per
+	// group: it annotates each block once and fans the shared annotation
+	// to exactly the workers owning members of that group, refcounted so
+	// the last consumer recycles the buffer. The producer graph is acyclic
+	// (main → group oracles → workers, main → workers), so the bounded
+	// channels cannot deadlock.
+	wch := make([]chan workItem, workers)
+	ownPrivate := make([][]func(annotated), workers)
+	ownGrouped := make([][][]groupMember, workers)
+	for w := range wch {
+		wch[w] = make(chan workItem, broadcastDepth)
+		ownGrouped[w] = make([][]groupMember, len(groups))
+	}
+	// Private engines and group members round-robin onto workers by their
+	// original engine index; private closures round-robin by position
+	// (their engine indices are no longer needed).
+	for i, s := range private {
+		w := i % workers
+		ownPrivate[w] = append(ownPrivate[w], s)
+	}
+	groupWorkers := make([][]int, len(groups))
+	for gi, g := range groups {
+		seen := make(map[int]bool, workers)
+		for _, m := range g.members {
+			w := m.idx % workers
+			ownGrouped[w][gi] = append(ownGrouped[w][gi], m)
+			if !seen[w] {
+				seen[w] = true
+				groupWorkers[gi] = append(groupWorkers[gi], w)
+			}
 		}
-		ch := make(chan annotated, broadcastDepth)
-		chans[w] = ch
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for blk := range ch {
-				for _, s := range own {
-					s(blk)
+	}
+
+	var wwg sync.WaitGroup
+	for w := range wch {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for it := range wch[w] {
+				if it.ann == nil {
+					for _, s := range ownPrivate[w] {
+						s(annotated{it.recs, it.runs})
+					}
+					continue
+				}
+				for _, m := range ownGrouped[w][it.gid] {
+					m.as.StepBlockAnnotated(it.recs, &it.ann.AccessAnnotations, it.runs)
+				}
+				if it.ann.refs.Add(-1) == 0 {
+					it.ann.Release()
 				}
 			}
-		}()
+		}(w)
+	}
+
+	var gwg sync.WaitGroup
+	gin := make([]chan annotated, len(groups))
+	for gi, g := range groups {
+		gin[gi] = make(chan annotated, broadcastDepth)
+		targets := groupWorkers[gi]
+		gwg.Add(1)
+		go func(gi int, g *oracleGroup, targets []int) {
+			defer gwg.Done()
+			for blk := range gin[gi] {
+				runs := blk.runs
+				if !g.runsOK {
+					runs = nil
+				}
+				ann := &sharedAnn{}
+				g.oracle.Annotate(blk.recs, runs, &ann.AccessAnnotations)
+				ann.refs.Store(int32(len(targets)))
+				for _, w := range targets {
+					wch[w] <- workItem{recs: blk.recs, runs: runs, gid: gi, ann: ann}
+				}
+			}
+		}(gi, g, targets)
+	}
+
+	anyPrivate := make([]bool, workers)
+	for w := range anyPrivate {
+		anyPrivate[w] = len(ownPrivate[w]) > 0
 	}
 	var n int64
 	for blk := next(); len(blk.recs) > 0; blk = next() {
 		n += int64(len(blk.recs))
-		for _, ch := range chans {
-			ch <- blk
+		for gi := range gin {
+			gin[gi] <- blk
+		}
+		for w, own := range anyPrivate {
+			if own {
+				wch[w] <- workItem{recs: blk.recs, runs: blk.runs, gid: -1}
+			}
 		}
 	}
-	for _, ch := range chans {
+	for gi := range gin {
+		close(gin[gi])
+	}
+	gwg.Wait()
+	for _, ch := range wch {
 		close(ch)
 	}
-	wg.Wait()
+	wwg.Wait()
 	return n
 }

@@ -77,6 +77,7 @@ func RunSource(e Engine, src trace.Source, n int) *metrics.Counters {
 // counters.
 type base struct {
 	icache *cache.Cache
+	geom   cache.Geometry // icache's geometry, cached off the hot paths
 	dir    pht.Predictor
 	rstack *ras.Stack
 	m      metrics.Counters
@@ -88,6 +89,7 @@ func newBase(g cache.Geometry, dir pht.Predictor, rasDepth int) base {
 	}
 	return base{
 		icache: cache.New(g),
+		geom:   g,
 		dir:    dir,
 		rstack: ras.New(rasDepth),
 	}
@@ -135,7 +137,7 @@ func (b *base) ICache() *cache.Cache { return b.icache }
 // r.PC, which fills the line on a miss — so afterwards r.PC's line is
 // resident at LastSlot by construction.
 func (b *base) stepBlock(recs []trace.Record, step func(trace.Record)) {
-	g := b.icache.Geometry()
+	g := b.geom
 	for i := 0; i < len(recs); {
 		r := recs[i]
 		step(r)

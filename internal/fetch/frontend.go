@@ -170,9 +170,18 @@ func (f *Frontend) Step(rec trace.Record) {
 		// correct (§4.2).
 		return
 	}
+	f.stepBreak(rec, way)
+}
+
+// stepBreak applies the §6 break accounting for rec, whose instruction
+// resides in way of its i-cache set. It is the post-fetch half of Step,
+// shared verbatim by the private-cache path (Step) and the annotated
+// oracle path (StepBlockAnnotated), so the two replays classify breaks
+// through literally the same code.
+func (f *Frontend) stepBreak(rec trace.Record, way int) {
 	f.m.Breaks++
 
-	set := f.icache.Geometry().SetIndex(rec.PC)
+	set := f.geom.SetIndex(rec.PC)
 	dirTaken := false
 	if !f.traits.CoupledDirection {
 		dirTaken = f.dir.Predict(rec.PC)
@@ -285,4 +294,92 @@ func (f *Frontend) Step(rec trace.Record) {
 		f.pending.active = true
 		f.pending.rec = rec
 	}
+}
+
+// OracleGroup reports the geometry under which this engine may share a
+// broadcast fetch oracle, and whether sharing is currently sound. Sharing
+// requires the engine's i-cache accesses to be a pure function of the
+// trace: wrong-path pollution forks the cache state per architecture
+// (different engines touch different wrong-path lines), and a probed run
+// may want per-engine access behaviour observable in isolation — both keep
+// the private-cache path (DESIGN.md §11).
+func (f *Frontend) OracleGroup() (cache.Geometry, bool) {
+	return f.icache.Geometry(), !f.pollution.enabled && f.probe == nil
+}
+
+// StepBlockAnnotated replays one block from a shared fetch oracle's access
+// annotation instead of accessing the private i-cache per record
+// (DESIGN.md §11). ann must come from an Oracle of this engine's geometry
+// fed the identical block sequence, and runs must be the same run
+// annotation (nil for the scanning path) the oracle consumed, so both
+// sides agree on which records are run leaders.
+//
+// The private cache is kept as a tag mirror: annotated misses apply their
+// fill (tags, valid bit, onReplace — everything predictor state couples
+// to) via cache.ApplyFill, so mid-block content reads by the target
+// predictor (NLS PointsTo/HoldsAt, LineCoupled's Probe) see exactly the
+// state the private path would. LRU bookkeeping is skipped — the oracle
+// owns replacement decisions — and the access/miss counters are credited
+// in bulk per block, which is where the replay's speedup comes from.
+func (f *Frontend) StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnnotations, runs []uint8) {
+	slots := ann.Slots
+	ic := f.icache
+	g := f.geom
+	for i := 0; i < len(recs); {
+		r := recs[i]
+		s := slots[i]
+		way := int(s & cache.AnnWayMask)
+		if s&cache.AnnHit == 0 {
+			ic.ApplyFill(r.PC, way)
+		}
+		if f.pending.active {
+			if f.pending.rec.Next() == r.PC {
+				f.tp.Resolve(f.pending.rec, way)
+			}
+			f.pending.active = false
+		}
+		i++
+		if r.IsBreak() {
+			f.stepBreak(r, way)
+			continue
+		}
+		// Same-line followers always hit the leader's line: no fill, no
+		// pending update possible — skip them wholesale, exactly as the
+		// private path batches them into one AccessRun.
+		if runs != nil {
+			if n := runs[i-1]; n > 0 {
+				i += int(n)
+			}
+			for i < len(recs) && recs[i].Kind == isa.NonBranch {
+				if s := slots[i]; s&cache.AnnHit == 0 {
+					ic.ApplyFill(recs[i].PC, int(s&cache.AnnWayMask))
+				}
+				i++
+				if n := runs[i-1]; n > 0 {
+					i += int(n)
+				}
+			}
+		} else {
+			i = skipSameLine(g, recs, i, g.LineAddr(r.PC))
+			for i < len(recs) && recs[i].Kind == isa.NonBranch {
+				if s := slots[i]; s&cache.AnnHit == 0 {
+					ic.ApplyFill(recs[i].PC, int(s&cache.AnnWayMask))
+				}
+				i++
+				i = skipSameLine(g, recs, i, g.LineAddr(recs[i-1].PC))
+			}
+		}
+	}
+	f.m.Instructions += uint64(len(recs))
+	ic.AddAccesses(uint64(len(recs)), ann.Misses)
+}
+
+// skipSameLine returns the index after the same-line non-branch run
+// starting at i (the stateless mirror of base.sameLineTail, for replays
+// whose cache effects the oracle already applied).
+func skipSameLine(g cache.Geometry, recs []trace.Record, i int, line uint32) int {
+	for i < len(recs) && recs[i].Kind == isa.NonBranch && g.LineAddr(recs[i].PC) == line {
+		i++
+	}
+	return i
 }

@@ -1,0 +1,39 @@
+package trace
+
+import "sync"
+
+// Chunk-annotation buffer pool. The broadcast replay annotates each chunk
+// with small per-record byte streams — the memoized RunLens runs are one
+// such annotation, owned by the trace; the per-geometry access annotations
+// of the shared fetch oracle (cache.AccessAnnotations) are another, but
+// those are transient: one live buffer per geometry group per in-flight
+// chunk, not one per (trace, geometry). Pooling them here keeps a sweep's
+// steady-state allocation independent of how many chunks it replays.
+var annBufPool = sync.Pool{
+	New: func() any {
+		b := make([]uint8, 0, DefaultChunkRecords)
+		return &b
+	},
+}
+
+// GetAnnBuf returns a length-n annotation buffer from the pool, growing it
+// if the pooled capacity is short (chunks longer than DefaultChunkRecords
+// are legal, just unusual). Contents are unspecified.
+func GetAnnBuf(n int) []uint8 {
+	b := *annBufPool.Get().(*[]uint8)
+	if cap(b) < n {
+		b = make([]uint8, n)
+	}
+	return b[:n]
+}
+
+// PutAnnBuf recycles a buffer obtained from GetAnnBuf. Nil (or foreign,
+// zero-capacity) slices are ignored, so callers can release
+// unconditionally.
+func PutAnnBuf(b []uint8) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	annBufPool.Put(&b)
+}
