@@ -1,15 +1,20 @@
 # Verification tiers. `make verify` is the full pre-merge gate; tier-1 is
 # `make build test` (the seed gate from ROADMAP.md), and `make race` is the
 # concurrency tier covering the grid executor, Runner.Traces, and the
-# trace generators. `make grid-golden` + `make smoke` pin the grid
-# pipeline: bit-identical figures vs the per-cell oracle, and a live
-# nlstables -only run against the results store. `make attribution-golden`
-# pins the probe's cause mix on a fixed seed (§4.1's eviction-loss claim).
+# trace generators. `make stress` is the adversarial concurrency tier:
+# randomized broadcast worker counts, store readers racing writers, and
+# the sweep service's 100-goroutine single-flight hammer, all under -race.
+# `make grid-golden` + `make smoke` pin the grid pipeline: bit-identical
+# figures vs the per-cell oracle, and a live nlstables -only run against
+# the results store. `make attribution-golden` pins the probe's cause mix
+# on a fixed seed (§4.1's eviction-loss claim). `make smoke-serve` is the
+# sweep service's end-to-end gate: cold POST simulates, warm POST is
+# served from the store byte-identical.
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench bench-check verify figures \
-	grid-golden smoke attribution-golden profile
+.PHONY: build vet test race stress fuzz bench bench-check verify figures \
+	grid-golden smoke smoke-serve attribution-golden profile
 
 build:
 	$(GO) build ./...
@@ -23,10 +28,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz passes over the trace parser and the chunked iterator.
+# Adversarial concurrency tier: the randomized broadcast fan-out sweep,
+# store readers racing a writer (atomic-rename visibility + corrupt-cell
+# degradation), and the sweep service single-flight hammer (100 identical
+# concurrent jobs -> exactly one simulation, byte-identical bodies).
+stress:
+	$(GO) test -race -run 'Stress|StoreParallelReadersRaceWriter|StoreCorruptCellUnderContention' \
+		./internal/fetch ./internal/experiments ./internal/serve
+
+# Short fuzz passes over the trace parser, the chunked iterator, and the
+# sweep service's untrusted job decoder.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=20s ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzChunked -fuzztime=20s ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzJobDecode -fuzztime=20s ./internal/serve
 
 # Sweep scheduler comparison (see EXPERIMENTS.md "Sweep throughput"). The
 # text stream passes through cmd/benchjson, which also records the results
@@ -66,6 +81,12 @@ smoke:
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
 
+# Sweep service smoke: start nlsserve on a loopback port with a throwaway
+# store, POST a one-cell job cold and warm, assert 200 + store hit +
+# byte-identical bodies.
+smoke-serve:
+	$(GO) run ./cmd/nlsserve -smoke
+
 # pprof smoke run: a small figure sweep under both profilers, then the
 # hottest frames. Profiles land in cpu.prof / mem.prof (gitignored).
 profile:
@@ -73,4 +94,4 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof >/dev/null
 	$(GO) tool pprof -top -nodecount=8 cpu.prof
 
-verify: build vet test race grid-golden attribution-golden smoke
+verify: build vet test race stress grid-golden attribution-golden smoke smoke-serve

@@ -15,7 +15,7 @@
 //
 // -compare old.json prints per-benchmark deltas against a previously
 // written file and exits nonzero when any benchmark's Mstep/s throughput
-// regresses by more than 10% — `make bench-check` uses it with -o '' as a
+// regresses by more than 10% — `make bench-check` uses it with -o ” as a
 // regression gate against the committed baseline.
 //
 // The parser understands the standard benchmark result line — name,
@@ -198,7 +198,7 @@ func compare(old, cur File, tol float64) (report, regressed []string) {
 		seen[key] = true
 		prev, ok := oldBy[key]
 		if !ok {
-			report = append(report, fmt.Sprintf("%s: new benchmark (no baseline)", key))
+			report = append(report, fmt.Sprintf("%s: new benchmark (no baseline): %s", key, metricsLine(b)))
 			continue
 		}
 		units := make([]string, 0, len(b.Metrics))
@@ -227,10 +227,28 @@ func compare(old, cur File, tol float64) (report, regressed []string) {
 	}
 	for _, b := range old.Benchmarks {
 		if key := benchKey(b); !seen[key] {
-			report = append(report, fmt.Sprintf("%s: missing from this run", key))
+			report = append(report, fmt.Sprintf("%s: missing from this run (baseline was %s)", key, metricsLine(b)))
 		}
 	}
 	return report, regressed
+}
+
+// metricsLine renders a benchmark's metrics in stable unit order, for the
+// one-sided report lines where there is no old/new pair to diff.
+func metricsLine(b Benchmark) string {
+	if len(b.Metrics) == 0 {
+		return "no metrics"
+	}
+	units := make([]string, 0, len(b.Metrics))
+	for u := range b.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	parts := make([]string, 0, len(units))
+	for _, u := range units {
+		parts = append(parts, fmt.Sprintf("%s %.4g", u, b.Metrics[u]))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // writeManifest records the invocation under dir as <timestamp>-bench.json.

@@ -85,6 +85,48 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestCompareOneSided: benchmarks present in only one file are reported
+// with their metric values — a new benchmark shows what it measured, a
+// vanished one shows the baseline it left behind — and neither fails the
+// comparison.
+func TestCompareOneSided(t *testing.T) {
+	old := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("Stays", 100),
+		{Name: "Vanished", Procs: 4, Iterations: 1,
+			Metrics: map[string]float64{"Mstep/s": 10, "ns/op": 250}},
+	}}
+	cur := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("Stays", 100),
+		{Name: "Fresh", Procs: 1, Iterations: 1,
+			Metrics: map[string]float64{"Mstep/s": 5.5, "allocs/op": 3}},
+		{Name: "Bare", Procs: 1, Iterations: 1},
+	}}
+
+	report, regressed := compare(old, cur, 0.10)
+	if len(regressed) != 0 {
+		t.Errorf("one-sided benchmarks regressed the comparison: %v", regressed)
+	}
+
+	want := []string{
+		// Units in sorted order, values included.
+		"Fresh: new benchmark (no baseline): Mstep/s 5.5, allocs/op 3",
+		"Bare: new benchmark (no baseline): no metrics",
+		"Vanished-4: missing from this run (baseline was Mstep/s 10, ns/op 250)",
+	}
+	for _, w := range want {
+		found := false
+		for _, l := range report {
+			if l == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("report %v\nmissing line %q", report, w)
+		}
+	}
+}
+
 // TestFileDeterministic: the written document is a pure function of the
 // benchmark text — no timestamps, stable key order — so re-running `make
 // bench` with identical results leaves BENCH_sweep.json byte-identical.

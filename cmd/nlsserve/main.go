@@ -1,0 +1,209 @@
+// Command nlsserve is the concurrent sweep service: a long-running HTTP
+// server that accepts grid/arch-spec jobs as JSON, schedules them on a
+// bounded worker pool over the shared-replay executor, and serves results
+// from the content-addressed cell store with single-flight dedup — N
+// concurrent identical requests cost one simulation, and a warm
+// re-request is byte-identical to the cold response. See DESIGN.md §12
+// and EXPERIMENTS.md "Serving sweeps".
+//
+// Usage:
+//
+//	nlsserve [-addr host:port] [-store dir] [-workers n] [-queue n]
+//	         [-max-insns n] [-max-cells n] [-max-body bytes]
+//	         [-drain-timeout d] [-smoke]
+//
+// Endpoints: POST /v1/jobs (add ?stream=1 for ndjson progress),
+// GET /healthz, GET /statsz.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new jobs get 503, accepted
+// jobs drain to completion (bounded by -drain-timeout), then the listener
+// closes.
+//
+// -smoke runs the CI self-test instead of serving: it starts the server
+// on a loopback port with a temporary store, POSTs a tiny one-cell job
+// twice, and verifies the second (warm) response is served from the store
+// byte-identical to the first (cold) one.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8372", "listen address")
+		storeDir     = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables caching)")
+		workers      = flag.Int("workers", 0, "executor pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "accepted-but-not-running job bound (beyond it: 503)")
+		maxInsns     = flag.Int("max-insns", 0, "per-program instruction budget cap (0 = default)")
+		maxCells     = flag.Int("max-cells", 0, "per-job cell cap (0 = default)")
+		maxBody      = flag.Int64("max-body", 0, "request body byte cap (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+		smoke        = flag.Bool("smoke", false, "run the cold/warm byte-identity self-test and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*workers); err != nil {
+			fmt.Fprintln(os.Stderr, "nlsserve: smoke FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("nlsserve: smoke ok")
+		return
+	}
+
+	srv, err := newServer(*storeDir, *workers, *queue, *maxInsns, *maxCells, *maxBody)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nlsserve:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "nlsserve: listening on %s (store %q)\n", *addr, *storeDir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "nlsserve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "nlsserve: %s; draining (up to %s)\n", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "nlsserve: drain incomplete:", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "nlsserve: listener shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "nlsserve: stopped")
+}
+
+func newServer(storeDir string, workers, queue, maxInsns, maxCells int, maxBody int64) (*serve.Server, error) {
+	opts := serve.Options{
+		Workers:    workers,
+		QueueDepth: queue,
+		Limits:     serve.Limits{MaxBodyBytes: maxBody, MaxInsns: maxInsns, MaxCells: maxCells},
+	}
+	if storeDir != "" {
+		store, err := experiments.OpenStore(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = store
+	}
+	return serve.New(opts), nil
+}
+
+// smokeJob is the self-test request: one cell (one program, one arm, the
+// registered 16KB direct-mapped NLS-table) at a budget small enough for CI.
+const smokeJob = `{
+  "schema": "nls-job/v1",
+  "insns": 100000,
+  "programs": ["li"],
+  "grid": {
+    "name": "smoke",
+    "arms": [
+      {
+        "name": "1024 NLS-table",
+        "spec": {
+          "predictor": {"kind": "nls-table", "entries": 1024},
+          "cache": {"size_bytes": 16384, "line_bytes": 32, "assoc": 1},
+          "pht": {"kind": "gshare", "entries": 4096, "history_bits": 6}
+        }
+      }
+    ]
+  }
+}`
+
+// runSmoke starts the service on a loopback listener with a throwaway
+// store, POSTs smokeJob cold and then warm, and asserts the contract the
+// service exists for: 200 on both, the warm response served from the
+// store, and the two bodies byte-identical.
+func runSmoke(workers int) error {
+	storeDir, err := os.MkdirTemp("", "nlsserve-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+
+	srv, err := newServer(storeDir, workers, 16, 0, 0, 0)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func() (int, []byte, http.Header, error) {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(smokeJob)))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, resp.Header, err
+	}
+
+	status, cold, hdr, err := post()
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cold POST: status %d: %s", status, cold)
+	}
+	if hdr.Get("X-NLS-Cells-Simulated") != "1" {
+		return fmt.Errorf("cold POST: simulated %q cells, want 1", hdr.Get("X-NLS-Cells-Simulated"))
+	}
+
+	status, warm, hdr, err := post()
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("warm POST: status %d: %s", status, warm)
+	}
+	if hdr.Get("X-NLS-Cells-Loaded") != "1" {
+		return fmt.Errorf("warm POST: loaded %q cells, want 1 (not served from store)", hdr.Get("X-NLS-Cells-Loaded"))
+	}
+	if !bytes.Equal(cold, warm) {
+		return errors.New("warm response differs from cold response")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	fmt.Fprintf(os.Stderr, "nlsserve: smoke: cold+warm OK, %d-byte body byte-identical\n", len(cold))
+	return nil
+}

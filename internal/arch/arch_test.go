@@ -90,10 +90,10 @@ func TestValidateRejects(t *testing.T) {
 			"unknown predictor kind"},
 		{"nls-table without entries",
 			Spec{Predictor: PredictorSpec{Kind: KindNLSTable}, Cache: paperC, PHT: PaperPHT()},
-			"entries > 0"},
+			"power of two"},
 		{"nls-cache without per_line",
 			Spec{Predictor: PredictorSpec{Kind: KindNLSCache}, Cache: paperC, PHT: PaperPHT()},
-			"per_line > 0"},
+			"must divide"},
 		{"decoupled without PHT",
 			Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 512}, Cache: paperC},
 			"needs a PHT"},
@@ -114,6 +114,71 @@ func TestValidateRejects(t *testing.T) {
 		if c.want != "" && !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
 		}
+	}
+}
+
+// TestValidateUntrustedNeverPanics: Validate is the gate between untrusted
+// JSON (the sweep service's job decoder) and Build, whose constructors
+// panic on bad sizes. Every malformed or adversarial spec here must come
+// back as an error — never a panic — and anything Validate accepts must
+// then Build without panicking.
+func TestValidateUntrustedNeverPanics(t *testing.T) {
+	paperC := CacheSpec{SizeBytes: 16 * 1024, LineBytes: LineBytes, Assoc: 1}
+	adversarial := []struct {
+		name string
+		s    Spec
+	}{
+		{"non-pow2 nls-table", Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 3},
+			Cache: paperC, PHT: PaperPHT()}},
+		{"oversized nls-table", Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 1 << 30},
+			Cache: paperC, PHT: PaperPHT()}},
+		{"negative nls-table", Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: -1024},
+			Cache: paperC, PHT: PaperPHT()}},
+		{"per_line not dividing the line", Spec{Predictor: PredictorSpec{Kind: KindNLSCache, PerLine: 3},
+			Cache: paperC, PHT: PaperPHT()}},
+		{"per_line beyond the line", Spec{Predictor: PredictorSpec{Kind: KindNLSCache, PerLine: 1 << 20},
+			Cache: paperC, PHT: PaperPHT()}},
+		{"non-pow2 pht", Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 512},
+			Cache: paperC, PHT: PHTSpec{Kind: "gshare", Entries: 3000}}},
+		{"oversized pht", Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 512},
+			Cache: paperC, PHT: PHTSpec{Kind: "bimodal", Entries: 1 << 30}}},
+		{"negative history bits", Spec{Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 512},
+			Cache: paperC, PHT: PHTSpec{Kind: "gshare", Entries: 4096, HistoryBits: -7}}},
+		{"oversized cache", Spec{Predictor: PredictorSpec{Kind: KindJohnson},
+			Cache: CacheSpec{SizeBytes: 1 << 30, LineBytes: LineBytes, Assoc: 1}}},
+		{"oversized ras", Spec{Predictor: PredictorSpec{Kind: KindJohnson},
+			Cache: paperC, RASDepth: 1 << 24}},
+		{"oversized btb", Spec{Predictor: PredictorSpec{Kind: KindBTB, Entries: 1 << 30, Assoc: 1},
+			Cache: paperC, PHT: PaperPHT()}},
+		{"oversized hybrid btb half", Spec{Predictor: PredictorSpec{Kind: KindHybrid, Entries: 512,
+			BTBEntries: 1 << 30, BTBAssoc: 1}, Cache: paperC, PHT: PaperPHT()}},
+	}
+	for _, c := range adversarial {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Validate panicked: %v", c.name, r)
+				}
+			}()
+			if err := c.s.Validate(); err == nil {
+				t.Errorf("%s: Validate accepted an adversarial spec", c.name)
+			}
+		}()
+	}
+
+	// Large-but-legal specs at the caps must still validate and build: the
+	// bounds protect the service without shrinking the roadmap's sweep
+	// space (multi-MB predictors, 256KB+ caches).
+	big := Spec{
+		Predictor: PredictorSpec{Kind: KindNLSTable, Entries: 1 << 18},
+		Cache:     CacheSpec{SizeBytes: 256 * 1024, LineBytes: LineBytes, Assoc: 4},
+		PHT:       PaperPHT(),
+	}
+	if err := big.Validate(); err != nil {
+		t.Fatalf("capped-range spec rejected: %v", err)
+	}
+	if _, err := big.Build(); err != nil {
+		t.Fatalf("capped-range spec does not build: %v", err)
 	}
 }
 

@@ -9,6 +9,7 @@ package arch
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/btb"
 	"repro/internal/cache"
@@ -16,6 +17,28 @@ import (
 	"repro/internal/pht"
 	"repro/internal/ras"
 )
+
+// Upper bounds on every field of a Spec that sizes an allocation. Specs
+// arrive from untrusted JSON (the sweep service's job decoder), so Validate
+// must reject anything outside these bounds BEFORE Build allocates tables
+// from it. The caps are far above any configuration the paper or the
+// roadmap sweeps (multi-MB predictors, 256KB+ caches) while keeping the
+// worst accepted spec's footprint in the tens of megabytes.
+const (
+	// MaxPredictorEntries bounds NLS-table, BTB, and hybrid table sizes.
+	MaxPredictorEntries = 1 << 22
+	// MaxPHTEntries bounds the direction-predictor table.
+	MaxPHTEntries = 1 << 24
+	// MaxCacheBytes bounds the simulated instruction-cache capacity.
+	MaxCacheBytes = 1 << 28
+	// MaxRASDepth bounds the return-stack depth.
+	MaxRASDepth = 1 << 16
+)
+
+// pow2InRange reports whether n is a power of two in [1, max].
+func pow2InRange(n, max int) bool {
+	return n > 0 && n <= max && bits.OnesCount(uint(n)) == 1
+}
 
 // Predictor kinds accepted by PredictorSpec.Kind.
 const (
@@ -71,6 +94,26 @@ type PHTSpec struct {
 // none reports whether the spec declares no direction predictor.
 func (p PHTSpec) none() bool { return p.Kind == "" || p.Kind == "none" }
 
+// Validate checks the spec without building it. The pht constructors panic
+// on bad table sizes (they are programming errors there), so an untrusted
+// spec must be rejected here before Build is ever called.
+func (p PHTSpec) Validate() error {
+	switch p.Kind {
+	case "", "none", "static-taken", "static-not-taken":
+		return nil
+	case "gshare", "gas", "bimodal", "1bit":
+		if !pow2InRange(p.Entries, MaxPHTEntries) {
+			return fmt.Errorf("arch: pht %q entries %d must be a power of two in [1, %d]",
+				p.Kind, p.Entries, MaxPHTEntries)
+		}
+		if p.HistoryBits < 0 || p.HistoryBits > 64 {
+			return fmt.Errorf("arch: pht history_bits %d out of range [0, 64]", p.HistoryBits)
+		}
+		return nil
+	}
+	return fmt.Errorf("arch: unknown PHT kind %q", p.Kind)
+}
+
 // Build constructs the direction predictor the spec describes.
 func (p PHTSpec) Build() (pht.Predictor, error) {
 	switch p.Kind {
@@ -110,32 +153,54 @@ func (s Spec) WithGeometry(g cache.Geometry) Spec {
 	return s
 }
 
-// Validate checks the spec without building anything.
+// Validate checks the spec without building anything. It is the gate
+// between untrusted input and Build: everything Build (or a constructor it
+// calls) would panic on or size an allocation from — non-power-of-two
+// tables, a per_line that does not divide the line, out-of-range sizes —
+// must be rejected here.
 func (s Spec) Validate() error {
-	if _, err := s.Cache.Geometry(); err != nil {
+	g, err := s.Cache.Geometry()
+	if err != nil {
 		return err
+	}
+	if s.Cache.SizeBytes > MaxCacheBytes {
+		return fmt.Errorf("arch: cache size %d exceeds the %d-byte cap", s.Cache.SizeBytes, MaxCacheBytes)
+	}
+	if s.RASDepth > MaxRASDepth {
+		return fmt.Errorf("arch: ras_depth %d exceeds the %d cap", s.RASDepth, MaxRASDepth)
 	}
 	coupledDir := false
 	switch s.Predictor.Kind {
 	case KindNLSTable:
-		if s.Predictor.Entries <= 0 {
-			return fmt.Errorf("arch: %s needs entries > 0", s.Predictor.Kind)
+		if !pow2InRange(s.Predictor.Entries, MaxPredictorEntries) {
+			return fmt.Errorf("arch: %s entries %d must be a power of two in [1, %d]",
+				s.Predictor.Kind, s.Predictor.Entries, MaxPredictorEntries)
 		}
 	case KindNLSCache:
-		if s.Predictor.PerLine <= 0 {
-			return fmt.Errorf("arch: %s needs per_line > 0", s.Predictor.Kind)
+		if s.Predictor.PerLine <= 0 || g.InstrsPerLine()%s.Predictor.PerLine != 0 {
+			return fmt.Errorf("arch: %s per_line %d must divide the %d instructions per %d-byte line",
+				s.Predictor.Kind, s.Predictor.PerLine, g.InstrsPerLine(), g.LineBytes())
 		}
 	case KindBTB, KindCoupledBTB:
 		if err := (btb.Config{Entries: s.Predictor.Entries, Assoc: s.Predictor.Assoc}).Validate(); err != nil {
 			return err
 		}
+		if s.Predictor.Entries > MaxPredictorEntries {
+			return fmt.Errorf("arch: %s entries %d exceeds the %d cap",
+				s.Predictor.Kind, s.Predictor.Entries, MaxPredictorEntries)
+		}
 		coupledDir = s.Predictor.Kind == KindCoupledBTB
 	case KindHybrid:
-		if s.Predictor.Entries <= 0 {
-			return fmt.Errorf("arch: %s needs entries > 0 for its NLS-table half", s.Predictor.Kind)
+		if !pow2InRange(s.Predictor.Entries, MaxPredictorEntries) {
+			return fmt.Errorf("arch: %s entries %d (NLS-table half) must be a power of two in [1, %d]",
+				s.Predictor.Kind, s.Predictor.Entries, MaxPredictorEntries)
 		}
 		if err := (btb.Config{Entries: s.Predictor.BTBEntries, Assoc: s.Predictor.BTBAssoc}).Validate(); err != nil {
 			return err
+		}
+		if s.Predictor.BTBEntries > MaxPredictorEntries {
+			return fmt.Errorf("arch: %s btb_entries %d exceeds the %d cap",
+				s.Predictor.Kind, s.Predictor.BTBEntries, MaxPredictorEntries)
 		}
 	case KindJohnson:
 		coupledDir = true
@@ -151,8 +216,7 @@ func (s Spec) Validate() error {
 	if s.PHT.none() {
 		return fmt.Errorf("arch: %s needs a PHT", s.Predictor.Kind)
 	}
-	_, err := s.PHT.Build()
-	return err
+	return s.PHT.Validate()
 }
 
 // Build constructs the fetch engine the spec describes.

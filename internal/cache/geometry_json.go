@@ -1,0 +1,39 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// geometryJSON is the wire form of a Geometry. The field names match
+// arch.CacheSpec so a geometry reads the same everywhere a cache shape
+// appears in JSON (specs, grids, service jobs).
+type geometryJSON struct {
+	SizeBytes int `json:"size_bytes"`
+	LineBytes int `json:"line_bytes"`
+	Assoc     int `json:"assoc"`
+}
+
+// MarshalJSON encodes the geometry as its three defining sizes.
+func (g Geometry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(geometryJSON{g.sizeBytes, g.lineBytes, g.assoc})
+}
+
+// UnmarshalJSON decodes and validates a geometry. Every geometry that
+// enters the process through JSON — service jobs in particular — passes
+// NewGeometry, so code holding a decoded Geometry can rely on the same
+// invariants a constructed one has (power-of-two sizes, precomputed
+// masks). Malformed shapes are rejected here, before anything is built
+// from them.
+func (g *Geometry) UnmarshalJSON(data []byte) error {
+	var w geometryJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	ng, err := NewGeometry(w.SizeBytes, w.LineBytes, w.Assoc)
+	if err != nil {
+		return fmt.Errorf("cache: invalid geometry in JSON: %w", err)
+	}
+	*g = ng
+	return nil
+}

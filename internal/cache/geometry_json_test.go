@@ -1,0 +1,48 @@
+package cache
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestGeometryJSONRoundTrip(t *testing.T) {
+	for _, g := range []Geometry{
+		MustGeometry(8*1024, 32, 1),
+		MustGeometry(16*1024, 32, 2),
+		MustGeometry(32*1024, 64, 4),
+	} {
+		buf, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		var back Geometry
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", g, buf, err)
+		}
+		if back != g {
+			t.Errorf("round trip changed the geometry: %s -> %s (via %s)", g, back, buf)
+		}
+	}
+}
+
+// TestGeometryJSONRejectsInvalid: a geometry cannot enter the process via
+// JSON without passing NewGeometry's validation — the service's job
+// decoder depends on this to reject adversarial shapes before anything is
+// allocated from them.
+func TestGeometryJSONRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		`{"size_bytes":0,"line_bytes":32,"assoc":1}`,
+		`{"size_bytes":-8192,"line_bytes":32,"assoc":1}`,
+		`{"size_bytes":12345,"line_bytes":32,"assoc":1}`, // not a power of two
+		`{"size_bytes":8192,"line_bytes":3,"assoc":1}`,
+		`{"size_bytes":8192,"line_bytes":32,"assoc":3}`,
+		`{"size_bytes":32,"line_bytes":32,"assoc":4}`, // size < line*assoc
+		`{"size_bytes":"big"}`,
+		`[]`,
+	} {
+		var g Geometry
+		if err := json.Unmarshal([]byte(bad), &g); err == nil {
+			t.Errorf("unmarshal accepted invalid geometry %s -> %s", bad, g)
+		}
+	}
+}

@@ -12,9 +12,13 @@ import (
 // serves any program set. Every table and figure of the evaluation is a
 // Grid plus a renderer (see Figures); the executor is the only code that
 // turns grids into simulations.
+//
+// A Grid round-trips through JSON (arch.Spec and cache.Geometry both
+// serialize, the latter validated on decode), which is what lets the sweep
+// service accept grids as wire-format jobs (internal/serve).
 type Grid struct {
-	Name string
-	Arms []Arm
+	Name string `json:"name"`
+	Arms []Arm  `json:"arms"`
 }
 
 // An Arm is one architecture axis entry: a display name, the declarative
@@ -25,9 +29,9 @@ type Grid struct {
 // same cell: the executor simulates it once and every renderer reads it
 // under its own arm name.
 type Arm struct {
-	Name   string
-	Spec   arch.Spec
-	Caches []cache.Geometry
+	Name   string           `json:"name"`
+	Spec   arch.Spec        `json:"spec"`
+	Caches []cache.Geometry `json:"caches,omitempty"`
 }
 
 // A Cell is one fully resolved simulation point of a grid: a program and a
@@ -44,6 +48,13 @@ type Cell struct {
 // penalties and instruction budget.
 func (c Cell) Key(cfg Config) string {
 	return cellKey(c.Prog, cfg.Insns, c.Spec, cfg.Penalties)
+}
+
+// Cells enumerates the grid's cells program-major; it is the exported view
+// the sweep service uses to content-address a job (every cell's Key is a
+// store key) without running anything.
+func (g Grid) Cells(programs []workload.Spec) []Cell {
+	return g.cells(programs)
 }
 
 // cells enumerates the grid's cells program-major (all of one program's

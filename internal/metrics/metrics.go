@@ -11,11 +11,12 @@ import (
 
 // Penalties holds the cycle costs of §5.2. The paper assumes a one-cycle
 // misfetch penalty, a four-cycle mispredict penalty, and a five-cycle
-// instruction-cache miss penalty.
+// instruction-cache miss penalty. The JSON tags fix the wire form shared
+// by the cell-store key document and the sweep service's job decoder.
 type Penalties struct {
-	Misfetch   float64
-	Mispredict float64
-	CacheMiss  float64
+	Misfetch   float64 `json:"misfetch"`
+	Mispredict float64 `json:"mispredict"`
+	CacheMiss  float64 `json:"cache_miss"`
 }
 
 // Default returns the paper's penalty assumptions.

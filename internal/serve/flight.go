@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+// Accounting is the per-flight store accounting, surfaced in response
+// headers and aggregated into /statsz. It is deliberately NOT part of the
+// response body: a warm re-request must be byte-identical to the cold
+// response, and Loaded/Simulated differ between the two.
+type Accounting struct {
+	Loaded    int
+	Simulated int
+	Deduped   int
+	Replays   int
+}
+
+// A flight is one in-progress or finished execution of a job key: the
+// single unit N identical concurrent requests share. The leader executes;
+// everyone (leader included) waits on done and then reads body/acct/err,
+// which are written exactly once before done is closed.
+type flight struct {
+	key  string
+	hub  *progressHub
+	done chan struct{}
+
+	body []byte
+	acct Accounting
+	err  error
+}
+
+// flightGroup is the single-flight layer: at most one inflight flight per
+// job key. Keys are content hashes over the job's cell store keys (see
+// jobKey), so "identical request" means identical simulation content, not
+// identical bytes on the wire.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// join returns the flight for key, creating it when none is inflight.
+// leader reports whether the caller owns execution; followers share the
+// leader's result without costing a simulation.
+func (g *flightGroup) join(key string) (fl *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight == nil {
+		g.inflight = make(map[string]*flight)
+	}
+	if fl := g.inflight[key]; fl != nil {
+		return fl, false
+	}
+	fl = &flight{key: key, hub: newProgressHub(), done: make(chan struct{})}
+	g.inflight[key] = fl
+	return fl, true
+}
+
+// finish publishes the flight's outcome and retires it: the flight leaves
+// the inflight map BEFORE done is closed, so a request arriving after
+// completion starts a fresh flight (and is served from the store) rather
+// than joining a finished one. Waiters blocked on done observe
+// body/acct/err safely (the writes happen-before close).
+func (g *flightGroup) finish(fl *flight, body []byte, acct Accounting, err error) {
+	g.mu.Lock()
+	delete(g.inflight, fl.key)
+	g.mu.Unlock()
+	fl.body, fl.acct, fl.err = body, acct, err
+	fl.hub.close()
+	close(fl.done)
+}
+
+// progressHub fans one job's executor progress out to any number of
+// streaming subscribers. Channels hold one element and publish is
+// latest-wins: a slow subscriber never blocks the executor's progress
+// callback (which runs under the Runner's stats lock) and always sees the
+// most recent snapshot next.
+type progressHub struct {
+	mu     sync.Mutex
+	subs   map[chan experiments.SweepStats]struct{}
+	closed bool
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{subs: make(map[chan experiments.SweepStats]struct{})}
+}
+
+// subscribe registers a listener; cancel unregisters it. The channel is
+// closed when the flight finishes (or immediately if it already has).
+func (h *progressHub) subscribe() (<-chan experiments.SweepStats, func()) {
+	ch := make(chan experiments.SweepStats, 1)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// publish delivers a snapshot to every subscriber without blocking: a full
+// channel has its stale element replaced.
+func (h *progressHub) publish(s experiments.SweepStats) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- s:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- s:
+			default:
+			}
+		}
+	}
+}
+
+// close ends every subscription; publish becomes a no-op.
+func (h *progressHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}

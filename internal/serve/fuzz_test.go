@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzJobDecode exercises the job decoder — the service's untrusted-input
+// surface — with arbitrary bytes: it must never panic or size an allocation
+// from an unvalidated field, and anything it accepts must compile to a job
+// that is bounded by the limits, re-validates cleanly, and derives a stable
+// flight key.
+func FuzzJobDecode(f *testing.F) {
+	// Seeds: the valid documents plus the interesting rejection shapes.
+	f.Add(validJob)
+	f.Add(tinyJob)
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"insns": 1, "grid": {"name": "g", "arms": []}}`)
+	f.Add(validJob[:len(validJob)/2])                                       // truncated mid-document
+	f.Add(strings.Replace(validJob, `"entries": 512`, `"entries": 513`, 1)) // non-pow2 table
+	f.Add(strings.Replace(validJob, `"entries": 512`, `"entries": 4611686018427387904`, 1))
+	f.Add(strings.Replace(validJob, `"entries": 512`, `"entries": -8`, 1))
+	f.Add(strings.Replace(validJob, `"line_bytes": 32`, `"line_bytes": 31`, 1)) // bad geometry
+	f.Add(strings.Replace(validJob, `"size_bytes": 8192`, `"size_bytes": 1073741824`, 1))
+	f.Add(strings.Replace(validJob, `["li", "gcc"]`, `["quake"]`, 1)) // unknown program
+	f.Add(strings.Replace(validJob, `"insns": 40000`, `"insns": 99999999999`, 1))
+	f.Add(strings.Replace(validJob, `"kind": "nls-table"`, `"kind": "nls-cache", "per_line": 3`, 1))
+	f.Add(strings.Replace(validJob, `"kind": "gshare"`, `"kind": "gas"`, 1))
+	f.Add(`{"schema": "nls-job/v1", "insns": 1000, "grid": {"arms": [{"name": "a", "spec": {}}]}}`)
+
+	lim := Limits{MaxBodyBytes: 1 << 16, MaxInsns: 1 << 20, MaxCells: 64}
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		job, err := DecodeJob(strings.NewReader(doc), lim)
+		if err != nil {
+			return // rejection is fine; panics and unbounded allocation are not
+		}
+		// Accepted jobs must respect every limit...
+		if job.Cfg.Insns <= 0 || job.Cfg.Insns > lim.MaxInsns {
+			t.Fatalf("accepted job with insns %d outside (0, %d]", job.Cfg.Insns, lim.MaxInsns)
+		}
+		if job.Cells <= 0 || job.Cells > lim.MaxCells {
+			t.Fatalf("accepted job with %d cells, cap %d", job.Cells, lim.MaxCells)
+		}
+		if len(job.Cfg.Programs) == 0 {
+			t.Fatal("accepted job resolved to no programs")
+		}
+		// ...be buildable without panicking (Validate really covered Build)...
+		for _, a := range job.Grid.Arms {
+			if len(a.Caches) == 0 {
+				a.Spec.MustBuild()
+				continue
+			}
+			for _, g := range a.Caches {
+				a.Spec.WithGeometry(g).MustBuild()
+			}
+		}
+		// ...and key deterministically.
+		again, err := DecodeJob(strings.NewReader(doc), lim)
+		if err != nil {
+			t.Fatalf("accepted document rejected on second decode: %v", err)
+		}
+		if again.Key != job.Key {
+			t.Fatalf("flight key not deterministic: %s vs %s", job.Key, again.Key)
+		}
+	})
+}

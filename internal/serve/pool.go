@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool errors, mapped to 503 by the HTTP layer.
+var (
+	// ErrDraining reports a submit after shutdown began.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrBusy reports a full job queue (the backpressure signal; clients
+	// should retry).
+	ErrBusy = errors.New("serve: job queue is full")
+)
+
+// pool is the bounded worker pool jobs execute on: a fixed number of
+// workers draining a bounded queue. Submission never blocks — a full
+// queue is an explicit ErrBusy so the HTTP layer can shed load instead of
+// accumulating goroutines — and shutdown drains everything already
+// accepted (queued and running) before returning.
+type pool struct {
+	mu       sync.Mutex
+	draining bool
+	tasks    chan func()
+
+	inflight sync.WaitGroup // accepted tasks not yet finished
+	workers  sync.WaitGroup
+}
+
+// newPool starts workers goroutines over a queue of depth slots.
+func newPool(workers, depth int) *pool {
+	p := &pool{tasks: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a task, or reports why it cannot: ErrDraining once
+// shutdown began, ErrBusy when the queue is full. A nil return guarantees
+// the task will run (shutdown drains the queue).
+func (p *pool) submit(task func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return ErrDraining
+	}
+	p.inflight.Add(1)
+	wrapped := func() {
+		defer p.inflight.Done()
+		task()
+	}
+	select {
+	case p.tasks <- wrapped:
+		return nil
+	default:
+		p.inflight.Done()
+		return ErrBusy
+	}
+}
+
+// shutdown stops accepting work and waits for every accepted task —
+// running or still queued — to finish. The context bounds the wait: on
+// cancellation shutdown returns its error with workers still draining in
+// the background (the process is exiting; nothing re-opens the pool).
+func (p *pool) shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.inflight.Wait()
+		p.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

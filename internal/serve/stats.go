@@ -1,0 +1,61 @@
+package serve
+
+import "sync/atomic"
+
+// serverStats holds the service counters behind /statsz. Flight counters
+// pin the dedup claims: FlightsLed counts executor submissions (one per
+// unique inflight key), FlightsShared counts requests that joined an
+// existing flight — the thundering-herd savings. Cell counters aggregate
+// the executor's run-manifest accounting across jobs, so store hit rate is
+// CellsLoaded / (CellsLoaded + CellsSimulated).
+type serverStats struct {
+	JobsReceived  atomic.Int64
+	JobsRejected  atomic.Int64
+	JobsFailed    atomic.Int64
+	FlightsLed    atomic.Int64
+	FlightsShared atomic.Int64
+
+	CellsLoaded    atomic.Int64
+	CellsSimulated atomic.Int64
+	CellsDeduped   atomic.Int64
+	TraceReplays   atomic.Int64
+
+	InflightJobs atomic.Int64 // gauge: jobs currently executing
+}
+
+// StatsSnapshot is the /statsz document.
+type StatsSnapshot struct {
+	Schema        string `json:"schema"`
+	JobsReceived  int64  `json:"jobs_received"`
+	JobsRejected  int64  `json:"jobs_rejected"`
+	JobsFailed    int64  `json:"jobs_failed"`
+	FlightsLed    int64  `json:"flights_led"`
+	FlightsShared int64  `json:"flights_shared"`
+
+	CellsLoaded    int64 `json:"cells_loaded"`
+	CellsSimulated int64 `json:"cells_simulated"`
+	CellsDeduped   int64 `json:"cells_deduped"`
+	TraceReplays   int64 `json:"trace_replays"`
+
+	InflightJobs int64 `json:"inflight_jobs"`
+	Draining     bool  `json:"draining"`
+}
+
+// StatsSchema versions the /statsz document.
+const StatsSchema = "nls-stats/v1"
+
+func (s *serverStats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Schema:         StatsSchema,
+		JobsReceived:   s.JobsReceived.Load(),
+		JobsRejected:   s.JobsRejected.Load(),
+		JobsFailed:     s.JobsFailed.Load(),
+		FlightsLed:     s.FlightsLed.Load(),
+		FlightsShared:  s.FlightsShared.Load(),
+		CellsLoaded:    s.CellsLoaded.Load(),
+		CellsSimulated: s.CellsSimulated.Load(),
+		CellsDeduped:   s.CellsDeduped.Load(),
+		TraceReplays:   s.TraceReplays.Load(),
+		InflightJobs:   s.InflightJobs.Load(),
+	}
+}
