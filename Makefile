@@ -9,12 +9,14 @@
 # the results store. `make attribution-golden` pins the probe's cause mix
 # on a fixed seed (§4.1's eviction-loss claim). `make smoke-serve` is the
 # sweep service's end-to-end gate: cold POST simulates, warm POST is
-# served from the store byte-identical.
+# served from the store byte-identical. `make h2p-golden` pins the
+# direction-seam acceptance criterion: the equal-cost TAGE-lite arm
+# recovers a nonzero share of the dir-wrong bucket vs the paper gshare.
 
 GO ?= go
 
 .PHONY: build vet test race stress fuzz bench bench-check verify figures \
-	grid-golden smoke smoke-serve attribution-golden profile
+	grid-golden smoke smoke-serve attribution-golden h2p-golden profile
 
 build:
 	$(GO) build ./...
@@ -76,6 +78,13 @@ grid-golden:
 attribution-golden:
 	$(GO) test -run 'TestAttributionGolden' ./internal/obs
 
+# The direction seam's golden gate: exact dir-wrong totals for the
+# equal-cost gshare vs TAGE-lite pair on a fixed workload seed, plus the
+# figure-level recovery check through the executor.
+h2p-golden:
+	$(GO) test -run 'TestH2PGolden' ./internal/obs
+	$(GO) test -run 'TestH2PFigure' ./internal/experiments
+
 # End-to-end smoke: one figure through the real CLI and store (small n).
 smoke:
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
@@ -94,4 +103,4 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof >/dev/null
 	$(GO) tool pprof -top -nodecount=8 cpu.prof
 
-verify: build vet test race stress grid-golden attribution-golden smoke smoke-serve
+verify: build vet test race stress grid-golden attribution-golden h2p-golden smoke smoke-serve

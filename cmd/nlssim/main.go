@@ -16,6 +16,8 @@
 //	nlssim -workload espresso -arch nls-table-1024          # registered spec
 //	nlssim -workload gcc -arch btb-128 -json                # machine-readable
 //	nlssim -workload gcc -arch nls-cache -attribute   # per-branch penalty causes
+//	nlssim -workload espresso -h2p        # dir-wrong recovery, gshare vs TAGE-lite
+//	nlssim -workload gcc -pht tage        # equal-cost TAGE-lite direction predictor
 //	nlssim -workload gcc -n 50000000 -stream    # O(chunk) memory, no materialized trace
 //
 // The non-streaming path runs through the experiments pipeline as a
@@ -60,10 +62,11 @@ func main() {
 		perLine    = flag.Int("perline", 2, "NLS-cache predictors per line")
 		cacheKB    = flag.Int("cache", 16, "instruction cache size in KB")
 		assoc      = flag.Int("assoc", 1, "cache associativity (nls) or BTB associativity (btb)")
-		phtKind    = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, taken, nottaken")
-		phtSize    = flag.Int("phtsize", 4096, "PHT entries")
+		phtKind    = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, tage, taken, nottaken")
+		phtSize    = flag.Int("phtsize", 4096, "PHT entries (tage uses the equal-cost DESIGN.md §13 sizing)")
 		breakdown  = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
 		attribute  = flag.Bool("attribute", false, "attach the fetch probe and report per-branch penalty attribution")
+		h2p        = flag.Bool("h2p", false, "rank hard-to-predict branches: per-PC dir-wrong under the paper gshare vs the equal-cost TAGE-lite, on the selected architecture")
 		stream     = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON on stdout")
 		list       = flag.Bool("list", false, "list registered architecture specs and exit")
@@ -75,9 +78,14 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("architecture specs:")
 		for _, name := range arch.Names() {
 			s, _ := arch.Lookup(name)
-			fmt.Printf("%-16s %s\n", name, s.MustBuild().Name())
+			fmt.Printf("  %-20s %s\n", name, s.MustBuild().Name())
+		}
+		fmt.Println("pht kinds (-pht, or PHTSpec.Kind in a serve job):")
+		for _, kind := range arch.PHTKinds() {
+			fmt.Printf("  %s\n", kind)
 		}
 		return
 	}
@@ -125,9 +133,15 @@ func main() {
 			fail(err)
 		}
 	}
+	var ranks []obs.H2PRanking
+	if *h2p {
+		if ranks, err = h2pRankings(spec, s, *n); err != nil {
+			fail(err)
+		}
+	}
 
 	if *jsonOut {
-		emitJSON(engine, spec.Name, s, m, p, reports)
+		emitJSON(engine, spec.Name, s, m, p, reports, ranks)
 		check(stopProf())
 		return
 	}
@@ -148,7 +162,40 @@ func main() {
 	if *attribute {
 		fmt.Print(obs.RenderReports(reports, p))
 	}
+	if *h2p {
+		fmt.Print(obs.RenderH2P("H2P: dir-wrong recovery, gshare vs equal-cost TAGE-lite", ranks))
+	}
 	check(stopProf())
+}
+
+// h2pRankings replays the workload through the selected architecture twice —
+// the paper gshare against the equal-cost TAGE-lite direction predictor
+// (DESIGN.md §13), everything else identical — and ranks the branches by
+// per-PC dir-wrong recovery. The selected spec's own PHT kind is
+// overridden on both sides: the comparison is the predictor pair, not the
+// -pht flag.
+func h2pRankings(w workload.Spec, s arch.Spec, insns int) ([]obs.H2PRanking, error) {
+	if s.PHT.Kind == "" || s.PHT.Kind == arch.PHTKindNone {
+		return nil, fmt.Errorf("-h2p needs a decoupled-PHT architecture; %q couples its direction state", s.Predictor.Kind)
+	}
+	base, alt := s, s
+	base.PHT = arch.PaperPHT()
+	alt.PHT = arch.TAGEPHT()
+	cfg := experiments.Config{
+		Insns:     insns,
+		Programs:  []workload.Spec{w},
+		Penalties: metrics.Default(),
+	}
+	x := &experiments.Executor{R: experiments.NewRunner(cfg)}
+	g := experiments.Grid{Name: "nlssim-h2p", Arms: []experiments.Arm{
+		{Name: "gshare", Spec: base},
+		{Name: "tage", Spec: alt},
+	}}
+	reports, err := x.RunAttribution(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []obs.H2PRanking{obs.RankH2P(reports[0], reports[1], experiments.H2PTopN)}, nil
 }
 
 // runCell runs one (workload, spec) cell through the grid pipeline — a
@@ -236,6 +283,10 @@ func phtSpecFromFlags(kind string, size int) arch.PHTSpec {
 		return arch.PHTSpec{Kind: "bimodal", Entries: size}
 	case "1bit":
 		return arch.PHTSpec{Kind: "1bit", Entries: size}
+	case "tage":
+		// The equal-cost TAGE-lite sizing (DESIGN.md §13); -phtsize is
+		// ignored — the table geometry is a matched set, not one knob.
+		return arch.TAGEPHT()
 	case "taken":
 		return arch.PHTSpec{Kind: "static-taken"}
 	case "nottaken":
@@ -247,7 +298,7 @@ func phtSpecFromFlags(kind string, size int) arch.PHTSpec {
 
 // emitJSON writes the run's configuration and headline metrics as one JSON
 // object, so scripts consume results without scraping the report text.
-func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Counters, p metrics.Penalties, reports []obs.Report) {
+func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Counters, p metrics.Penalties, reports []obs.Report, ranks []obs.H2PRanking) {
 	out := struct {
 		Engine   string    `json:"engine"`
 		Workload string    `json:"workload"`
@@ -259,12 +310,13 @@ func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Count
 			Mispredicts  uint64 `json:"mispredicts"`
 			ICacheMisses uint64 `json:"icache_misses"`
 		} `json:"counters"`
-		BEP           float64      `json:"bep"`
-		MisfetchBEP   float64      `json:"misfetch_bep"`
-		MispredictBEP float64      `json:"mispredict_bep"`
-		CPI           float64      `json:"cpi"`
-		ICacheMiss    float64      `json:"icache_miss_rate"`
-		Attribution   []obs.Report `json:"attribution,omitempty"`
+		BEP           float64          `json:"bep"`
+		MisfetchBEP   float64          `json:"misfetch_bep"`
+		MispredictBEP float64          `json:"mispredict_bep"`
+		CPI           float64          `json:"cpi"`
+		ICacheMiss    float64          `json:"icache_miss_rate"`
+		Attribution   []obs.Report     `json:"attribution,omitempty"`
+		H2P           []obs.H2PRanking `json:"h2p,omitempty"`
 	}{
 		Engine:        e.Name(),
 		Workload:      workloadName,
@@ -275,6 +327,7 @@ func emitJSON(e fetch.Engine, workloadName string, s arch.Spec, m *metrics.Count
 		CPI:           m.CPI(p),
 		ICacheMiss:    m.ICacheMissRate(),
 		Attribution:   reports,
+		H2P:           ranks,
 	}
 	out.Counters.Instructions = m.Instructions
 	out.Counters.Breaks = m.Breaks

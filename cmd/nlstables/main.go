@@ -2,8 +2,9 @@
 // the benchmark-analogue workloads — Table 1 and Figures 3–8 — plus the
 // repo's ablations (predictors per line, coupled vs decoupled designs,
 // direction-predictor choice, fetch width, wrong-path pollution, the
-// hybrid NLS+BTB predictor, and the per-branch penalty attribution). This
-// is the harness behind EXPERIMENTS.md.
+// hybrid NLS+BTB predictor, the per-branch penalty attribution, and the
+// h2p dir-wrong recovery ranking). This is the harness behind
+// EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -68,7 +69,7 @@ func main() {
 	var (
 		n           = flag.Int("n", 2_000_000, "instructions to simulate per program")
 		exp         = flag.String("exp", "all", "experiment to run (alias of -only; 'all' runs every figure)")
-		only        = flag.String("only", "", "run a single figure: table1, fig3..fig8, perline, coupled, pht, width, pollution, hybrid, attribution")
+		only        = flag.String("only", "", "run a single figure: table1, fig3..fig8, perline, coupled, pht, width, pollution, hybrid, attribution, h2p")
 		force       = flag.Bool("force", false, "re-simulate cells even when the results store has them")
 		progress    = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
 		jsonOut     = flag.Bool("json", false, "print the machine-readable report to stdout (tables move to stderr) and write it to results/<exp>.json")

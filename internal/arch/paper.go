@@ -36,6 +36,22 @@ func PaperPHT() PHTSpec {
 	return PHTSpec{Kind: "gshare", Entries: PHTEntries, HistoryBits: PHTHistoryBits}
 }
 
+// TAGEPHT returns the equal-cost TAGE-lite direction predictor (DESIGN.md
+// §13): a 512-entry bimodal base plus four 128-entry tagged tables with
+// 9-bit tags over geometric history lengths 4..64. Storage is 2·512 +
+// 4·128·(9+3+2) + 64 = 8256 bits against the paper gshare's 2·4096 + 6 =
+// 8198 — within 0.7%, so h2p rows compare predictors, not budgets. The
+// long tables are what the ROADMAP's H2P item buys: loop exits and
+// duty-cycle patterns with periods beyond gshare's 6-bit history become
+// learnable.
+func TAGEPHT() PHTSpec {
+	return PHTSpec{
+		Kind: PHTKindTAGE, Entries: 512,
+		TageTables: 4, TageEntries: 128, TageTagBits: 9,
+		TageMinHist: 4, TageMaxHist: 64,
+	}
+}
+
 // NLSTable returns the paper's NLS-table architecture at the given table
 // size (§4.1), on the default cache.
 func NLSTable(entries int) Spec {
@@ -111,6 +127,11 @@ func init() {
 	}
 	Register("coupled-btb-128", CoupledBTB(128, 1))
 	Register("johnson", Johnson())
+	// The headline NLS-table with its gshare PHT swapped for the
+	// equal-cost TAGE-lite arm — the h2p figure's comparison point.
+	tage := NLSTable(1024)
+	tage.PHT = TAGEPHT()
+	Register("nls-table-1024-tage", tage)
 	// The equal-cost hybrid point: a 512-entry NLS-table (half the paper's
 	// headline table) plus a 64-entry direct BTB lands near the 1024-entry
 	// NLS-table / 128-entry BTB storage band of Figure 5.

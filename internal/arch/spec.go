@@ -78,56 +78,125 @@ func (c CacheSpec) Geometry() (cache.Geometry, error) {
 	return cache.NewGeometry(c.SizeBytes, c.LineBytes, c.Assoc)
 }
 
+// Direction-predictor kinds accepted by PHTSpec.Kind.
+const (
+	PHTKindGShare         = "gshare"
+	PHTKindGAs            = "gas"
+	PHTKindBimodal        = "bimodal"
+	PHTKindOneBit         = "1bit"
+	PHTKindTAGE           = "tage"
+	PHTKindStaticTaken    = "static-taken"
+	PHTKindStaticNotTaken = "static-not-taken"
+	PHTKindNone           = "none"
+)
+
+// PHTKinds returns every accepted PHTSpec.Kind, in presentation order
+// (what `nlssim -list` enumerates). Kept in lockstep with PHTSpec.Validate
+// by TestPHTKindsCoverValidate.
+func PHTKinds() []string {
+	return []string{
+		PHTKindGShare, PHTKindGAs, PHTKindBimodal, PHTKindOneBit, PHTKindTAGE,
+		PHTKindStaticTaken, PHTKindStaticNotTaken, PHTKindNone,
+	}
+}
+
 // PHTSpec selects and sizes the decoupled direction predictor. Predictors
 // with coupled direction state (coupled-btb, johnson) take no PHT; leave
 // Kind empty or "none" for them.
 type PHTSpec struct {
-	// Kind: "gshare", "gas", "bimodal", "1bit", "static-taken",
-	// "static-not-taken", or "none".
+	// Kind is one of the PHTKind* constants.
 	Kind string `json:"kind"`
-	// Entries is the table size (gshare, gas, bimodal, 1bit).
+	// Entries is the table size (gshare, gas, bimodal, 1bit) or, for
+	// tage, the bimodal base-table size.
 	Entries int `json:"entries,omitempty"`
 	// HistoryBits is the gshare global-history width.
 	HistoryBits int `json:"history_bits,omitempty"`
+
+	// TAGE geometry (Kind "tage" only; see pht.TAGEConfig). Every field
+	// is omitempty so pre-TAGE specs keep their canonical JSON — and
+	// therefore their content hashes, store keys, and warm-response
+	// byte-identity — unchanged.
+	TageTables  int `json:"tage_tables,omitempty"`
+	TageEntries int `json:"tage_entries,omitempty"`
+	TageTagBits int `json:"tage_tag_bits,omitempty"`
+	TageMinHist int `json:"tage_min_hist,omitempty"`
+	TageMaxHist int `json:"tage_max_hist,omitempty"`
 }
 
 // none reports whether the spec declares no direction predictor.
-func (p PHTSpec) none() bool { return p.Kind == "" || p.Kind == "none" }
+func (p PHTSpec) none() bool { return p.Kind == "" || p.Kind == PHTKindNone }
 
-// Validate checks the spec without building it. The pht constructors panic
-// on bad table sizes (they are programming errors there), so an untrusted
-// spec must be rejected here before Build is ever called.
+// tage converts the spec's TAGE fields to the pht-level configuration.
+func (p PHTSpec) tage() pht.TAGEConfig {
+	return pht.TAGEConfig{
+		BaseEntries: p.Entries, Tables: p.TageTables, Entries: p.TageEntries,
+		TagBits: p.TageTagBits, MinHist: p.TageMinHist, MaxHist: p.TageMaxHist,
+	}
+}
+
+// Validate checks the spec without building it: the error-returning gate
+// (shared with pht.CheckEntries and pht.TAGEConfig.Validate) that rejects
+// an untrusted spec before any allocation is sized from it. Build also
+// calls it, so even a Build bypassing Spec.Validate cannot panic.
 func (p PHTSpec) Validate() error {
+	if p.Kind != PHTKindTAGE {
+		if p.TageTables != 0 || p.TageEntries != 0 || p.TageTagBits != 0 ||
+			p.TageMinHist != 0 || p.TageMaxHist != 0 {
+			return fmt.Errorf("arch: pht %q accepts no tage_* fields", p.Kind)
+		}
+	}
 	switch p.Kind {
-	case "", "none", "static-taken", "static-not-taken":
+	case "", PHTKindNone, PHTKindStaticTaken, PHTKindStaticNotTaken:
 		return nil
-	case "gshare", "gas", "bimodal", "1bit":
-		if !pow2InRange(p.Entries, MaxPHTEntries) {
-			return fmt.Errorf("arch: pht %q entries %d must be a power of two in [1, %d]",
-				p.Kind, p.Entries, MaxPHTEntries)
+	case PHTKindGShare, PHTKindGAs, PHTKindBimodal, PHTKindOneBit:
+		if err := pht.CheckEntries(p.Entries); err != nil {
+			return fmt.Errorf("arch: pht %q: %w", p.Kind, err)
+		}
+		if p.Entries > MaxPHTEntries {
+			return fmt.Errorf("arch: pht %q entries %d exceeds the %d cap", p.Kind, p.Entries, MaxPHTEntries)
 		}
 		if p.HistoryBits < 0 || p.HistoryBits > 64 {
 			return fmt.Errorf("arch: pht history_bits %d out of range [0, 64]", p.HistoryBits)
 		}
 		return nil
+	case PHTKindTAGE:
+		if p.HistoryBits != 0 {
+			return fmt.Errorf("arch: pht tage sizes history via tage_min_hist/tage_max_hist, not history_bits")
+		}
+		if p.Entries > MaxPHTEntries || p.TageEntries > MaxPHTEntries {
+			return fmt.Errorf("arch: pht tage tables exceed the %d-entry cap", MaxPHTEntries)
+		}
+		return p.tage().Validate()
 	}
 	return fmt.Errorf("arch: unknown PHT kind %q", p.Kind)
 }
 
-// Build constructs the direction predictor the spec describes.
-func (p PHTSpec) Build() (pht.Predictor, error) {
+// Build constructs the direction predictor the spec describes — a legacy
+// pht.Predictor or a protocol-native pht.DirectionPredictor, behind the
+// pht.Directional surface every engine constructor accepts. It validates
+// first: a hostile spec gets an error here, never a panic.
+func (p PHTSpec) Build() (pht.Directional, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	switch p.Kind {
-	case "gshare":
+	case "", PHTKindNone:
+		// Coupled architectures carry no decoupled PHT; the fetch layer's
+		// AsDirection(nil) substitutes an inert static predictor.
+		return nil, nil
+	case PHTKindGShare:
 		return pht.NewGShare(p.Entries, p.HistoryBits), nil
-	case "gas":
+	case PHTKindGAs:
 		return pht.NewGAs(p.Entries), nil
-	case "bimodal":
+	case PHTKindBimodal:
 		return pht.NewBimodal(p.Entries), nil
-	case "1bit":
+	case PHTKindOneBit:
 		return pht.NewOneBit(p.Entries), nil
-	case "static-taken":
+	case PHTKindTAGE:
+		return pht.NewTAGE(p.tage())
+	case PHTKindStaticTaken:
 		return pht.Static{Taken: true}, nil
-	case "static-not-taken":
+	case PHTKindStaticNotTaken:
 		return pht.Static{}, nil
 	}
 	return nil, fmt.Errorf("arch: unknown PHT kind %q", p.Kind)
@@ -232,7 +301,7 @@ func (s Spec) Build() (fetch.Engine, error) {
 	if depth <= 0 {
 		depth = ras.DefaultDepth
 	}
-	dir := pht.Predictor(nil)
+	dir := pht.Directional(nil)
 	if !s.PHT.none() {
 		if dir, err = s.PHT.Build(); err != nil {
 			return nil, err

@@ -48,6 +48,7 @@ func Figures() []Figure {
 		pollutionFigure(),
 		hybridFigure(),
 		attributionFigure(),
+		h2pFigure(),
 	}
 }
 

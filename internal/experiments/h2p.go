@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"repro/internal/arch"
+	"repro/internal/obs"
+)
+
+// H2PTopN is the per-program branch-ranking depth the h2p figure and
+// nlssim -h2p print.
+const H2PTopN = 8
+
+// H2PGrid is the hard-to-predict-branch comparison (DESIGN.md §13): the
+// paper's headline 1024-entry NLS-table carrying its gshare PHT against the
+// identical architecture with the equal-cost TAGE-lite direction predictor
+// (8198 vs 8256 bits). Same target predictor, same cache, same trace — the
+// only degree of freedom is direction prediction, so any movement in the
+// dir-wrong cause bucket is the direction seam's doing.
+func H2PGrid() Grid {
+	tage := arch.NLSTable(1024)
+	tage.PHT = arch.TAGEPHT()
+	return Grid{Name: "h2p", Arms: []Arm{
+		{Name: "1024 NLS-table (gshare)", Spec: arch.NLSTable(1024)},
+		{Name: "1024 NLS-table (tage)", Spec: tage},
+	}}
+}
+
+// h2pFigure ranks the branches gshare keeps mispredicting and measures how
+// much of that dir-wrong tail the equal-cost TAGE-lite arm recovers. Like
+// the attribution figure it is Probed: the comparison is an event-stream
+// product (per-PC cause counts), not a stored counter row. Reports come
+// back in cell order — program-major, two arms per program — and each
+// ranking pairs full (untruncated) per-PC tables so the alt side of every
+// base-heavy branch is counted.
+func h2pFigure() Figure {
+	g := H2PGrid()
+	return Figure{
+		Name: "h2p",
+		Grid: Grid{Name: "h2p"}, // no stored cells; Probed replays itself
+		Probed: func(x *Executor) (string, any, error) {
+			reports, err := x.RunAttribution(g, 0)
+			if err != nil {
+				return "", nil, err
+			}
+			ranks := make([]obs.H2PRanking, len(reports)/2)
+			for p := range ranks {
+				ranks[p] = obs.RankH2P(reports[2*p], reports[2*p+1], H2PTopN)
+			}
+			text := obs.RenderH2P(
+				"H2P: dir-wrong recovery, equal-cost gshare vs TAGE-lite (1024 NLS-table)",
+				ranks)
+			return text, ranks, nil
+		},
+	}
+}

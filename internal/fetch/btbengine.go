@@ -126,7 +126,7 @@ type BTBEngine struct {
 
 // NewBTBEngine builds a BTB architecture simulator. dir is shared-use: pass
 // a fresh predictor per engine.
-func NewBTBEngine(g cache.Geometry, cfg btb.Config, dir pht.Predictor, rasDepth int) *BTBEngine {
+func NewBTBEngine(g cache.Geometry, cfg btb.Config, dir pht.Directional, rasDepth int) *BTBEngine {
 	e := &BTBEngine{Frontend: newFrontend(g, dir, rasDepth)}
 	e.bind(&btbPredictor{buf: btb.New(cfg), rstack: e.rstack}, Traits{})
 	return e

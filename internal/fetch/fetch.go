@@ -78,19 +78,23 @@ func RunSource(e Engine, src trace.Source, n int) *metrics.Counters {
 type base struct {
 	icache *cache.Cache
 	geom   cache.Geometry // icache's geometry, cached off the hot paths
-	dir    pht.Predictor
+	dir    pht.DirectionPredictor
 	rstack *ras.Stack
 	m      metrics.Counters
 }
 
-func newBase(g cache.Geometry, dir pht.Predictor, rasDepth int) base {
+// newBase accepts any direction predictor — legacy pht.Predictor or
+// protocol-native pht.DirectionPredictor — and promotes it onto the
+// protocol the frontend drives (DESIGN.md §13), so every existing
+// constructor call site compiles unchanged.
+func newBase(g cache.Geometry, dir pht.Directional, rasDepth int) base {
 	if rasDepth <= 0 {
 		rasDepth = ras.DefaultDepth
 	}
 	return base{
 		icache: cache.New(g),
 		geom:   g,
-		dir:    dir,
+		dir:    pht.AsDirection(dir),
 		rstack: ras.New(rasDepth),
 	}
 }

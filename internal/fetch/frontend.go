@@ -110,8 +110,9 @@ type Frontend struct {
 }
 
 // newFrontend builds the architecture-independent half; bind attaches the
-// predictor.
-func newFrontend(g cache.Geometry, dir pht.Predictor, rasDepth int) Frontend {
+// predictor. dir may be a legacy pht.Predictor or a protocol-native
+// pht.DirectionPredictor (see newBase).
+func newFrontend(g cache.Geometry, dir pht.Directional, rasDepth int) Frontend {
 	return Frontend{base: newBase(g, dir, rasDepth)}
 }
 
@@ -182,9 +183,23 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 	f.m.Breaks++
 
 	set := f.geom.SetIndex(rec.PC)
+	// Direction prediction through the pht.DirectionPredictor protocol
+	// (DESIGN.md §13): a conditional branch OPENS a prediction (Predict
+	// may shift speculative history and checkpoints for the Resolve
+	// below); every other break only READS a direction — aliased
+	// tag-less NLS entries consult it for target arbitration — so Query
+	// keeps history-based predictors' speculative state untouched. For
+	// legacy predictors both map to the same Predict call the
+	// pre-protocol frontend made here, bit for bit.
 	dirTaken := false
+	var dirTok pht.Token
+	isCond := rec.Kind == isa.CondBranch
 	if !f.traits.CoupledDirection {
-		dirTaken = f.dir.Predict(rec.PC)
+		if isCond {
+			dirTaken, dirTok = f.dir.Predict(rec.PC)
+		} else {
+			dirTaken = f.dir.Query(rec.PC)
+		}
 	}
 	out := f.tp.Lookup(rec, set, way, dirTaken)
 	if f.traits.CoupledDirection {
@@ -211,9 +226,6 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 				f.m.AddMispredict(rec.Kind)
 				penalty = PenaltyMispredict
 			}
-		}
-		if !f.traits.CoupledDirection {
-			f.dir.Update(rec.PC, rec.Taken)
 		}
 
 	case isa.UncondBranch:
@@ -275,17 +287,30 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 	}
 
 	// Optional wrong-path pollution: touch what the front end actually
-	// fetched before the redirect (see wrongpath.go).
+	// fetched before the redirect (see wrongpath.go), and report the
+	// excursion to the direction predictor so history-based schemes can
+	// model speculative-history corruption (repaired by the Resolve
+	// below, or by their next Predict — the redirect).
 	if f.pollution.enabled && !out.Correct {
 		if wp, ok := f.tp.WrongPath(rec); ok {
 			f.pollute(wp, penalty == PenaltyMispredict)
+			f.dir.WrongPath(wp)
 		}
 	}
 
 	// Attribution probe: emit after the break's architectural effects and
-	// before the predictor trains on it (see probe.go).
+	// before the predictors train on it (see probe.go).
 	if f.probe != nil {
 		f.emitBreak(rec, out, dirTaken, penalty)
+	}
+
+	// Close the direction prediction opened above, after any wrong-path
+	// report so recovery wipes the poison. For legacy predictors this is
+	// the same Update call the pre-protocol frontend made inside the
+	// conditional case — nothing between the two points reads their
+	// state, so the move is invisible to them.
+	if isCond && !f.traits.CoupledDirection {
+		f.dir.Resolve(rec.PC, dirTok, rec.Taken)
 	}
 
 	// Train the target predictor; a deferred update waits for the

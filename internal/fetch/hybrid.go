@@ -226,7 +226,7 @@ type HybridEngine struct {
 // tableEntries entries backed by a BTB of cfg, sharing the frontend's
 // decoupled PHT and RAS. dir is shared-use: pass a fresh predictor per
 // engine.
-func NewHybridEngine(g cache.Geometry, tableEntries int, cfg btb.Config, dir pht.Predictor, rasDepth int) *HybridEngine {
+func NewHybridEngine(g cache.Geometry, tableEntries int, cfg btb.Config, dir pht.Directional, rasDepth int) *HybridEngine {
 	e := &HybridEngine{Frontend: newFrontend(g, dir, rasDepth)}
 	e.bind(&hybridPredictor{
 		table:  core.NewTable(tableEntries, g),

@@ -218,7 +218,7 @@ type NLSEngine struct {
 	Frontend
 }
 
-func newNLSEngine(g cache.Geometry, dir pht.Predictor, rasDepth int, mk func(*cache.Cache) nlsStore) *NLSEngine {
+func newNLSEngine(g cache.Geometry, dir pht.Directional, rasDepth int, mk func(*cache.Cache) nlsStore) *NLSEngine {
 	e := &NLSEngine{Frontend: newFrontend(g, dir, rasDepth)}
 	e.bind(&nlsPredictor{
 		store:  mk(e.icache),
@@ -230,7 +230,7 @@ func newNLSEngine(g cache.Geometry, dir pht.Predictor, rasDepth int, mk func(*ca
 
 // NewNLSTableEngine builds an NLS architecture using a tag-less NLS-table
 // with the given number of entries (§4.1).
-func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Predictor, rasDepth int) *NLSEngine {
+func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Directional, rasDepth int) *NLSEngine {
 	return newNLSEngine(g, dir, rasDepth, func(*cache.Cache) nlsStore {
 		return tableStore{core.NewTable(tableEntries, g)}
 	})
@@ -238,7 +238,7 @@ func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Predictor, ra
 
 // NewNLSCacheEngine builds an NLS architecture with predictors coupled to
 // cache lines (the NLS-cache of §4.1), perLine predictors per line.
-func NewNLSCacheEngine(g cache.Geometry, perLine int, dir pht.Predictor, rasDepth int) *NLSEngine {
+func NewNLSCacheEngine(g cache.Geometry, perLine int, dir pht.Directional, rasDepth int) *NLSEngine {
 	return newNLSEngine(g, dir, rasDepth, func(c *cache.Cache) nlsStore {
 		return coupledStore{core.NewLineCoupled(c, perLine)}
 	})

@@ -1,0 +1,133 @@
+package pht
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// The DirectionPredictor protocol.
+//
+// The stateless Predictor interface above is enough for the paper-era
+// schemes: gshare and friends read a table, then fold the resolved outcome
+// back in, and nothing in between can disturb them. History-based
+// predictors with *speculative* state — TAGE-class schemes that shift the
+// predicted outcome into a global history register at predict time and must
+// repair it when the prediction resolves wrong — need a richer seam, shaped
+// like fetch.TargetPredictor: a Predict that opens an in-flight prediction
+// and hands back a token, a Resolve that closes it with the architectural
+// outcome, and a WrongPath hook through which the frontend reports
+// wrong-path fetches so the predictor can model (and later repair) history
+// corruption. The frontend traffics exclusively in this protocol; legacy
+// predictors are lifted onto it by AsDirection's adapter, whose mapping is
+// exact enough that every pre-protocol predictor remains bit-identical.
+
+// Token identifies one in-flight Predict so the matching Resolve can find
+// its checkpoint. Tokens are meaningful only to the predictor that issued
+// them; stateless predictors issue (and ignore) zero.
+type Token uint64
+
+// Directional is the configuration surface every direction predictor —
+// legacy Predictor or protocol-native DirectionPredictor — shares. Engine
+// constructors and arch.PHTSpec.Build traffic in this type so both worlds
+// plug into the same parameter; the frontend promotes it with AsDirection.
+type Directional interface {
+	// SizeBits returns the predictor's storage cost in bits.
+	SizeBits() int
+	// Name identifies the predictor for reports.
+	Name() string
+	// Reset restores the initial state.
+	Reset()
+}
+
+// DirectionPredictor is the full direction-prediction protocol the fetch
+// frontend drives (DESIGN.md §13). Call discipline, mirroring the
+// simulator's one-break-in-flight pipeline:
+//
+//   - Predict opens an in-flight prediction for a conditional branch: it
+//     may shift the predicted outcome into speculative history and must
+//     checkpoint whatever Resolve needs to repair a wrong guess.
+//   - Query is a pure read — the prediction Predict would return, with no
+//     state opened. The frontend uses it where a direction value feeds
+//     target arbitration for breaks that never resolve a direction
+//     (aliased tag-less NLS entries consult it for non-conditionals).
+//   - Resolve closes the prediction Predict opened under tok: train on the
+//     actual outcome and repair speculative history if the guess (or a
+//     wrong-path excursion since) corrupted it. Every Predict is resolved
+//     exactly once, in order, before the next Predict for the same stream.
+//   - WrongPath reports the address of a wrong-path fetch between a
+//     Predict and its Resolve (or between breaks); predictors modelling
+//     speculative-history corruption poison their history here and repair
+//     it at the next Resolve or Predict.
+type DirectionPredictor interface {
+	Directional
+	// Predict returns the predicted direction for the conditional branch
+	// at pc and a token for the matching Resolve.
+	Predict(pc isa.Addr) (taken bool, tok Token)
+	// Query returns the prediction for pc without opening any state.
+	Query(pc isa.Addr) bool
+	// Resolve trains the predictor with the resolved outcome of the
+	// prediction issued under tok.
+	Resolve(pc isa.Addr, tok Token, taken bool)
+	// WrongPath reports a wrong-path fetch at addr.
+	WrongPath(addr isa.Addr)
+}
+
+// AsDirection promotes p onto the DirectionPredictor protocol: native
+// implementations pass through, legacy Predictors are wrapped in the exact
+// adapter below, and nil becomes an inert never-taken predictor (the
+// placeholder coupled-direction architectures carry). Any other type is a
+// programming error — specs cannot reach here, see arch.PHTSpec.Validate.
+func AsDirection(p Directional) DirectionPredictor {
+	switch d := p.(type) {
+	case DirectionPredictor:
+		return d
+	case Predictor:
+		return adapted{d}
+	case nil:
+		return adapted{Static{}}
+	}
+	panic(fmt.Sprintf("pht: %T implements neither Predictor nor DirectionPredictor", p))
+}
+
+// adapted lifts a legacy stateless Predictor onto the protocol. The mapping
+// keeps the underlying predictor's call sequence exactly what the
+// pre-protocol frontend produced — Predict and Query both read via
+// Predict, Resolve trains via Update, WrongPath is invisible — so every
+// legacy predictor's state, and therefore every golden counter, is
+// bit-identical through the new seam (asserted by TestAdapterExactness).
+type adapted struct {
+	p Predictor
+}
+
+// Predict implements DirectionPredictor; legacy predictors have no
+// speculative state, so the token is always zero.
+func (a adapted) Predict(pc isa.Addr) (bool, Token) { return a.p.Predict(pc), 0 }
+
+// Query implements DirectionPredictor.
+func (a adapted) Query(pc isa.Addr) bool { return a.p.Predict(pc) }
+
+// Resolve implements DirectionPredictor.
+func (a adapted) Resolve(pc isa.Addr, _ Token, taken bool) { a.p.Update(pc, taken) }
+
+// WrongPath implements DirectionPredictor: stateless predictors hold no
+// speculative history to corrupt.
+func (a adapted) WrongPath(isa.Addr) {}
+
+// SizeBits implements Directional.
+func (a adapted) SizeBits() int { return a.p.SizeBits() }
+
+// Name implements Directional.
+func (a adapted) Name() string { return a.p.Name() }
+
+// Reset implements Directional.
+func (a adapted) Reset() { a.p.Reset() }
+
+// Unwrap exposes the adapted legacy predictor, or nil for protocol-native
+// predictors (tests use it to reach through the seam).
+func Unwrap(d DirectionPredictor) Predictor {
+	if a, ok := d.(adapted); ok {
+		return a.p
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package pht
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestAdapterExactness: the bit-identity contract behind the protocol
+// refactor. Driving a legacy predictor through the DirectionPredictor
+// adapter — with the frontend's full call mix of Predict, Query, Resolve,
+// and WrongPath — must leave it in exactly the state the pre-protocol
+// Predict/Update call sequence produces, prediction for prediction.
+func TestAdapterExactness(t *testing.T) {
+	mk := []func() Predictor{
+		func() Predictor { return NewGShare(512, 6) },
+		func() Predictor { return NewGAs(256) },
+		func() Predictor { return NewBimodal(512) },
+		func() Predictor { return NewOneBit(512) },
+		func() Predictor { return Static{Taken: true} },
+		func() Predictor { return Static{} },
+	}
+	for _, f := range mk {
+		legacy := f()
+		viaProto := AsDirection(f())
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			pc := isa.Addr(0x1000 + uint32(rng.Intn(300))*4)
+			switch rng.Intn(4) {
+			case 0: // conditional break: predict then resolve
+				taken := rng.Intn(2) == 0
+				want := legacy.Predict(pc)
+				legacy.Update(pc, taken)
+				got, tok := viaProto.Predict(pc)
+				viaProto.Resolve(pc, tok, taken)
+				if got != want {
+					t.Fatalf("%s: step %d: adapter predicted %v, legacy %v", legacy.Name(), i, got, want)
+				}
+			case 1: // non-cond break: direction read only
+				want := legacy.Predict(pc)
+				if got := viaProto.Query(pc); got != want {
+					t.Fatalf("%s: step %d: Query %v, legacy Predict %v", legacy.Name(), i, got, want)
+				}
+			case 2: // wrong-path report: invisible to legacy predictors
+				viaProto.WrongPath(pc)
+			case 3: // pure read on both sides keeps states comparable
+				if legacy.Predict(pc) != viaProto.Query(pc) {
+					t.Fatalf("%s: step %d: states diverged", legacy.Name(), i)
+				}
+			}
+		}
+		if legacy.SizeBits() != viaProto.SizeBits() || legacy.Name() != viaProto.Name() {
+			t.Fatalf("adapter changed identity: %s/%d vs %s/%d",
+				legacy.Name(), legacy.SizeBits(), viaProto.Name(), viaProto.SizeBits())
+		}
+	}
+}
+
+// TestAsDirectionPassThrough: native protocol implementations are not
+// double-wrapped, nil becomes inert, and Unwrap reaches the legacy
+// predictor through the adapter.
+func TestAsDirectionPassThrough(t *testing.T) {
+	tg := MustTAGE(smallTAGE())
+	if AsDirection(tg) != DirectionPredictor(tg) {
+		t.Fatal("native DirectionPredictor was wrapped")
+	}
+	g := NewGShare(512, 0)
+	d := AsDirection(g)
+	if Unwrap(d) != Predictor(g) {
+		t.Fatal("Unwrap did not return the adapted predictor")
+	}
+	if Unwrap(tg) != nil {
+		t.Fatal("Unwrap of a native predictor should be nil")
+	}
+	inert := AsDirection(nil)
+	if taken, tok := inert.Predict(0x1000); taken || tok != 0 {
+		t.Fatal("nil promotes to a non-inert predictor")
+	}
+	inert.Resolve(0x1000, 0, true)
+	inert.WrongPath(0x1000)
+	if inert.Query(0x1000) {
+		t.Fatal("inert predictor learned")
+	}
+}
+
+// TestCheckEntriesErrors: the validated-error seam that replaced the
+// constructor panic (a hostile spec is rejected with these errors before
+// any constructor runs).
+func TestCheckEntriesErrors(t *testing.T) {
+	for _, bad := range []int{0, -1, -8, 3, 513, 1<<62 + 1} {
+		if err := CheckEntries(bad); err == nil {
+			t.Errorf("CheckEntries(%d) accepted", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 512, 1 << 20} {
+		if err := CheckEntries(good); err != nil {
+			t.Errorf("CheckEntries(%d): %v", good, err)
+		}
+	}
+	// The direct constructors still guard programming errors, now with
+	// the validated error as the panic value.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGShare(513) did not panic")
+		}
+	}()
+	NewGShare(513, 0)
+}

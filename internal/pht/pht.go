@@ -54,9 +54,24 @@ func counterUpdate(c uint8, taken bool) uint8 {
 	return 0
 }
 
-func checkEntries(entries int) {
+// CheckEntries validates a predictor table size: a positive power of two.
+// It is the single source of truth shared by this package's constructors
+// and arch.PHTSpec.Validate, so an untrusted spec is rejected with an
+// error before any constructor runs — a hostile spec reaching Build can
+// never panic a serve worker.
+func CheckEntries(entries int) error {
 	if entries <= 0 || bits.OnesCount(uint(entries)) != 1 {
-		panic(fmt.Sprintf("pht: entries %d must be a positive power of two", entries))
+		return fmt.Errorf("pht: entries %d must be a positive power of two", entries)
+	}
+	return nil
+}
+
+// mustEntries guards the direct constructors, where a bad size is a
+// programming error: the panic value is the same validated error
+// CheckEntries reports.
+func mustEntries(entries int) {
+	if err := CheckEntries(entries); err != nil {
+		panic(err)
 	}
 }
 
@@ -74,7 +89,7 @@ type GShare struct {
 // NewGShare builds a gshare predictor. histBits is clamped to
 // log2(entries); the paper uses a history as wide as the index.
 func NewGShare(entries int, histBits int) *GShare {
-	checkEntries(entries)
+	mustEntries(entries)
 	idxBits := bits.TrailingZeros(uint(entries))
 	if histBits <= 0 || histBits > idxBits {
 		histBits = idxBits
@@ -134,7 +149,7 @@ type GAs struct {
 // NewGAs builds a pure-global two-level predictor with log2(entries) history
 // bits.
 func NewGAs(entries int) *GAs {
-	checkEntries(entries)
+	mustEntries(entries)
 	g := &GAs{
 		table:    make([]uint8, entries),
 		histBits: uint(bits.TrailingZeros(uint(entries))),
@@ -178,7 +193,7 @@ type Bimodal struct {
 
 // NewBimodal builds a bimodal predictor.
 func NewBimodal(entries int) *Bimodal {
-	checkEntries(entries)
+	mustEntries(entries)
 	b := &Bimodal{table: make([]uint8, entries), mask: uint32(entries - 1)}
 	b.Reset()
 	return b
@@ -217,7 +232,7 @@ type OneBit struct {
 
 // NewOneBit builds a one-bit last-outcome predictor.
 func NewOneBit(entries int) *OneBit {
-	checkEntries(entries)
+	mustEntries(entries)
 	return &OneBit{table: make([]bool, entries), mask: uint32(entries - 1)}
 }
 

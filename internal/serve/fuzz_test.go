@@ -28,6 +28,21 @@ func FuzzJobDecode(f *testing.F) {
 	f.Add(strings.Replace(validJob, `"kind": "nls-table"`, `"kind": "nls-cache", "per_line": 3`, 1))
 	f.Add(strings.Replace(validJob, `"kind": "gshare"`, `"kind": "gas"`, 1))
 	f.Add(`{"schema": "nls-job/v1", "insns": 1000, "grid": {"arms": [{"name": "a", "spec": {}}]}}`)
+	// TAGE spec surface: one legal arm, then the hostile shapes Validate
+	// must reject without sizing an allocation from them — table count
+	// beyond MaxTAGETables, tag width beyond MaxTAGETagBits, an inverted
+	// history range, entries beyond MaxPHTEntries, tage fields leaking
+	// onto a gshare kind, and legacy history_bits leaking onto tage.
+	const tagePHT = `{"kind": "tage", "entries": 512, "tage_tables": 4, "tage_entries": 128, "tage_tag_bits": 9, "tage_min_hist": 4, "tage_max_hist": 64}`
+	legacyPHT := `{"kind": "gshare", "entries": 1024, "history_bits": 6}`
+	f.Add(strings.Replace(validJob, legacyPHT, tagePHT, 1))
+	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"tage_tables": 4`, `"tage_tables": 9`, 1), 1))
+	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"tage_tag_bits": 9`, `"tage_tag_bits": 99`, 1), 1))
+	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"tage_min_hist": 4`, `"tage_min_hist": 64`, 1), 1))
+	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"tage_entries": 128`, `"tage_entries": 4611686018427387904`, 1), 1))
+	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"tage_max_hist": 64`, `"tage_max_hist": -1`, 1), 1))
+	f.Add(strings.Replace(validJob, `"kind": "gshare", "entries": 1024`, `"kind": "gshare", "tage_tables": 4, "entries": 1024`, 1))
+	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"kind": "tage"`, `"kind": "tage", "history_bits": 6`, 1), 1))
 
 	lim := Limits{MaxBodyBytes: 1 << 16, MaxInsns: 1 << 20, MaxCells: 64}
 

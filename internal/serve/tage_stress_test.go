@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// tageJob is a one-program job whose only arm carries the equal-cost
+// TAGE-lite direction predictor — the new PHTSpec surface going through the
+// whole service path: decode, validate, build, simulate, render.
+const tageJob = `{
+  "schema": "nls-job/v1",
+  "insns": 20000,
+  "programs": ["li"],
+  "grid": {
+    "name": "tage-tiny",
+    "arms": [
+      {
+        "name": "nls-tage",
+        "spec": {
+          "predictor": {"kind": "nls-table", "entries": 256},
+          "cache": {"size_bytes": 4096, "line_bytes": 32, "assoc": 1},
+          "pht": {"kind": "tage", "entries": 512, "tage_tables": 4, "tage_entries": 128, "tage_tag_bits": 9, "tage_min_hist": 4, "tage_max_hist": 64}
+        }
+      }
+    ]
+  }
+}`
+
+// TestStressTAGEJobsUnderHostileSpecs runs the TAGE decode surface under
+// -race (the `make stress` tier): concurrent clients POST a mix of the
+// legal TAGE job and hostile mutations that probe every Max* cap. The
+// hostile documents must come back 400 — never a panic, a 500, or an
+// allocation sized from an unvalidated field — while the legal job keeps
+// returning byte-identical 200s alongside them.
+func TestStressTAGEJobsUnderHostileSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
+
+	hostile := []string{
+		strings.Replace(tageJob, `"tage_tables": 4`, `"tage_tables": 64`, 1),
+		strings.Replace(tageJob, `"tage_entries": 128`, `"tage_entries": 4611686018427387904`, 1),
+		strings.Replace(tageJob, `"tage_tag_bits": 9`, `"tage_tag_bits": 99`, 1),
+		strings.Replace(tageJob, `"tage_min_hist": 4`, `"tage_min_hist": 1000`, 1),
+		strings.Replace(tageJob, `"tage_max_hist": 64`, `"tage_max_hist": 100000`, 1),
+		strings.Replace(tageJob, `"entries": 512,`, `"entries": -512,`, 1),
+		strings.Replace(tageJob, `"kind": "tage"`, `"kind": "tage", "history_bits": 12`, 1),
+		strings.Replace(tageJob, `"kind": "tage"`, `"kind": "gshare"`, 1),
+	}
+
+	const rounds = 4
+	type result struct {
+		status int
+		body   []byte
+	}
+	legal := make([]result, rounds)
+	bad := make([][]result, len(hostile))
+	for i := range bad {
+		bad[i] = make([]result, rounds)
+	}
+	var wg sync.WaitGroup
+	post := func(doc string, slot *result) {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		slot.status = resp.StatusCode
+		slot.body, _ = io.ReadAll(resp.Body)
+	}
+	for r := 0; r < rounds; r++ {
+		wg.Add(1 + len(hostile))
+		go post(tageJob, &legal[r])
+		for i, doc := range hostile {
+			go post(doc, &bad[i][r])
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < rounds; r++ {
+		if legal[r].status != http.StatusOK {
+			t.Fatalf("legal TAGE job round %d: status %d: %s", r, legal[r].status, legal[r].body)
+		}
+		if !bytes.Equal(legal[r].body, legal[0].body) {
+			t.Fatalf("legal TAGE job round %d body differs from round 0", r)
+		}
+	}
+	for i := range hostile {
+		for r := 0; r < rounds; r++ {
+			if bad[i][r].status != http.StatusBadRequest {
+				t.Errorf("hostile spec %d round %d: status %d, want 400: %s",
+					i, r, bad[i][r].status, bad[i][r].body)
+			}
+		}
+	}
+}
