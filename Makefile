@@ -12,11 +12,14 @@
 # served from the store byte-identical. `make h2p-golden` pins the
 # direction-seam acceptance criterion: the equal-cost TAGE-lite arm
 # recovers a nonzero share of the dir-wrong bucket vs the paper gshare.
+# `make prefetch-golden` pins the decoupled-frontend prefetch figure:
+# FDIP beats next-line on coverage and shrinks the cold-miss bucket.
 
 GO ?= go
 
 .PHONY: build vet test race stress fuzz bench bench-check verify figures \
-	grid-golden smoke smoke-serve attribution-golden h2p-golden profile
+	grid-golden smoke smoke-serve attribution-golden h2p-golden \
+	prefetch-golden profile
 
 build:
 	$(GO) build ./...
@@ -85,6 +88,13 @@ h2p-golden:
 	$(GO) test -run 'TestH2PGolden' ./internal/obs
 	$(GO) test -run 'TestH2PFigure' ./internal/experiments
 
+# The prefetch figure's golden gate (DESIGN.md §14): FDIP produces useful
+# fills and shrinks the cold-miss bucket vs the no-prefetch arm, coverage
+# orders FDIP > next-line, and prefetching leaves the prediction
+# accounting bit-identical.
+prefetch-golden:
+	$(GO) test -run 'TestPrefetchGolden' ./internal/experiments
+
 # End-to-end smoke: one figure through the real CLI and store (small n).
 smoke:
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
@@ -103,4 +113,4 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof >/dev/null
 	$(GO) tool pprof -top -nodecount=8 cpu.prof
 
-verify: build vet test race stress grid-golden attribution-golden h2p-golden smoke smoke-serve
+verify: build vet test race stress grid-golden attribution-golden h2p-golden prefetch-golden smoke smoke-serve

@@ -87,6 +87,10 @@ func main() {
 		for _, kind := range arch.PHTKinds() {
 			fmt.Printf("  %s\n", kind)
 		}
+		fmt.Println("prefetcher kinds (PrefetchSpec.Kind in a serve job or spec document):")
+		for _, kind := range arch.PrefetchKinds() {
+			fmt.Printf("  %s\n", kind)
+		}
 		return
 	}
 

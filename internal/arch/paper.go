@@ -136,4 +136,13 @@ func init() {
 	// headline table) plus a 64-entry direct BTB lands near the 1024-entry
 	// NLS-table / 128-entry BTB storage band of Figure 5.
 	Register("hybrid-512-64", Hybrid(512, 64, 1))
+	// The headline NLS-table with each prefetch arm of the DESIGN.md §14
+	// prefetch figure attached: sequential next-line, and fetch-directed
+	// (FDIP) driven by an 8-deep FTQ. Reference MSHR/latency sizing.
+	nl := NLSTable(1024)
+	nl.Prefetch = &PrefetchSpec{Kind: PrefKindNextLine}
+	Register("nls-table-1024-nextline", nl)
+	fdip := NLSTable(1024)
+	fdip.Prefetch = &PrefetchSpec{Kind: PrefKindFDIP, FTQDepth: 8}
+	Register("nls-table-1024-fdip", fdip)
 }

@@ -33,6 +33,16 @@ const (
 	MaxCacheBytes = 1 << 28
 	// MaxRASDepth bounds the return-stack depth.
 	MaxRASDepth = 1 << 16
+	// MaxPrefetchFTQDepth bounds the fetch-target queue of a decoupled
+	// (fdip) frontend.
+	MaxPrefetchFTQDepth = 1 << 10
+	// MaxPrefetchDegree bounds the next-line prefetch degree.
+	MaxPrefetchDegree = 8
+	// MaxPrefetchMSHRs bounds the prefetch miss-status holding registers.
+	MaxPrefetchMSHRs = 256
+	// MaxPrefetchLatency bounds the modelled prefetch fill latency
+	// (accesses).
+	MaxPrefetchLatency = 1 << 20
 )
 
 // pow2InRange reports whether n is a power of two in [1, max].
@@ -98,6 +108,78 @@ func PHTKinds() []string {
 		PHTKindGShare, PHTKindGAs, PHTKindBimodal, PHTKindOneBit, PHTKindTAGE,
 		PHTKindStaticTaken, PHTKindStaticNotTaken, PHTKindNone,
 	}
+}
+
+// Prefetcher kinds accepted by PrefetchSpec.Kind.
+const (
+	PrefKindNextLine = "next-line"
+	PrefKindFDIP     = "fdip"
+)
+
+// PrefetchKinds returns every accepted PrefetchSpec.Kind, in presentation
+// order (what `nlssim -list` enumerates). Kept in lockstep with
+// PrefetchSpec.Validate by TestPrefetchKindsCoverValidate.
+func PrefetchKinds() []string {
+	return []string{PrefKindNextLine, PrefKindFDIP}
+}
+
+// PrefetchSpec selects and sizes the i-cache prefetcher of the decoupled
+// frontend (DESIGN.md §14). The whole spec is optional — a Spec without one
+// keeps the fused fetch path, bit-identical to pre-§14 behaviour — and
+// every sizing field defaults to the reference configuration when 0.
+type PrefetchSpec struct {
+	// Kind is one of the PrefKind* constants.
+	Kind string `json:"kind"`
+	// FTQDepth sizes the fetch-target queue (fdip only; must be >= 1
+	// there, must be 0 for next-line, which needs no BPU run-ahead).
+	FTQDepth int `json:"ftq_depth,omitempty"`
+	// Degree is the number of sequential lines prefetched per fetch-block
+	// access (next-line only; 0 selects 1).
+	Degree int `json:"degree,omitempty"`
+	// MSHRs bounds the in-flight prefetches (0 selects 8).
+	MSHRs int `json:"mshrs,omitempty"`
+	// Latency is the prefetch fill latency in i-cache accesses (0 selects
+	// 20).
+	Latency int `json:"latency,omitempty"`
+}
+
+// Reference prefetch sizing, substituted for zero fields at Build time.
+const (
+	defaultPrefetchMSHRs   = 8
+	defaultPrefetchLatency = 20
+	defaultPrefetchDegree  = 1
+)
+
+// Validate checks the prefetch spec without building it: untrusted fields
+// that size allocations (FTQ entries, MSHR map) or loop bounds (degree) are
+// capped here, and fields meaningless for the kind are rejected rather than
+// silently ignored so job documents stay canonical.
+func (p PrefetchSpec) Validate() error {
+	if p.MSHRs < 0 || p.MSHRs > MaxPrefetchMSHRs {
+		return fmt.Errorf("arch: prefetch mshrs %d out of range [0, %d]", p.MSHRs, MaxPrefetchMSHRs)
+	}
+	if p.Latency < 0 || p.Latency > MaxPrefetchLatency {
+		return fmt.Errorf("arch: prefetch latency %d out of range [0, %d]", p.Latency, MaxPrefetchLatency)
+	}
+	switch p.Kind {
+	case PrefKindNextLine:
+		if p.FTQDepth != 0 {
+			return fmt.Errorf("arch: prefetch %q takes no ftq_depth (got %d)", p.Kind, p.FTQDepth)
+		}
+		if p.Degree < 0 || p.Degree > MaxPrefetchDegree {
+			return fmt.Errorf("arch: prefetch degree %d out of range [0, %d]", p.Degree, MaxPrefetchDegree)
+		}
+		return nil
+	case PrefKindFDIP:
+		if p.Degree != 0 {
+			return fmt.Errorf("arch: prefetch %q takes no degree (got %d)", p.Kind, p.Degree)
+		}
+		if p.FTQDepth < 1 || p.FTQDepth > MaxPrefetchFTQDepth {
+			return fmt.Errorf("arch: prefetch ftq_depth %d out of range [1, %d]", p.FTQDepth, MaxPrefetchFTQDepth)
+		}
+		return nil
+	}
+	return fmt.Errorf("arch: unknown prefetch kind %q", p.Kind)
 }
 
 // PHTSpec selects and sizes the decoupled direction predictor. Predictors
@@ -213,6 +295,11 @@ type Spec struct {
 	RASDepth int `json:"ras_depth,omitempty"`
 	// Pollution enables wrong-path fetch pollution modelling (§5.2).
 	Pollution bool `json:"wrong_path_pollution,omitempty"`
+	// Prefetch, when non-nil, attaches an i-cache prefetcher (DESIGN.md
+	// §14). A pointer with omitempty so every pre-prefetch spec keeps its
+	// canonical JSON — and therefore its content hashes, store keys, and
+	// warm-response byte-identity — unchanged.
+	Prefetch *PrefetchSpec `json:"prefetch,omitempty"`
 }
 
 // WithGeometry returns a copy of the spec with the cache geometry replaced
@@ -280,12 +367,24 @@ func (s Spec) Validate() error {
 		if !s.PHT.none() {
 			return fmt.Errorf("arch: %s couples direction prediction; PHT must be \"none\"", s.Predictor.Kind)
 		}
-		return nil
+		return s.validatePrefetch()
 	}
 	if s.PHT.none() {
 		return fmt.Errorf("arch: %s needs a PHT", s.Predictor.Kind)
 	}
-	return s.PHT.Validate()
+	if err := s.PHT.Validate(); err != nil {
+		return err
+	}
+	return s.validatePrefetch()
+}
+
+// validatePrefetch applies the optional prefetch block's checks (shared by
+// the coupled-direction early return and the decoupled tail of Validate).
+func (s Spec) validatePrefetch() error {
+	if s.Prefetch == nil {
+		return nil
+	}
+	return s.Prefetch.Validate()
 }
 
 // Build constructs the fetch engine the spec describes.
@@ -308,36 +407,78 @@ func (s Spec) Build() (fetch.Engine, error) {
 		}
 	}
 
+	var e fetch.Engine
 	switch s.Predictor.Kind {
 	case KindNLSTable:
-		e := fetch.NewNLSTableEngine(g, s.Predictor.Entries, dir, depth)
-		e.SetWrongPathPollution(s.Pollution)
-		return e, nil
+		eng := fetch.NewNLSTableEngine(g, s.Predictor.Entries, dir, depth)
+		eng.SetWrongPathPollution(s.Pollution)
+		e = eng
 	case KindNLSCache:
-		e := fetch.NewNLSCacheEngine(g, s.Predictor.PerLine, dir, depth)
-		e.SetWrongPathPollution(s.Pollution)
-		return e, nil
+		eng := fetch.NewNLSCacheEngine(g, s.Predictor.PerLine, dir, depth)
+		eng.SetWrongPathPollution(s.Pollution)
+		e = eng
 	case KindBTB:
 		cfg := btb.Config{Entries: s.Predictor.Entries, Assoc: s.Predictor.Assoc}
-		e := fetch.NewBTBEngine(g, cfg, dir, depth)
-		e.SetWrongPathPollution(s.Pollution)
-		return e, nil
+		eng := fetch.NewBTBEngine(g, cfg, dir, depth)
+		eng.SetWrongPathPollution(s.Pollution)
+		e = eng
 	case KindCoupledBTB:
 		cfg := btb.Config{Entries: s.Predictor.Entries, Assoc: s.Predictor.Assoc}
-		e := fetch.NewCoupledBTBEngine(g, cfg, depth)
-		e.SetWrongPathPollution(s.Pollution)
-		return e, nil
+		eng := fetch.NewCoupledBTBEngine(g, cfg, depth)
+		eng.SetWrongPathPollution(s.Pollution)
+		e = eng
 	case KindJohnson:
-		e := fetch.NewJohnsonEngine(g)
-		e.SetWrongPathPollution(s.Pollution)
-		return e, nil
+		eng := fetch.NewJohnsonEngine(g)
+		eng.SetWrongPathPollution(s.Pollution)
+		e = eng
 	case KindHybrid:
 		cfg := btb.Config{Entries: s.Predictor.BTBEntries, Assoc: s.Predictor.BTBAssoc}
-		e := fetch.NewHybridEngine(g, s.Predictor.Entries, cfg, dir, depth)
-		e.SetWrongPathPollution(s.Pollution)
-		return e, nil
+		eng := fetch.NewHybridEngine(g, s.Predictor.Entries, cfg, dir, depth)
+		eng.SetWrongPathPollution(s.Pollution)
+		e = eng
+	default:
+		return nil, fmt.Errorf("arch: unknown predictor kind %q", s.Predictor.Kind)
 	}
-	return nil, fmt.Errorf("arch: unknown predictor kind %q", s.Predictor.Kind)
+	if s.Prefetch != nil {
+		if err := attachPrefetch(e, *s.Prefetch); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// attachPrefetch wires a validated PrefetchSpec into the engine's frontend:
+// enable the i-cache's prefetch/MSHR model, then attach the policy (and,
+// for fdip, size the FTQ that decouples the BPU from fetch).
+func attachPrefetch(e fetch.Engine, p PrefetchSpec) error {
+	pa, ok := e.(fetch.PrefetchAttacher)
+	if !ok {
+		return fmt.Errorf("arch: engine %q does not support prefetching", e.Name())
+	}
+	mshrs := p.MSHRs
+	if mshrs == 0 {
+		mshrs = defaultPrefetchMSHRs
+	}
+	latency := p.Latency
+	if latency == 0 {
+		latency = defaultPrefetchLatency
+	}
+	ic := pa.ICache()
+	ic.EnablePrefetch(mshrs, uint64(latency))
+	switch p.Kind {
+	case PrefKindNextLine:
+		degree := p.Degree
+		if degree == 0 {
+			degree = defaultPrefetchDegree
+		}
+		pa.AttachPrefetcher(fetch.NewNextLinePrefetcher(ic, degree))
+	case PrefKindFDIP:
+		pa.SetFTQDepth(p.FTQDepth)
+		pa.AttachPrefetcher(fetch.NewFDIPPrefetcher(ic))
+	default:
+		return fmt.Errorf("arch: unknown prefetch kind %q", p.Kind)
+	}
+	return nil
 }
 
 // MustBuild is Build panicking on error, for registered (pre-validated)

@@ -28,6 +28,17 @@ type Cache struct {
 	accesses uint64
 	misses   uint64
 
+	// seen marks line tags that have had their compulsory (first-demand)
+	// touch, and coldMisses counts the demand misses that were compulsory.
+	// Both are maintained lazily off the hit path: a line enters seen when
+	// its first demand touch is a miss (cold) or a useful prefetch hit
+	// (never cold — the prefetch absorbed the compulsory miss).
+	seen       map[uint32]struct{}
+	coldMisses uint64
+
+	// pf, when non-nil, is the prefetch/MSHR machinery (see prefetch.go).
+	pf *prefetchState
+
 	// Slot of the most recent Access (hit or fill), for batched replay:
 	// a run of same-line fetches can refresh this slot without re-probing.
 	lastSet, lastWay int
@@ -84,6 +95,9 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 	set := int(want & c.geom.setMask)
 	base := set * c.geom.assoc
 	c.clock++
+	if c.pf != nil {
+		c.drainPrefetches()
+	}
 	// Hit check and LRU victim search in one pass.
 	victim, victimStamp := 0, ^uint64(0)
 	for w := 0; w < c.geom.assoc; w++ {
@@ -92,6 +106,11 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 		if t == want {
 			c.stamp[s] = c.clock
 			c.lastSet, c.lastWay = set, w
+			if c.pf != nil && c.pf.prefetched[s] {
+				c.pf.prefetched[s] = false
+				c.pf.stats.Useful++
+				c.markSeen(want)
+			}
 			return true, w
 		}
 		if t&tagValid == 0 {
@@ -106,7 +125,24 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 		}
 	}
 	c.misses++
+	if _, known := c.seen[want]; !known {
+		c.markSeen(want)
+		c.coldMisses++
+	}
 	s := base + victim
+	if c.pf != nil {
+		// A demand miss on an in-flight line: the prefetch was accurate
+		// but late. The demand takes over the MSHR (the queue entry goes
+		// stale) and the miss proceeds normally.
+		if _, busy := c.pf.inflight[want]; busy {
+			delete(c.pf.inflight, want)
+			c.pf.stats.Late++
+		}
+		if c.pf.prefetched[s] {
+			c.pf.stats.Unused++
+			c.pf.prefetched[s] = false
+		}
+	}
 	c.tags[s] = want
 	c.stamp[s] = c.clock
 	c.lastSet, c.lastWay = set, victim
@@ -114,6 +150,15 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 		c.onReplace(set, victim)
 	}
 	return false, victim
+}
+
+// markSeen records that the line with packed tag want has had its
+// compulsory touch.
+func (c *Cache) markSeen(want uint32) {
+	if c.seen == nil {
+		c.seen = make(map[uint32]struct{})
+	}
+	c.seen[want] = struct{}{}
 }
 
 // LastSlot returns the (set, way) of the most recent Access. The line
@@ -160,6 +205,11 @@ func (c *Cache) AddAccesses(n, misses uint64) {
 	c.misses += misses
 }
 
+// AddColdMisses credits n compulsory misses — the annotated replay's bulk
+// equivalent of the first-touch tracking inside Access (the shared oracle
+// tracks first touches once per geometry and publishes the block total).
+func (c *Cache) AddColdMisses(n uint64) { c.coldMisses += n }
+
 // Contains reports whether the line holding address a is resident, and if
 // so, in which way. It never mutates state.
 func (c *Cache) Contains(a isa.Addr) (way int, resident bool) {
@@ -192,6 +242,12 @@ func (c *Cache) Accesses() uint64 { return c.accesses }
 // Misses returns the number of Access calls that missed.
 func (c *Cache) Misses() uint64 { return c.misses }
 
+// ColdMisses returns the number of compulsory demand misses: misses whose
+// line had never been demand-touched before (the `cold` bucket of the
+// fetch-side miss attribution; prefetch fills do not count as touches, so a
+// prefetch that absorbs a line's first demand touch removes its cold miss).
+func (c *Cache) ColdMisses() uint64 { return c.coldMisses }
+
 // MissRate returns misses/accesses, or 0 before any access.
 func (c *Cache) MissRate() float64 {
 	if c.accesses == 0 {
@@ -211,5 +267,10 @@ func (c *Cache) Reset() {
 	c.clock = 0
 	c.accesses = 0
 	c.misses = 0
+	clear(c.seen)
+	c.coldMisses = 0
+	if c.pf != nil {
+		c.resetPrefetch()
+	}
 	c.lastSet, c.lastWay = 0, 0
 }

@@ -42,6 +42,9 @@ type AccessAnnotations struct {
 	Slots []uint8
 	// Misses is the number of block accesses that missed.
 	Misses uint64
+	// ColdMisses is the number of those misses that were compulsory
+	// (first demand touch of the line; see Cache.ColdMisses).
+	ColdMisses uint64
 }
 
 // Release returns the slot buffer to the shared pool. The annotation must
@@ -85,6 +88,7 @@ func (o *Oracle) Annotate(recs []trace.Record, runs []uint8, ann *AccessAnnotati
 	ann.Slots = slots
 	c := o.c
 	missBase := c.misses
+	coldBase := c.coldMisses
 	for i := 0; i < len(recs); {
 		r := recs[i]
 		hit, way := c.Access(r.PC)
@@ -123,6 +127,7 @@ func (o *Oracle) Annotate(recs []trace.Record, runs []uint8, ann *AccessAnnotati
 		}
 	}
 	ann.Misses = c.misses - missBase
+	ann.ColdMisses = c.coldMisses - coldBase
 }
 
 // annotateLeader accesses the run-leader record at i and records its slot,

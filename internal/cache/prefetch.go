@@ -1,0 +1,196 @@
+package cache
+
+import "repro/internal/isa"
+
+// Prefetch-aware fill modeling (DESIGN.md §14). A prefetcher (next-line or
+// the FDIP arm walking the fetch-target queue) issues line prefetches via
+// Prefetch; each occupies one MSHR until its fill completes `latency`
+// accesses later, measured on the cache's own access clock — the same clock
+// LRU stamps advance on, so "20 accesses" is the model's unit of fetch
+// time. Fills drain at the head of the demand Access path, in issue order,
+// through the normal victim selection (a prefetch can pollute: it evicts
+// whatever LRU picks and fires onReplace exactly like a demand fill).
+//
+// The model is deliberately minimal but sufficient to measure the three
+// standard prefetch qualities:
+//
+//   - accuracy:  (Useful + Late) / Issued — how many issued prefetches named
+//     a line the program actually demanded;
+//   - coverage:  Useful / (Useful + demand misses) — what fraction of
+//     would-be misses the prefetcher absorbed;
+//   - timeliness: Useful / (Useful + Late) — of the accurate prefetches, how
+//     many completed before the demand arrived.
+//
+// Everything here is gated on c.pf != nil: a cache without EnablePrefetch
+// pays one nil check on the miss path and nothing on the hit path, keeping
+// the fused frontend's replay bit-identical and inside the bench gate.
+
+// PrefetchStats counts the lifecycle outcomes of issued prefetches.
+type PrefetchStats struct {
+	// Issued prefetches entered an MSHR. Redundant ones named a line
+	// already resident or already in flight; Dropped ones found every
+	// MSHR busy. Neither consumes a slot.
+	Issued    uint64
+	Redundant uint64
+	Dropped   uint64
+	// Useful fills were hit by a later demand access; Late prefetches were
+	// still in flight when the demand arrived (the demand miss proceeds,
+	// taking over the MSHR); Unused fills were evicted untouched.
+	Useful uint64
+	Late   uint64
+	Unused uint64
+}
+
+// prefetchState is the per-cache prefetch machinery, allocated only by
+// EnablePrefetch.
+type prefetchState struct {
+	mshrs   int
+	latency uint64
+
+	// inflight maps a packed line tag (line | tagValid) to the access-clock
+	// value at which its fill completes. fifo preserves issue order for the
+	// drain; entries whose map slot has been consumed (a late demand miss
+	// took over the MSHR) are skipped as stale.
+	inflight map[uint32]uint64
+	fifo     []uint32
+	head     int
+
+	// prefetched marks slots filled by a prefetch and not yet demanded,
+	// indexed like the tag array. A demand hit clears the bit (Useful); an
+	// eviction of a marked slot counts Unused.
+	prefetched []bool
+
+	stats PrefetchStats
+}
+
+// EnablePrefetch arms the cache's prefetch machinery with the given number
+// of MSHRs (in-flight prefetch slots) and fill latency in accesses. It must
+// be called before the first Access of a run; Reset preserves the
+// configuration and clears the in-flight and statistics state.
+func (c *Cache) EnablePrefetch(mshrs int, latency uint64) {
+	c.pf = &prefetchState{
+		mshrs:      mshrs,
+		latency:    latency,
+		inflight:   make(map[uint32]uint64, mshrs),
+		prefetched: make([]bool, len(c.tags)),
+	}
+}
+
+// PrefetchEnabled reports whether EnablePrefetch has armed the cache.
+func (c *Cache) PrefetchEnabled() bool { return c.pf != nil }
+
+// PrefetchStats returns the prefetch lifecycle counters (zero-valued when
+// prefetching is not enabled).
+func (c *Cache) PrefetchStats() PrefetchStats {
+	if c.pf == nil {
+		return PrefetchStats{}
+	}
+	return c.pf.stats
+}
+
+// Prefetch requests the line containing a. Resident and already-in-flight
+// lines are counted redundant; with every MSHR busy the request is dropped;
+// otherwise it occupies an MSHR and its fill completes latency accesses from
+// now. Calling Prefetch on a cache without EnablePrefetch is a no-op.
+func (c *Cache) Prefetch(a isa.Addr) {
+	pf := c.pf
+	if pf == nil {
+		return
+	}
+	want := c.geom.LineAddr(a) | tagValid
+	base := int(want&c.geom.setMask) * c.geom.assoc
+	for w := 0; w < c.geom.assoc; w++ {
+		if c.tags[base+w] == want {
+			pf.stats.Redundant++
+			return
+		}
+	}
+	if _, busy := pf.inflight[want]; busy {
+		pf.stats.Redundant++
+		return
+	}
+	if len(pf.inflight) >= pf.mshrs {
+		pf.stats.Dropped++
+		return
+	}
+	pf.stats.Issued++
+	pf.inflight[want] = c.clock + pf.latency
+	pf.fifo = append(pf.fifo, want)
+}
+
+// drainPrefetches completes every in-flight prefetch whose fill time has
+// arrived, in issue order, filling each through the normal victim selection.
+// Called from Access after the clock tick and before the hit scan, so a
+// just-completed prefetch satisfies the very access that triggered the
+// drain.
+func (c *Cache) drainPrefetches() {
+	pf := c.pf
+	for pf.head < len(pf.fifo) {
+		want := pf.fifo[pf.head]
+		ready, ok := pf.inflight[want]
+		if !ok {
+			// A late demand miss consumed this MSHR; the queue entry
+			// is stale.
+			pf.head++
+			continue
+		}
+		if ready > c.clock {
+			break
+		}
+		pf.head++
+		delete(pf.inflight, want)
+		c.fillPrefetch(want)
+	}
+	// Compact the queue once the consumed prefix dominates.
+	if pf.head > 16 && pf.head*2 >= len(pf.fifo) {
+		pf.fifo = pf.fifo[:copy(pf.fifo, pf.fifo[pf.head:])]
+		pf.head = 0
+	}
+}
+
+// fillPrefetch installs the line with packed tag want through LRU victim
+// selection, exactly as a demand fill would — including onReplace, so
+// line-coupled predictor state dies when a prefetch displaces its line —
+// but without touching the access or miss counters (a prefetch fill is not
+// a demand access).
+func (c *Cache) fillPrefetch(want uint32) {
+	set := int(want & c.geom.setMask)
+	base := set * c.geom.assoc
+	victim, victimStamp := 0, ^uint64(0)
+	for w := 0; w < c.geom.assoc; w++ {
+		s := base + w
+		if c.tags[s] == want {
+			return // demand-filled while in flight; nothing to do
+		}
+		if c.tags[s]&tagValid == 0 {
+			if victimStamp != 0 {
+				victim, victimStamp = w, 0
+			}
+			continue
+		}
+		if c.stamp[s] < victimStamp {
+			victim, victimStamp = w, c.stamp[s]
+		}
+	}
+	s := base + victim
+	if c.pf.prefetched[s] {
+		c.pf.stats.Unused++
+	}
+	c.tags[s] = want
+	c.stamp[s] = c.clock
+	c.pf.prefetched[s] = true
+	if c.onReplace != nil {
+		c.onReplace(set, victim)
+	}
+}
+
+// resetPrefetch clears the in-flight and statistics state, keeping the
+// EnablePrefetch configuration.
+func (c *Cache) resetPrefetch() {
+	pf := c.pf
+	clear(pf.inflight)
+	pf.fifo = pf.fifo[:0]
+	pf.head = 0
+	clear(pf.prefetched)
+	pf.stats = PrefetchStats{}
+}

@@ -163,6 +163,13 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 				if err != nil {
 					return nil, err
 				}
+				if ok && staleCell(&row.M) {
+					// A cell written before icache_cold_misses existed
+					// decodes the field as 0, which the invariant below
+					// rules out for any run that missed at all. Age it
+					// like a corrupt cell: recompute and overwrite.
+					ok = false
+				}
 				if ok {
 					rs.rows[k] = row
 					rs.Loaded++

@@ -47,6 +47,7 @@ func Figures() []Figure {
 		widthFigure(),
 		pollutionFigure(),
 		hybridFigure(),
+		prefetchFigure(),
 		attributionFigure(),
 		h2pFigure(),
 	}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// PrefetchFTQDepth is the fetch-target-queue depth of the FDIP arm: eight
+// fetch blocks of run-ahead, the reference point DESIGN.md §14 sizes the
+// prefetch fill latency against (a block is ~8 sequential accesses, so the
+// queue's lead comfortably covers the 20-access fill).
+const PrefetchFTQDepth = 8
+
+// PrefetchGrid is the instruction-prefetch comparison (DESIGN.md §14): the
+// paper's headline 1024-entry NLS-table bare, with a sequential next-line
+// prefetcher, and with fetch-directed prefetching driven by the decoupled
+// frontend's FTQ. All three arms share the architecture, the direction
+// predictor, and the trace — the prefetcher is the only degree of freedom,
+// and the equality of the Breaks/CondDirWrong columns across arms is the
+// proof that prefetching perturbs nothing in the prediction accounting.
+// The 8KB direct cache is the pressure point where the paper's workloads
+// actually miss (the 16KB default nearly fits them).
+func PrefetchGrid() Grid {
+	cache8K := []cache.Geometry{cache.MustGeometry(8*1024, LineBytes, 1)}
+	nl := arch.NLSTable(1024)
+	nl.Prefetch = &arch.PrefetchSpec{Kind: arch.PrefKindNextLine}
+	fdip := arch.NLSTable(1024)
+	fdip.Prefetch = &arch.PrefetchSpec{Kind: arch.PrefKindFDIP, FTQDepth: PrefetchFTQDepth}
+	return Grid{Name: "prefetch", Arms: []Arm{
+		{Name: "1024 NLS-table", Spec: arch.NLSTable(1024), Caches: cache8K},
+		{Name: "+ next-line", Spec: nl, Caches: cache8K},
+		{Name: "+ FDIP (ftq 8)", Spec: fdip, Caches: cache8K},
+	}}
+}
+
+// PrefetchRow is one arm of the prefetch figure, averaged over programs.
+// ColdMisses is the fetch-side compulsory-miss count (first demand touch of
+// a line): a timely prefetch absorbs the line's first touch, so FDIP's
+// run-ahead shrinks this bucket — the signature the figure exists to show.
+type PrefetchRow struct {
+	Arch       string  `json:"arch"`
+	MissRate   float64 `json:"icache_miss_rate"`
+	ColdMisses float64 `json:"icache_cold_misses"`
+	Issued     float64 `json:"pref_issued"`
+	Coverage   float64 `json:"pref_coverage"`
+	Accuracy   float64 `json:"pref_accuracy"`
+	Timeliness float64 `json:"pref_timeliness"`
+	CPI        float64 `json:"cpi"`
+}
+
+// RenderPrefetch formats the prefetch comparison: per-arm miss rate, the
+// cold (compulsory) demand-miss count, the prefetch lifecycle ratios, and
+// CPI with the miss-rate bar.
+func RenderPrefetch(rows []PrefetchRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: i-cache prefetching, next-line vs fetch-directed (8KB direct i-cache)\n")
+	b.WriteString("  arch                        miss%    cold   issued  cover   acc  timely    CPI\n")
+	max := 0.0
+	for _, r := range rows {
+		if r.MissRate > max {
+			max = r.MissRate
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %6.2f %7.0f %8.0f %6.2f %5.2f %7.2f %6.3f %s\n",
+			r.Arch, 100*r.MissRate, r.ColdMisses, r.Issued,
+			r.Coverage, r.Accuracy, r.Timeliness, r.CPI, bar(r.MissRate, max, 24))
+	}
+	return b.String()
+}
+
+// prefetchFigure compares the prefetch arms on miss elimination (coverage),
+// wasted fills (accuracy), lead time (timeliness), and the cold bucket —
+// the demand misses only a predicted-stream prefetcher can remove, since a
+// demand-triggered policy cannot act before the first touch it reacts to.
+func prefetchFigure() Figure {
+	g := PrefetchGrid()
+	return Figure{
+		Name: "prefetch",
+		Grid: g,
+		Render: func(ctx RenderContext) (string, any) {
+			p := ctx.Cfg.Penalties
+			rows := make([]PrefetchRow, 0, len(g.Arms))
+			for arm := range g.Arms {
+				armRows := ctx.ArmRows(arm)
+				var row PrefetchRow
+				row.Arch = armRows[0].Arch
+				for _, res := range armRows {
+					row.MissRate += res.M.ICacheMissRate()
+					row.ColdMisses += float64(res.M.ICacheColdMisses)
+					row.Issued += float64(res.M.PrefIssued)
+					row.Coverage += res.M.PrefCoverage()
+					row.Accuracy += res.M.PrefAccuracy()
+					row.Timeliness += res.M.PrefTimeliness()
+					row.CPI += res.M.CPI(p)
+				}
+				n := float64(len(armRows))
+				row.MissRate /= n
+				row.ColdMisses /= n
+				row.Issued /= n
+				row.Coverage /= n
+				row.Accuracy /= n
+				row.Timeliness /= n
+				row.CPI /= n
+				rows = append(rows, row)
+			}
+			return RenderPrefetch(rows), rows
+		},
+	}
+}

@@ -116,6 +116,17 @@ func (s *Store) Load(key string, v any) (bool, error) {
 	return true, nil
 }
 
+// staleCell reports that a loaded cell predates the icache_cold_misses
+// schema extension. The first demand miss of any run is by definition
+// compulsory, so ICacheMisses > 0 forces ICacheColdMisses >= 1 in every
+// freshly simulated cell; a zero cold count next to a nonzero miss count
+// can only mean the cell was serialized before the field existed. Detecting
+// staleness from the invariant keeps the cell key schema — and with it
+// every already-valid stored hash — unchanged.
+func staleCell(m *metrics.Counters) bool {
+	return m.ICacheMisses > 0 && m.ICacheColdMisses == 0
+}
+
 // Save writes v under key, atomically replacing any previous document.
 func (s *Store) Save(key string, v any) error {
 	path := s.path(key)

@@ -133,4 +133,4 @@ func NewBTBEngine(g cache.Geometry, cfg btb.Config, dir pht.Directional, rasDept
 }
 
 // BTB exposes the underlying buffer for tests.
-func (e *BTBEngine) BTB() *btb.BTB { return e.tp.(*btbPredictor).buf }
+func (e *BTBEngine) BTB() *btb.BTB { return e.bpu.tp.(*btbPredictor).buf }

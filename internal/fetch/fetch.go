@@ -23,7 +23,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/metrics"
-	"repro/internal/pht"
 	"repro/internal/ras"
 	"repro/internal/trace"
 )
@@ -72,29 +71,26 @@ func RunSource(e Engine, src trace.Source, n int) *metrics.Counters {
 	return e.Counters()
 }
 
-// base bundles the structures shared by every architecture: the instruction
-// cache, the decoupled direction predictor, the return stack, and the
-// counters.
+// base bundles the fetch-stage structures shared by every architecture: the
+// instruction cache, the return stack, and the counters. The direction
+// predictor lives in the branch-prediction stage (fetch.predictStage, see
+// frontend.go) since DESIGN.md §14 split the frontend into explicit
+// predict/FTQ/fetch stages.
 type base struct {
 	icache *cache.Cache
 	geom   cache.Geometry // icache's geometry, cached off the hot paths
-	dir    pht.DirectionPredictor
 	rstack *ras.Stack
 	m      metrics.Counters
 }
 
-// newBase accepts any direction predictor — legacy pht.Predictor or
-// protocol-native pht.DirectionPredictor — and promotes it onto the
-// protocol the frontend drives (DESIGN.md §13), so every existing
-// constructor call site compiles unchanged.
-func newBase(g cache.Geometry, dir pht.Directional, rasDepth int) base {
+// newBase builds the fetch-stage state.
+func newBase(g cache.Geometry, rasDepth int) base {
 	if rasDepth <= 0 {
 		rasDepth = ras.DefaultDepth
 	}
 	return base{
 		icache: cache.New(g),
 		geom:   g,
-		dir:    pht.AsDirection(dir),
 		rstack: ras.New(rasDepth),
 	}
 }
@@ -110,13 +106,16 @@ func (b *base) access(rec trace.Record) (hit bool, way int) {
 func (b *base) Counters() *metrics.Counters {
 	b.m.ICacheAccesses = b.icache.Accesses()
 	b.m.ICacheMisses = b.icache.Misses()
+	b.m.ICacheColdMisses = b.icache.ColdMisses()
+	st := b.icache.PrefetchStats()
+	b.m.PrefIssued, b.m.PrefUseful, b.m.PrefLate = st.Issued, st.Useful, st.Late
+	b.m.PrefDropped, b.m.PrefRedundant, b.m.PrefUnused = st.Dropped, st.Redundant, st.Unused
 	return &b.m
 }
 
 // resetBase clears the shared state.
 func (b *base) resetBase() {
 	b.icache.Reset()
-	b.dir.Reset()
 	b.rstack.Reset()
 	b.m.Reset()
 }

@@ -88,17 +88,75 @@ type TargetPredictor interface {
 	Reset()
 }
 
+// predictStage is the branch-prediction unit of the decoupled frontend
+// (DESIGN.md §14): it owns every structure that produces the predicted
+// fetch stream — the direction predictor, the architecture's target
+// predictor, and the fetch-target queue its run-ahead cursor feeds. In the
+// fused configuration (FTQ depth 0, no prefetcher) the stage is consulted
+// synchronously from the fetch stage, bit-identically to the pre-§14
+// frontend; in the decoupled configuration its cursor runs ahead of fetch
+// within the current block, emitting one FTQ entry per predicted fetch
+// block.
+//
+// The run-ahead stream is modeled as exact between mispredictions: on a
+// trace-driven simulator the BPU's predicted path coincides with the trace
+// path until the next wrong break (every prediction the frontend would act
+// on is resolved against the trace at that break), so the cursor walks the
+// trace, and a wrong break flushes the queue and restarts the cursor at
+// the resolved successor — exactly the redirect a hardware FTQ takes.
+type predictStage struct {
+	dir    pht.DirectionPredictor
+	tp     TargetPredictor
+	traits Traits
+
+	// ftq buffers the predicted fetch-block addresses between the BPU
+	// cursor and the fetch stage.
+	ftq FTQ
+	// aheadIdx is the block-relative index of the next record the
+	// run-ahead cursor examines (reset at each block boundary; lookahead
+	// is intra-block). aheadLine/haveLine track the last fetch block the
+	// cursor entered, persisting across blocks so a block boundary does
+	// not fabricate a fetch-block transition.
+	aheadIdx  int
+	aheadLine uint32
+	haveLine  bool
+}
+
+// reset restores the stage's initial state, keeping the configured FTQ
+// depth.
+func (ps *predictStage) reset() {
+	ps.dir.Reset()
+	ps.tp.Reset()
+	ps.ftq.reset()
+	ps.aheadIdx = 0
+	ps.haveLine = false
+}
+
 // Frontend is the shared fetch-engine core: one Step/StepBlock/pollution
-// implementation of the paper's accounting, driven by a TargetPredictor.
-// It implements Engine.
+// implementation of the paper's accounting, structured as the three-stage
+// predict/FTQ/fetch pipeline of DESIGN.md §14 and driven by a
+// TargetPredictor. It implements Engine.
 type Frontend struct {
 	base
 	pollution
-	tp     TargetPredictor
-	traits Traits
+	// bpu is the branch-prediction stage; base is the fetch stage.
+	bpu predictStage
 	// probe, when non-nil, receives one BreakEvent per resolved break
 	// (see probe.go). The unprobed fast path costs one nil check.
 	probe Probe
+	// pf, when non-nil, receives the demand-access and FTQ-push streams
+	// (see prefetch.go). Like the probe it costs one nil check detached;
+	// unlike the probe it selects the decoupled stepping path.
+	pf Prefetcher
+
+	// fetchLine/fetchLineValid track the last cache line the fetch stage
+	// demanded, so prefetchers observe one OnAccess per fetch block
+	// rather than one per instruction.
+	fetchLine      uint32
+	fetchLineValid bool
+
+	// oneRec backs the decoupled single-record Step without allocating.
+	oneRec [1]trace.Record
 
 	// pending holds a break whose predictor update was deferred by
 	// TargetPredictor.Update until the successor's cache way is known;
@@ -111,40 +169,78 @@ type Frontend struct {
 
 // newFrontend builds the architecture-independent half; bind attaches the
 // predictor. dir may be a legacy pht.Predictor or a protocol-native
-// pht.DirectionPredictor (see newBase).
+// pht.DirectionPredictor, promoted onto the protocol the predict stage
+// drives (DESIGN.md §13).
 func newFrontend(g cache.Geometry, dir pht.Directional, rasDepth int) Frontend {
-	return Frontend{base: newBase(g, dir, rasDepth)}
+	f := Frontend{base: newBase(g, rasDepth)}
+	f.bpu.dir = pht.AsDirection(dir)
+	return f
 }
 
-// bind attaches the architecture-specific predictor to the frontend.
+// bind attaches the architecture-specific predictor to the predict stage.
 func (f *Frontend) bind(tp TargetPredictor, tr Traits) {
-	f.tp = tp
-	f.traits = tr
+	f.bpu.tp = tp
+	f.bpu.traits = tr
 }
+
+// AttachPrefetcher connects a prefetch policy (nil detaches). Attach before
+// the run starts; a non-nil prefetcher selects the decoupled stepping path.
+func (f *Frontend) AttachPrefetcher(p Prefetcher) { f.pf = p }
+
+// SetFTQDepth sizes the fetch-target queue (0 keeps the fused path).
+func (f *Frontend) SetFTQDepth(depth int) { f.bpu.ftq.SetDepth(depth) }
+
+// FTQStats exposes the queue's traffic counters for tests and diagnostics.
+func (f *Frontend) FTQStats() FTQStats { return f.bpu.ftq.Stats() }
+
+// decoupled reports whether the frontend steps through the three-stage
+// pipeline. With no prefetcher and FTQ depth 0 the fused path runs instead
+// — the exact pre-§14 code, so the refactor is bit-identical by
+// construction.
+func (f *Frontend) decoupled() bool { return f.pf != nil || f.bpu.ftq.Cap() > 0 }
 
 // Name implements Engine.
 func (f *Frontend) Name() string {
-	return fmt.Sprintf("%s + %s", f.tp.Name(), f.icache.Geometry())
+	n := fmt.Sprintf("%s + %s", f.bpu.tp.Name(), f.icache.Geometry())
+	if f.pf != nil {
+		n += " + " + f.pf.Name()
+	}
+	return n
 }
 
 // PredictorSizeBits returns the storage cost of the target-predictor state.
-func (f *Frontend) PredictorSizeBits() int { return f.tp.SizeBits() }
+func (f *Frontend) PredictorSizeBits() int { return f.bpu.tp.SizeBits() }
 
 // Reset implements Engine.
 func (f *Frontend) Reset() {
 	f.resetBase()
-	f.tp.Reset()
+	f.bpu.reset()
+	if f.pf != nil {
+		f.pf.Reset()
+	}
+	f.fetchLineValid = false
 	f.pending.active = false
 }
 
 // StepBlock implements Engine, batching same-line sequential fetch runs
 // (see base.stepBlock).
-func (f *Frontend) StepBlock(recs []trace.Record) { f.stepBlock(recs, f.Step) }
+func (f *Frontend) StepBlock(recs []trace.Record) {
+	if f.decoupled() {
+		f.stepBlockDecoupled(recs)
+		return
+	}
+	f.stepBlock(recs, f.Step)
+}
 
 // StepBlockRuns is StepBlock with the run boundaries precomputed for this
 // engine's line size (see base.stepBlockRuns); nil runs falls back to the
-// scanning path.
+// scanning path. The decoupled pipeline steps per record and ignores the
+// annotation.
 func (f *Frontend) StepBlockRuns(recs []trace.Record, runs []uint8) {
+	if f.decoupled() {
+		f.stepBlockDecoupled(recs)
+		return
+	}
 	if runs == nil {
 		f.stepBlock(recs, f.Step)
 		return
@@ -154,6 +250,14 @@ func (f *Frontend) StepBlockRuns(recs []trace.Record, runs []uint8) {
 
 // Step implements Engine, applying the accounting rules of DESIGN.md §6.
 func (f *Frontend) Step(rec trace.Record) {
+	if f.decoupled() {
+		// A single-record block: the pipeline runs with zero lookahead
+		// (the cursor cannot see past the record being fetched), which
+		// keeps Step ≡ StepBlock-of-one.
+		f.oneRec[0] = rec
+		f.stepBlockDecoupled(f.oneRec[:])
+		return
+	}
 	_, way := f.access(rec)
 
 	// Resolve the deferred update for the previous break: this record IS
@@ -161,7 +265,7 @@ func (f *Frontend) Step(rec trace.Record) {
 	// equality guard only matters for malformed, non-chained input.)
 	if f.pending.active {
 		if f.pending.rec.Next() == rec.PC {
-			f.tp.Resolve(f.pending.rec, way)
+			f.bpu.tp.Resolve(f.pending.rec, way)
 		}
 		f.pending.active = false
 	}
@@ -174,12 +278,90 @@ func (f *Frontend) Step(rec trace.Record) {
 	f.stepBreak(rec, way)
 }
 
+// stepBlockDecoupled is the three-stage pipeline's block replay: for each
+// record, the BPU cursor first runs as far ahead as the FTQ allows, then
+// the fetch stage consumes one record (popping the FTQ entry predicted for
+// it, if any). Lookahead is bounded by min(FTQ depth, records left in the
+// block); the queue drains to empty at every block boundary because every
+// queued position lies within the block.
+func (f *Frontend) stepBlockDecoupled(recs []trace.Record) {
+	f.bpu.aheadIdx = 0
+	for i := range recs {
+		f.runAhead(recs, i)
+		f.fetchOne(recs, i)
+	}
+}
+
+// runAhead advances the BPU cursor from its current position, pushing one
+// FTQ entry (and notifying the prefetcher) per fetch block the predicted
+// stream enters, until the queue is full or the block ends. i is the fetch
+// stage's current position; the cursor never trails it.
+func (f *Frontend) runAhead(recs []trace.Record, i int) {
+	ps := &f.bpu
+	if ps.ftq.Cap() == 0 {
+		return
+	}
+	if ps.aheadIdx < i {
+		ps.aheadIdx = i
+	}
+	for !ps.ftq.Full() && ps.aheadIdx < len(recs) {
+		r := recs[ps.aheadIdx]
+		line := f.geom.LineAddr(r.PC)
+		if !ps.haveLine || line != ps.aheadLine {
+			ps.aheadLine, ps.haveLine = line, true
+			ps.ftq.push(r.PC, ps.aheadIdx)
+			if f.pf != nil {
+				f.pf.OnFTQPush(r.PC)
+			}
+		}
+		ps.aheadIdx++
+	}
+}
+
+// fetchOne is the fetch stage of the decoupled pipeline: consume the FTQ
+// entry predicted for this record (exact position pairing, so stalls and
+// flushes cannot misalign the streams), demand-fetch the instruction,
+// resolve any deferred predictor update, and — on a wrong break — redirect
+// the BPU: flush the queue and restart the cursor at the resolved
+// successor.
+func (f *Frontend) fetchOne(recs []trace.Record, i int) {
+	rec := recs[i]
+	if e, ok := f.bpu.ftq.peek(); ok && e.pos == i {
+		f.bpu.ftq.pop()
+	}
+	hit, way := f.access(rec)
+	if f.pf != nil {
+		if line := f.geom.LineAddr(rec.PC); !f.fetchLineValid || line != f.fetchLine {
+			f.fetchLine, f.fetchLineValid = line, true
+			f.pf.OnAccess(rec.PC, hit)
+		}
+	}
+
+	if f.pending.active {
+		if f.pending.rec.Next() == rec.PC {
+			f.bpu.tp.Resolve(f.pending.rec, way)
+		}
+		f.pending.active = false
+	}
+
+	if !rec.IsBreak() {
+		return
+	}
+	if penalty := f.stepBreak(rec, way); penalty != PenaltyNone {
+		f.bpu.ftq.flush()
+		f.bpu.aheadIdx = i + 1
+		f.bpu.aheadLine, f.bpu.haveLine = f.geom.LineAddr(rec.PC), true
+	}
+}
+
 // stepBreak applies the §6 break accounting for rec, whose instruction
-// resides in way of its i-cache set. It is the post-fetch half of Step,
-// shared verbatim by the private-cache path (Step) and the annotated
-// oracle path (StepBlockAnnotated), so the two replays classify breaks
-// through literally the same code.
-func (f *Frontend) stepBreak(rec trace.Record, way int) {
+// resides in way of its i-cache set, and returns the penalty class the
+// break incurred (the decoupled fetch stage redirects the BPU on any wrong
+// break). It is the post-fetch half of Step, shared verbatim by the
+// private-cache path (Step), the decoupled path (fetchOne), and the
+// annotated oracle path (StepBlockAnnotated), so every replay classifies
+// breaks through literally the same code.
+func (f *Frontend) stepBreak(rec trace.Record, way int) PenaltyClass {
 	f.m.Breaks++
 
 	set := f.geom.SetIndex(rec.PC)
@@ -194,15 +376,15 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 	dirTaken := false
 	var dirTok pht.Token
 	isCond := rec.Kind == isa.CondBranch
-	if !f.traits.CoupledDirection {
+	if !f.bpu.traits.CoupledDirection {
 		if isCond {
-			dirTaken, dirTok = f.dir.Predict(rec.PC)
+			dirTaken, dirTok = f.bpu.dir.Predict(rec.PC)
 		} else {
-			dirTaken = f.dir.Query(rec.PC)
+			dirTaken = f.bpu.dir.Query(rec.PC)
 		}
 	}
-	out := f.tp.Lookup(rec, set, way, dirTaken)
-	if f.traits.CoupledDirection {
+	out := f.bpu.tp.Lookup(rec, set, way, dirTaken)
+	if f.bpu.traits.CoupledDirection {
 		dirTaken = out.DirTaken
 	}
 
@@ -239,7 +421,7 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 			f.m.AddMisfetch(rec.Kind)
 			penalty = PenaltyMisfetch
 		}
-		if !f.traits.NoRAS {
+		if !f.bpu.traits.NoRAS {
 			f.rstack.Push(rec.PC.Next())
 		}
 
@@ -257,7 +439,7 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 		}
 
 	case isa.Return:
-		if f.traits.NoRAS {
+		if f.bpu.traits.NoRAS {
 			// Moving target with no stack: classify like an
 			// indirect jump (§6.2).
 			if !out.Correct {
@@ -292,9 +474,9 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 	// model speculative-history corruption (repaired by the Resolve
 	// below, or by their next Predict — the redirect).
 	if f.pollution.enabled && !out.Correct {
-		if wp, ok := f.tp.WrongPath(rec); ok {
+		if wp, ok := f.bpu.tp.WrongPath(rec); ok {
 			f.pollute(wp, penalty == PenaltyMispredict)
-			f.dir.WrongPath(wp)
+			f.bpu.dir.WrongPath(wp)
 		}
 	}
 
@@ -309,27 +491,29 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) {
 	// the same Update call the pre-protocol frontend made inside the
 	// conditional case — nothing between the two points reads their
 	// state, so the move is invisible to them.
-	if isCond && !f.traits.CoupledDirection {
-		f.dir.Resolve(rec.PC, dirTok, rec.Taken)
+	if isCond && !f.bpu.traits.CoupledDirection {
+		f.bpu.dir.Resolve(rec.PC, dirTok, rec.Taken)
 	}
 
 	// Train the target predictor; a deferred update waits for the
 	// successor's fetch to reveal its cache way.
-	if f.tp.Update(rec) {
+	if f.bpu.tp.Update(rec) {
 		f.pending.active = true
 		f.pending.rec = rec
 	}
+	return penalty
 }
 
 // OracleGroup reports the geometry under which this engine may share a
 // broadcast fetch oracle, and whether sharing is currently sound. Sharing
 // requires the engine's i-cache accesses to be a pure function of the
 // trace: wrong-path pollution forks the cache state per architecture
-// (different engines touch different wrong-path lines), and a probed run
-// may want per-engine access behaviour observable in isolation — both keep
-// the private-cache path (DESIGN.md §11).
+// (different engines touch different wrong-path lines), a probed run
+// may want per-engine access behaviour observable in isolation, and a
+// decoupled (prefetching) frontend injects prefetch fills no shared oracle
+// models — all three keep the private-cache path (DESIGN.md §11, §14).
 func (f *Frontend) OracleGroup() (cache.Geometry, bool) {
-	return f.icache.Geometry(), !f.pollution.enabled && f.probe == nil
+	return f.icache.Geometry(), !f.pollution.enabled && f.probe == nil && !f.decoupled()
 }
 
 // StepBlockAnnotated replays one block from a shared fetch oracle's access
@@ -359,7 +543,7 @@ func (f *Frontend) StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnno
 		}
 		if f.pending.active {
 			if f.pending.rec.Next() == r.PC {
-				f.tp.Resolve(f.pending.rec, way)
+				f.bpu.tp.Resolve(f.pending.rec, way)
 			}
 			f.pending.active = false
 		}
@@ -397,6 +581,7 @@ func (f *Frontend) StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnno
 	}
 	f.m.Instructions += uint64(len(recs))
 	ic.AddAccesses(uint64(len(recs)), ann.Misses)
+	ic.AddColdMisses(ann.ColdMisses)
 }
 
 // skipSameLine returns the index after the same-line non-branch run

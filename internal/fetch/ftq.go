@@ -1,0 +1,101 @@
+package fetch
+
+import "repro/internal/isa"
+
+// FTQ is the bounded fetch-target queue between the branch-prediction unit
+// and the fetch stage (DESIGN.md §14): the BPU pushes the line address of
+// each predicted fetch block as its run-ahead cursor enters it, the fetch
+// stage pops the entry when it actually fetches that block, and a
+// mispredicted break flushes everything the BPU had queued beyond it. Each
+// entry remembers the block-relative record index it was predicted for, so
+// the fetch stage consumes entries by exact position rather than by
+// re-deriving line boundaries.
+//
+// A depth-0 FTQ never accepts a push; the frontend then keeps the fused
+// fetch path, bit for bit (see Frontend.decoupled).
+type FTQ struct {
+	entries []ftqEntry
+	head    int
+	size    int
+
+	pushes  uint64
+	flushes uint64
+}
+
+// ftqEntry is one predicted fetch block: the address of its leading
+// instruction and the index of that record within the current block.
+type ftqEntry struct {
+	addr isa.Addr
+	pos  int
+}
+
+// FTQStats reports the queue's traffic for tests and diagnostics.
+type FTQStats struct {
+	Pushes  uint64
+	Flushes uint64
+}
+
+// SetDepth sizes the queue (0 disables it) and flushes any content.
+func (q *FTQ) SetDepth(depth int) {
+	if depth <= 0 {
+		q.entries = nil
+	} else {
+		q.entries = make([]ftqEntry, depth)
+	}
+	q.head, q.size = 0, 0
+}
+
+// Cap returns the configured depth.
+func (q *FTQ) Cap() int { return len(q.entries) }
+
+// Full reports whether another push would be refused.
+func (q *FTQ) Full() bool { return q.size >= len(q.entries) }
+
+// Empty reports whether the queue holds no entries.
+func (q *FTQ) Empty() bool { return q.size == 0 }
+
+// Stats returns the queue's traffic counters.
+func (q *FTQ) Stats() FTQStats { return FTQStats{Pushes: q.pushes, Flushes: q.flushes} }
+
+// push appends a predicted fetch block. The caller checks Full first; a
+// push into a full (or depth-0) queue is silently refused.
+func (q *FTQ) push(addr isa.Addr, pos int) {
+	if q.size >= len(q.entries) {
+		return
+	}
+	q.entries[(q.head+q.size)%len(q.entries)] = ftqEntry{addr: addr, pos: pos}
+	q.size++
+	q.pushes++
+}
+
+// peek returns the oldest entry without consuming it.
+func (q *FTQ) peek() (ftqEntry, bool) {
+	if q.size == 0 {
+		return ftqEntry{}, false
+	}
+	return q.entries[q.head], true
+}
+
+// pop consumes the oldest entry.
+func (q *FTQ) pop() {
+	if q.size == 0 {
+		return
+	}
+	q.head = (q.head + 1) % len(q.entries)
+	q.size--
+}
+
+// flush discards every queued entry (a fetch redirect: the BPU was running
+// down a wrong path).
+func (q *FTQ) flush() {
+	if q.size > 0 {
+		q.flushes++
+	}
+	q.head, q.size = 0, 0
+}
+
+// reset clears content and statistics, keeping the configured depth.
+func (q *FTQ) reset() {
+	q.head, q.size = 0, 0
+	q.pushes, q.flushes = 0, 0
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/btb"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/pht"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -29,6 +30,10 @@ func TestReplayPlanPartitioning(t *testing.T) {
 	probed := mk(g1)
 	probed.AttachProbe(&collectProbe{})
 	lone := mk(g2) // eligible, but a singleton group is pure overhead
+	prefetched := mk(g1)
+	prefetched.ICache().EnablePrefetch(8, 20)
+	prefetched.SetFTQDepth(8)
+	prefetched.AttachPrefetcher(NewFDIPPrefetcher(prefetched.ICache()))
 
 	for _, e := range []interface {
 		OracleGroup() (cache.Geometry, bool)
@@ -43,8 +48,11 @@ func TestReplayPlanPartitioning(t *testing.T) {
 	if _, ok := probed.OracleGroup(); ok {
 		t.Error("probed engine reported eligible for oracle sharing")
 	}
+	if _, ok := prefetched.OracleGroup(); ok {
+		t.Error("prefetching engine reported eligible for oracle sharing")
+	}
 
-	engines := []Engine{eligibleA, polluted, eligibleB, probed, lone}
+	engines := []Engine{eligibleA, polluted, eligibleB, probed, lone, prefetched}
 	src := trace.Chunk(workload.Li().MustTrace(1_000), 256)
 	_, private, groups := replayPlan(src.Chunks(), engines)
 
@@ -58,17 +66,21 @@ func TestReplayPlanPartitioning(t *testing.T) {
 	if len(grp.members) != 2 || grp.members[0].idx != 0 || grp.members[1].idx != 2 {
 		t.Errorf("group members %v, want engine indices [0 2]", grp.members)
 	}
-	// polluted, probed, and the demoted singleton replay privately.
-	if len(private) != 3 {
-		t.Errorf("got %d private engines, want 3 (polluted, probed, singleton)", len(private))
+	// polluted, probed, the prefetching engine, and the demoted singleton
+	// replay privately.
+	if len(private) != 4 {
+		t.Errorf("got %d private engines, want 4 (polluted, probed, singleton, prefetched)", len(private))
 	}
 
-	// Detaching the probe and disabling pollution restores full grouping.
+	// Detaching the probe, the prefetcher (with its FTQ), and disabling
+	// pollution restores full grouping: only the singleton stays private.
 	polluted.SetWrongPathPollution(false)
 	probed.AttachProbe(nil)
+	prefetched.AttachPrefetcher(nil)
+	prefetched.SetFTQDepth(0)
 	_, private, groups = replayPlan(src.Chunks(), engines)
-	if len(groups) != 1 || len(groups[0].members) != 4 || len(private) != 1 {
-		t.Errorf("after detach: %d groups / %d members / %d private, want 1/4/1",
+	if len(groups) != 1 || len(groups[0].members) != 5 || len(private) != 1 {
+		t.Errorf("after detach: %d groups / %d members / %d private, want 1/5/1",
 			len(groups), len(groups[0].members), len(private))
 	}
 }
@@ -86,13 +98,18 @@ func TestBroadcastMixedEligibility(t *testing.T) {
 		polluted.SetWrongPathPollution(true)
 		probed := NewNLSCacheEngine(g1, 2, pht.NewGShare(1024, 6), 32)
 		probed.AttachProbe(&collectProbe{})
+		prefetched := NewNLSTableEngine(g1, 512, pht.NewGShare(1024, 6), 32)
+		prefetched.ICache().EnablePrefetch(8, 20)
+		prefetched.SetFTQDepth(8)
+		prefetched.AttachPrefetcher(NewFDIPPrefetcher(prefetched.ICache()))
 		return []Engine{
 			NewNLSTableEngine(g1, 512, pht.NewGShare(1024, 6), 32), // grouped (g1)
-			polluted,                // private: pollution forks cache state
-			NewJohnsonEngine(g1),    // grouped (g1)
-			probed,                  // private: probe attached
-			NewJohnsonEngine(g2),    // grouped (g2)
+			polluted,             // private: pollution forks cache state
+			NewJohnsonEngine(g1), // grouped (g1)
+			probed,               // private: probe attached
+			NewJohnsonEngine(g2), // grouped (g2)
 			NewNLSTableEngine(g2, 512, pht.NewGShare(1024, 6), 32), // grouped (g2)
+			prefetched, // private: decoupled frontend prefetches
 		}
 	}
 
@@ -102,6 +119,15 @@ func TestBroadcastMixedEligibility(t *testing.T) {
 		"plain": func() trace.ChunkSource { return chunked.Chunks() },
 		"runs":  func() trace.ChunkSource { return chunked.ChunksRuns(32) },
 	}
+	// The prefetched engine's independent oracle replays the identical
+	// chunking (its FTQ lookahead is bounded by the replay block, so
+	// per-record Step is a different — also correct — configuration).
+	oracleRun := func(i int, e Engine) metrics.Counters {
+		if _, ok := e.(PrefetchAttacher); ok && i == 6 {
+			return *RunChunks(e, chunked.Chunks())
+		}
+		return *Run(e, tr)
+	}
 	for name, mkSrc := range sources {
 		for _, workers := range []int{1, 3} {
 			bcast, oracle := mkSet(), mkSet()
@@ -110,7 +136,7 @@ func TestBroadcastMixedEligibility(t *testing.T) {
 				t.Fatalf("%s workers=%d: replayed %d records, want %d", name, workers, n, tr.Len())
 			}
 			for i, e := range oracle {
-				want := *Run(e, tr)
+				want := oracleRun(i, e)
 				if got := *bcast[i].Counters(); got != want {
 					t.Errorf("%s workers=%d engine %s: counters diverge\n got %+v\nwant %+v",
 						name, workers, bcast[i].Name(), got, want)
@@ -177,9 +203,9 @@ func (p *recordingTP) Resolve(rec trace.Record, way int) {
 	}{rec, way})
 }
 func (p *recordingTP) WrongPath(rec trace.Record) (isa.Addr, bool) { return 0, false }
-func (p *recordingTP) Name() string                               { return "recording" }
-func (p *recordingTP) SizeBits() int                              { return 0 }
-func (p *recordingTP) Reset()                                     { p.resolved = nil }
+func (p *recordingTP) Name() string                                { return "recording" }
+func (p *recordingTP) SizeBits() int                               { return 0 }
+func (p *recordingTP) Reset()                                      { p.resolved = nil }
 
 // TestPendingResolveGuard: a deferred predictor update is resolved only by
 // the break's actual successor. On well-chained input the next record IS

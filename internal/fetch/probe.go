@@ -161,7 +161,7 @@ type causeExplainer interface {
 func (f *Frontend) AttachProbe(p Probe) {
 	f.probe = p
 	if p != nil {
-		if ce, ok := f.tp.(causeExplainer); ok {
+		if ce, ok := f.bpu.tp.(causeExplainer); ok {
 			ce.enableTracking()
 		}
 	}
@@ -178,7 +178,7 @@ func (f *Frontend) emitBreak(rec trace.Record, out Outcome, dirTaken bool, penal
 	}
 	if penalty != PenaltyNone {
 		ev.Cause = f.classifyCause(rec, out, dirTaken, penalty)
-		if wp, ok := f.tp.WrongPath(rec); ok {
+		if wp, ok := f.bpu.tp.WrongPath(rec); ok {
 			ev.WrongPath, ev.WrongPathKnown = wp, true
 			ev.Polluted = f.pollution.enabled
 		}
@@ -194,13 +194,13 @@ func (f *Frontend) emitBreak(rec trace.Record, out Outcome, dirTaken bool, penal
 // saved it. Everything else defers to the predictor's own explanation, with
 // architecture-independent fallbacks for predictors that offer none.
 func (f *Frontend) classifyCause(rec trace.Record, out Outcome, dirTaken bool, penalty PenaltyClass) Cause {
-	if !f.traits.CoupledDirection && rec.Kind == isa.CondBranch && dirTaken != rec.Taken {
+	if !f.bpu.traits.CoupledDirection && rec.Kind == isa.CondBranch && dirTaken != rec.Taken {
 		return CauseDirWrong
 	}
-	if !f.traits.NoRAS && rec.Kind == isa.Return && penalty == PenaltyMispredict {
+	if !f.bpu.traits.NoRAS && rec.Kind == isa.Return && penalty == PenaltyMispredict {
 		return CauseRASMiss
 	}
-	if ce, ok := f.tp.(causeExplainer); ok {
+	if ce, ok := f.bpu.tp.(causeExplainer); ok {
 		if c := ce.lastCause(rec, dirTaken); c != CauseNone {
 			return c
 		}

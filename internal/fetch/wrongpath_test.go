@@ -12,7 +12,7 @@ import (
 // the TargetPredictor protocol directly in scripted scenarios.
 func nlsUnderTest() (*NLSEngine, *nlsPredictor) {
 	e := NewNLSTableEngine(smallGeom(), 256, pht.NewGShare(512, 0), 8)
-	return e, e.tp.(*nlsPredictor)
+	return e, e.bpu.tp.(*nlsPredictor)
 }
 
 // TestWrongPathFallThrough: with no NLS entry (or a not-taken direction

@@ -52,6 +52,21 @@ type Counters struct {
 	// ICacheAccesses and ICacheMisses are the instruction cache counters.
 	ICacheAccesses uint64 `json:"icache_accesses"`
 	ICacheMisses   uint64 `json:"icache_misses"`
+	// ICacheColdMisses counts the compulsory subset of ICacheMisses: demand
+	// misses on lines never touched before (a line whose compulsory miss
+	// was absorbed by a useful prefetch never counts). omitempty keeps the
+	// serialized cell schema byte-stable for stores written before the
+	// field existed; see experiments.Store for how stale cells are aged.
+	ICacheColdMisses uint64 `json:"icache_cold_misses,omitempty"`
+	// Prefetch lifecycle counters (DESIGN.md §14), mirrored from
+	// cache.PrefetchStats. All zero — and elided from JSON — when the
+	// engine has no prefetcher.
+	PrefIssued    uint64 `json:"pref_issued,omitempty"`
+	PrefUseful    uint64 `json:"pref_useful,omitempty"`
+	PrefLate      uint64 `json:"pref_late,omitempty"`
+	PrefDropped   uint64 `json:"pref_dropped,omitempty"`
+	PrefRedundant uint64 `json:"pref_redundant,omitempty"`
+	PrefUnused    uint64 `json:"pref_unused,omitempty"`
 }
 
 // AddMisfetch records a misfetched branch of the given kind.
@@ -123,6 +138,36 @@ func (c *Counters) CondAccuracy() float64 {
 		return 0
 	}
 	return 1 - float64(c.CondDirWrong)/float64(c.CondBranches)
+}
+
+// PrefAccuracy returns the fraction of issued prefetches that were on-path:
+// the line was demanded while in flight (late) or after fill (useful). The
+// remainder were evicted unused or overwritten. Zero when nothing issued.
+func (c *Counters) PrefAccuracy() float64 {
+	if c.PrefIssued == 0 {
+		return 0
+	}
+	return float64(c.PrefUseful+c.PrefLate) / float64(c.PrefIssued)
+}
+
+// PrefCoverage returns the fraction of would-be demand misses the
+// prefetcher eliminated: useful prefetches over useful plus the demand
+// misses that still happened. Zero on an empty run.
+func (c *Counters) PrefCoverage() float64 {
+	if c.PrefUseful+c.ICacheMisses == 0 {
+		return 0
+	}
+	return float64(c.PrefUseful) / float64(c.PrefUseful+c.ICacheMisses)
+}
+
+// PrefTimeliness returns the fraction of on-path prefetches that arrived
+// before the demand access (useful over useful plus late). Zero when no
+// prefetch was ever on-path.
+func (c *Counters) PrefTimeliness() float64 {
+	if c.PrefUseful+c.PrefLate == 0 {
+		return 0
+	}
+	return float64(c.PrefUseful) / float64(c.PrefUseful+c.PrefLate)
 }
 
 // CPI returns cycles per instruction for the single-issue machine of §5.2:

@@ -147,6 +147,9 @@ func TestEmptyRunRatesAreZero(t *testing.T) {
 		"ICacheMissRate":  c.ICacheMissRate(),
 		"CondAccuracy":    c.CondAccuracy(),
 		"CPI":             c.CPI(p),
+		"PrefAccuracy":    c.PrefAccuracy(),
+		"PrefCoverage":    c.PrefCoverage(),
+		"PrefTimeliness":  c.PrefTimeliness(),
 	}
 	for name, v := range rates {
 		if v != 0 {

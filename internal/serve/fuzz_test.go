@@ -43,6 +43,24 @@ func FuzzJobDecode(f *testing.F) {
 	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"tage_max_hist": 64`, `"tage_max_hist": -1`, 1), 1))
 	f.Add(strings.Replace(validJob, `"kind": "gshare", "entries": 1024`, `"kind": "gshare", "tage_tables": 4, "entries": 1024`, 1))
 	f.Add(strings.Replace(validJob, legacyPHT, strings.Replace(tagePHT, `"kind": "tage"`, `"kind": "tage", "history_bits": 6`, 1), 1))
+	// PrefetchSpec surface: the two legal kinds, then hostile shapes —
+	// fields meaningless for the kind, every sizing cap overshot (FTQ depth,
+	// degree, MSHRs, latency — each sizes an allocation or a loop bound),
+	// and negatives.
+	withPref := func(pref string) string {
+		return strings.Replace(validJob, legacyPHT, legacyPHT+`, "prefetch": `+pref, 1)
+	}
+	f.Add(withPref(`{"kind": "fdip", "ftq_depth": 8}`))
+	f.Add(withPref(`{"kind": "next-line", "degree": 2, "mshrs": 16, "latency": 30}`))
+	f.Add(withPref(`{"kind": "stream"}`))
+	f.Add(withPref(`{"kind": "fdip"}`))
+	f.Add(withPref(`{"kind": "fdip", "ftq_depth": 8, "degree": 2}`))
+	f.Add(withPref(`{"kind": "fdip", "ftq_depth": 4611686018427387904}`))
+	f.Add(withPref(`{"kind": "fdip", "ftq_depth": -8}`))
+	f.Add(withPref(`{"kind": "next-line", "ftq_depth": 8}`))
+	f.Add(withPref(`{"kind": "next-line", "degree": 4611686018427387904}`))
+	f.Add(withPref(`{"kind": "fdip", "ftq_depth": 8, "mshrs": 4611686018427387904}`))
+	f.Add(withPref(`{"kind": "fdip", "ftq_depth": 8, "latency": -20}`))
 
 	lim := Limits{MaxBodyBytes: 1 << 16, MaxInsns: 1 << 20, MaxCells: 64}
 

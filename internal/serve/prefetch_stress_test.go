@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// prefetchJob is a one-program job whose arms carry the decoupled-frontend
+// prefetch surface (DESIGN.md §14): an FDIP arm with an FTQ and a next-line
+// arm — the PrefetchSpec document going through the whole service path:
+// decode, validate, build, simulate, render.
+const prefetchJob = `{
+  "schema": "nls-job/v1",
+  "insns": 20000,
+  "programs": ["li"],
+  "grid": {
+    "name": "prefetch-tiny",
+    "arms": [
+      {
+        "name": "nls-fdip",
+        "spec": {
+          "predictor": {"kind": "nls-table", "entries": 256},
+          "cache": {"size_bytes": 4096, "line_bytes": 32, "assoc": 1},
+          "pht": {"kind": "gshare", "entries": 1024, "history_bits": 6},
+          "prefetch": {"kind": "fdip", "ftq_depth": 8, "mshrs": 8, "latency": 20}
+        }
+      },
+      {
+        "name": "nls-nextline",
+        "spec": {
+          "predictor": {"kind": "nls-table", "entries": 256},
+          "cache": {"size_bytes": 4096, "line_bytes": 32, "assoc": 1},
+          "pht": {"kind": "gshare", "entries": 1024, "history_bits": 6},
+          "prefetch": {"kind": "next-line", "degree": 2}
+        }
+      }
+    ]
+  }
+}`
+
+// TestStressPrefetchJobsUnderHostileSpecs runs the PrefetchSpec decode
+// surface under -race (the `make stress` tier): concurrent clients POST a
+// mix of the legal prefetch job and hostile mutations probing every
+// MaxPrefetch* cap plus fields meaningless for the kind. The hostile
+// documents must come back 400 — never a panic, a 500, or an allocation
+// sized from an unvalidated field (the FTQ ring and MSHR map are both sized
+// from this document) — while the legal job keeps returning byte-identical
+// 200s alongside them.
+func TestStressPrefetchJobsUnderHostileSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4, QueueDepth: 64})
+
+	hostile := []string{
+		strings.Replace(prefetchJob, `"kind": "fdip"`, `"kind": "markov"`, 1),
+		strings.Replace(prefetchJob, `"ftq_depth": 8`, `"ftq_depth": 0`, 1),
+		strings.Replace(prefetchJob, `"ftq_depth": 8`, `"ftq_depth": 4611686018427387904`, 1),
+		strings.Replace(prefetchJob, `"ftq_depth": 8`, `"ftq_depth": -8`, 1),
+		strings.Replace(prefetchJob, `"kind": "fdip", "ftq_depth": 8`, `"kind": "fdip", "ftq_depth": 8, "degree": 2`, 1),
+		strings.Replace(prefetchJob, `"kind": "next-line", "degree": 2`, `"kind": "next-line", "degree": 2, "ftq_depth": 8`, 1),
+		strings.Replace(prefetchJob, `"degree": 2`, `"degree": 4611686018427387904`, 1),
+		strings.Replace(prefetchJob, `"mshrs": 8`, `"mshrs": 4611686018427387904`, 1),
+		strings.Replace(prefetchJob, `"latency": 20`, `"latency": -20`, 1),
+		strings.Replace(prefetchJob, `"latency": 20`, `"latency": 4611686018427387904`, 1),
+	}
+
+	const rounds = 4
+	type result struct {
+		status int
+		body   []byte
+	}
+	legal := make([]result, rounds)
+	bad := make([][]result, len(hostile))
+	for i := range bad {
+		bad[i] = make([]result, rounds)
+	}
+	var wg sync.WaitGroup
+	post := func(doc string, slot *result) {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		slot.status = resp.StatusCode
+		slot.body, _ = io.ReadAll(resp.Body)
+	}
+	for r := 0; r < rounds; r++ {
+		wg.Add(1 + len(hostile))
+		go post(prefetchJob, &legal[r])
+		for i, doc := range hostile {
+			go post(doc, &bad[i][r])
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < rounds; r++ {
+		if legal[r].status != http.StatusOK {
+			t.Fatalf("legal prefetch job round %d: status %d: %s", r, legal[r].status, legal[r].body)
+		}
+		if !bytes.Equal(legal[r].body, legal[0].body) {
+			t.Fatalf("legal prefetch job round %d body differs from round 0", r)
+		}
+	}
+	for i := range hostile {
+		for r := 0; r < rounds; r++ {
+			if bad[i][r].status != http.StatusBadRequest {
+				t.Errorf("hostile spec %d round %d: status %d, want 400: %s",
+					i, r, bad[i][r].status, bad[i][r].body)
+			}
+		}
+	}
+}
