@@ -14,12 +14,14 @@
 # recovers a nonzero share of the dir-wrong bucket vs the paper gshare.
 # `make prefetch-golden` pins the decoupled-frontend prefetch figure:
 # FDIP beats next-line on coverage and shrinks the cold-miss bucket.
+# `make trace-golden` pins the sim-time trace exporter: byte-identical
+# Chrome trace-event JSON on a fixed seed, zero counter perturbation.
 
 GO ?= go
 
 .PHONY: build vet test race stress fuzz bench bench-check verify figures \
 	grid-golden smoke smoke-serve attribution-golden h2p-golden \
-	prefetch-golden profile
+	prefetch-golden trace-golden profile
 
 build:
 	$(GO) build ./...
@@ -95,6 +97,12 @@ h2p-golden:
 prefetch-golden:
 	$(GO) test -run 'TestPrefetchGolden' ./internal/experiments
 
+# The trace exporter's golden gate (DESIGN.md §15): the Chrome trace-event
+# export of a fixed-seed li run is byte-identical to the committed golden,
+# and attaching the recorder leaves every engine counter bit-identical.
+trace-golden:
+	$(GO) test -run 'TestTraceGolden|TestSimRecorderCountersBitIdentical' ./internal/telemetry
+
 # End-to-end smoke: one figure through the real CLI and store (small n).
 smoke:
 	$(GO) run ./cmd/nlstables -only fig5 -n 100000 >/dev/null
@@ -113,4 +121,4 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof >/dev/null
 	$(GO) tool pprof -top -nodecount=8 cpu.prof
 
-verify: build vet test race stress grid-golden attribution-golden h2p-golden prefetch-golden smoke smoke-serve
+verify: build vet test race stress grid-golden attribution-golden h2p-golden prefetch-golden trace-golden smoke smoke-serve

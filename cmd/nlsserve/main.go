@@ -13,7 +13,9 @@
 //	         [-drain-timeout d] [-smoke]
 //
 // Endpoints: POST /v1/jobs (add ?stream=1 for ndjson progress),
-// GET /healthz, GET /statsz.
+// GET /healthz, GET /statsz (JSON counters), GET /metricsz (the same
+// counters plus latency histograms, Prometheus text format). Requests are
+// logged to stderr via log/slog with per-job IDs.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: new jobs get 503, accepted
 // jobs drain to completion (bounded by -drain-timeout), then the listener
@@ -21,21 +23,26 @@
 //
 // -smoke runs the CI self-test instead of serving: it starts the server
 // on a loopback port with a temporary store, POSTs a tiny one-cell job
-// twice, and verifies the second (warm) response is served from the store
-// byte-identical to the first (cold) one.
+// twice, verifies the second (warm) response is served from the store
+// byte-identical to the first (cold) one, and cross-checks /metricsz
+// against /statsz — the same counters through both exposition paths.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,8 +61,14 @@ func main() {
 		maxBody      = flag.Int64("max-body", 0, "request body byte cap (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 		smoke        = flag.Bool("smoke", false, "run the cold/warm byte-identity self-test and exit")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("nlsserve", experiments.ReadBuildEnv())
+		return
+	}
 
 	if *smoke {
 		if err := runSmoke(*workers); err != nil {
@@ -66,7 +79,8 @@ func main() {
 		return
 	}
 
-	srv, err := newServer(*storeDir, *workers, *queue, *maxInsns, *maxCells, *maxBody)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := newServer(*storeDir, *workers, *queue, *maxInsns, *maxCells, *maxBody, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nlsserve:", err)
 		os.Exit(1)
@@ -100,11 +114,12 @@ func main() {
 	fmt.Fprintln(os.Stderr, "nlsserve: stopped")
 }
 
-func newServer(storeDir string, workers, queue, maxInsns, maxCells int, maxBody int64) (*serve.Server, error) {
+func newServer(storeDir string, workers, queue, maxInsns, maxCells int, maxBody int64, logger *slog.Logger) (*serve.Server, error) {
 	opts := serve.Options{
 		Workers:    workers,
 		QueueDepth: queue,
 		Limits:     serve.Limits{MaxBodyBytes: maxBody, MaxInsns: maxInsns, MaxCells: maxCells},
+		Logger:     logger,
 	}
 	if storeDir != "" {
 		store, err := experiments.OpenStore(storeDir)
@@ -148,7 +163,7 @@ func runSmoke(workers int) error {
 	}
 	defer os.RemoveAll(storeDir)
 
-	srv, err := newServer(storeDir, workers, 16, 0, 0, 0)
+	srv, err := newServer(storeDir, workers, 16, 0, 0, 0, nil)
 	if err != nil {
 		return err
 	}
@@ -204,6 +219,94 @@ func runSmoke(workers int) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: status %d", resp.StatusCode)
 	}
-	fmt.Fprintf(os.Stderr, "nlsserve: smoke: cold+warm OK, %d-byte body byte-identical\n", len(cold))
+
+	if err := checkMetricsz(base); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nlsserve: smoke: cold+warm OK, %d-byte body byte-identical, /metricsz consistent with /statsz\n", len(cold))
 	return nil
+}
+
+// checkMetricsz scrapes /metricsz and /statsz at a quiescent moment (both
+// smoke jobs finished) and asserts the exposition contract: valid
+// Prometheus text format, and every counter /statsz reports carried
+// verbatim — the two endpoints are views over the same registry, so any
+// divergence is a bug.
+func checkMetricsz(base string) error {
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		return err
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metricsz: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		return fmt.Errorf("metricsz: content-type %q", ct)
+	}
+	prom, err := parseProm(promBody)
+	if err != nil {
+		return fmt.Errorf("metricsz: %w", err)
+	}
+
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		return err
+	}
+	var stats map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("statsz: %w", err)
+	}
+
+	for statKey, promKey := range map[string]string{
+		"jobs_received":   "nls_jobs_received_total",
+		"flights_led":     "nls_flights_led_total",
+		"flights_shared":  "nls_flights_shared_total",
+		"cells_loaded":    "nls_cells_loaded_total",
+		"cells_simulated": "nls_cells_simulated_total",
+		"trace_replays":   "nls_trace_replays_total",
+		"inflight_jobs":   "nls_inflight_jobs",
+	} {
+		want, ok := stats[statKey].(float64)
+		if !ok {
+			return fmt.Errorf("statsz: missing %q", statKey)
+		}
+		got, ok := prom[promKey]
+		if !ok {
+			return fmt.Errorf("metricsz: missing %q", promKey)
+		}
+		if got != want {
+			return fmt.Errorf("metricsz %s=%g disagrees with statsz %s=%g", promKey, got, statKey, want)
+		}
+	}
+	// The smoke run led two flights; each must have a latency observation.
+	if got := prom["nls_job_seconds_count"]; got != prom["nls_flights_led_total"] {
+		return fmt.Errorf("nls_job_seconds_count=%g, want one per led flight (%g)",
+			got, prom["nls_flights_led_total"])
+	}
+	return nil
+}
+
+// parseProm reads Prometheus text exposition into a flat
+// series-with-labels -> value map.
+func parseProm(body []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed value in %q: %w", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
 }

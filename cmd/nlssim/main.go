@@ -19,6 +19,7 @@
 //	nlssim -workload espresso -h2p        # dir-wrong recovery, gshare vs TAGE-lite
 //	nlssim -workload gcc -pht tage        # equal-cost TAGE-lite direction predictor
 //	nlssim -workload gcc -n 50000000 -stream    # O(chunk) memory, no materialized trace
+//	nlssim -workload li -trace-events out.json  # sim-time pipeline trace (Perfetto)
 //
 // The non-streaming path runs through the experiments pipeline as a
 // single-cell grid: the result is keyed and stored in the same
@@ -49,6 +50,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -72,10 +74,19 @@ func main() {
 		list       = flag.Bool("list", false, "list registered architecture specs and exit")
 		force      = flag.Bool("force", false, "re-simulate even when the results store has the cell")
 		storeDir   = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceEvents = flag.String("trace-events", "", "write a sim-time Chrome trace-event JSON file (Perfetto-viewable) from a recorder-attached replay")
+		traceSample = flag.Int("trace-sample", 64, "fetch-block accesses between trace counter samples")
+		traceMax    = flag.Int("trace-max-events", 0, "trace event cap (0 = default)")
+		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("nlssim", experiments.ReadBuildEnv())
+		return
+	}
 
 	if *list {
 		fmt.Println("architecture specs:")
@@ -142,6 +153,12 @@ func main() {
 		if ranks, err = h2pRankings(spec, s, *n); err != nil {
 			fail(err)
 		}
+	}
+	if *traceEvents != "" {
+		if err := writeTraceEvents(spec, s, *n, *traceEvents, *traceSample, *traceMax); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "nlssim: trace events written to %s\n", *traceEvents)
 	}
 
 	if *jsonOut {
@@ -226,6 +243,38 @@ func runCell(w workload.Spec, s arch.Spec, insns int, storeDir string, force boo
 	}
 	m := rs.Rows(g)[0].M
 	return &m, nil
+}
+
+// writeTraceEvents replays the workload once more through a fresh engine
+// with a telemetry.SimRecorder attached and writes the sim-time trace-event
+// document (DESIGN.md §15). Like attribution, the trace is an event-stream
+// product the counter store cannot serve, so it costs its own replay; the
+// recorder's seams guarantee the counters are bit-identical either way.
+func writeTraceEvents(w workload.Spec, s arch.Spec, insns int, path string, sample, maxEvents int) error {
+	engine, err := s.Build()
+	if err != nil {
+		return err
+	}
+	rec := telemetry.NewSimRecorder(telemetry.SimRecorderOptions{
+		SampleEvery: sample, MaxEvents: maxEvents,
+	})
+	if err := rec.Attach(engine); err != nil {
+		return err
+	}
+	src, err := w.Source()
+	if err != nil {
+		return err
+	}
+	fetch.RunChunks(engine, trace.NewSourceChunks(src, insns, trace.DefaultChunkRecords))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // attributionReports replays the workload once through a probe-attached

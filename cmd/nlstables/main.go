@@ -77,8 +77,14 @@ func main() {
 		manifestDir = flag.String("manifest", experiments.DefaultManifestDir(), "run-manifest directory (empty disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("nlstables", experiments.ReadBuildEnv())
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	check(err)

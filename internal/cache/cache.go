@@ -109,6 +109,7 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 			if c.pf != nil && c.pf.prefetched[s] {
 				c.pf.prefetched[s] = false
 				c.pf.stats.Useful++
+				c.pf.emit(PrefetchUseful, want, c.clock)
 				c.markSeen(want)
 			}
 			return true, w
@@ -137,9 +138,11 @@ func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 		if _, busy := c.pf.inflight[want]; busy {
 			delete(c.pf.inflight, want)
 			c.pf.stats.Late++
+			c.pf.emit(PrefetchLate, want, c.clock)
 		}
 		if c.pf.prefetched[s] {
 			c.pf.stats.Unused++
+			c.pf.emit(PrefetchUnused, c.tags[s], c.clock)
 			c.pf.prefetched[s] = false
 		}
 	}
@@ -238,6 +241,11 @@ func (c *Cache) HoldsAt(set, way int, a isa.Addr) bool {
 
 // Accesses returns the number of Access calls.
 func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Clock returns the cache's access clock — the LRU timestamp source that
+// also drives prefetch fills. It is the simulation's unit of fetch time,
+// which the sim-time trace exporter uses as its timeline.
+func (c *Cache) Clock() uint64 { return c.clock }
 
 // Misses returns the number of Access calls that missed.
 func (c *Cache) Misses() uint64 { return c.misses }

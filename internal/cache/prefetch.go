@@ -25,6 +25,71 @@ import "repro/internal/isa"
 // pays one nil check on the miss path and nothing on the hit path, keeping
 // the fused frontend's replay bit-identical and inside the bench gate.
 
+// PrefetchEventKind tags one transition of a prefetch's issue lifecycle,
+// observed through SetPrefetchObserver (the sim-time trace exporter's
+// seam; see internal/telemetry).
+type PrefetchEventKind uint8
+
+const (
+	// PrefetchIssue: the request entered an MSHR.
+	PrefetchIssue PrefetchEventKind = iota
+	// PrefetchRedundant: the line was resident or already in flight.
+	PrefetchRedundant
+	// PrefetchDrop: every MSHR was busy.
+	PrefetchDrop
+	// PrefetchFill: the in-flight line's fill completed and was installed.
+	PrefetchFill
+	// PrefetchUseful: a demand access hit a prefetched line.
+	PrefetchUseful
+	// PrefetchLate: a demand miss arrived while the line was still in
+	// flight (the demand takes over the MSHR).
+	PrefetchLate
+	// PrefetchUnused: a prefetched line was evicted untouched.
+	PrefetchUnused
+)
+
+// String names the lifecycle transition.
+func (k PrefetchEventKind) String() string {
+	switch k {
+	case PrefetchIssue:
+		return "issue"
+	case PrefetchRedundant:
+		return "redundant"
+	case PrefetchDrop:
+		return "drop"
+	case PrefetchFill:
+		return "fill"
+	case PrefetchUseful:
+		return "useful"
+	case PrefetchLate:
+		return "late"
+	case PrefetchUnused:
+		return "unused"
+	}
+	return "?"
+}
+
+// PrefetchEvent is one lifecycle transition as the observer sees it: which
+// line (packed line tag, unique per line address for a fixed geometry) and
+// when on the cache's access clock.
+type PrefetchEvent struct {
+	Kind  PrefetchEventKind
+	Line  uint32
+	Clock uint64
+}
+
+// SetPrefetchObserver registers fn to receive one PrefetchEvent per
+// lifecycle transition (nil detaches). Like the fetch probe, the observer
+// only watches: every call site is already inside a c.pf-gated path, so a
+// cache without EnablePrefetch — the entire bench-gated hot path — pays
+// nothing, and an armed cache without an observer pays one nil check per
+// transition. It must be set before the run starts.
+func (c *Cache) SetPrefetchObserver(fn func(PrefetchEvent)) {
+	if c.pf != nil {
+		c.pf.obs = fn
+	}
+}
+
 // PrefetchStats counts the lifecycle outcomes of issued prefetches.
 type PrefetchStats struct {
 	// Issued prefetches entered an MSHR. Redundant ones named a line
@@ -61,6 +126,17 @@ type prefetchState struct {
 	prefetched []bool
 
 	stats PrefetchStats
+
+	// obs, when non-nil, receives one event per lifecycle transition (see
+	// SetPrefetchObserver).
+	obs func(PrefetchEvent)
+}
+
+// emit delivers one lifecycle event to the observer, if any.
+func (pf *prefetchState) emit(kind PrefetchEventKind, line uint32, clock uint64) {
+	if pf.obs != nil {
+		pf.obs(PrefetchEvent{Kind: kind, Line: line &^ tagValid, Clock: clock})
+	}
 }
 
 // EnablePrefetch arms the cache's prefetch machinery with the given number
@@ -102,18 +178,22 @@ func (c *Cache) Prefetch(a isa.Addr) {
 	for w := 0; w < c.geom.assoc; w++ {
 		if c.tags[base+w] == want {
 			pf.stats.Redundant++
+			pf.emit(PrefetchRedundant, want, c.clock)
 			return
 		}
 	}
 	if _, busy := pf.inflight[want]; busy {
 		pf.stats.Redundant++
+		pf.emit(PrefetchRedundant, want, c.clock)
 		return
 	}
 	if len(pf.inflight) >= pf.mshrs {
 		pf.stats.Dropped++
+		pf.emit(PrefetchDrop, want, c.clock)
 		return
 	}
 	pf.stats.Issued++
+	pf.emit(PrefetchIssue, want, c.clock)
 	pf.inflight[want] = c.clock + pf.latency
 	pf.fifo = append(pf.fifo, want)
 }
@@ -139,6 +219,7 @@ func (c *Cache) drainPrefetches() {
 		}
 		pf.head++
 		delete(pf.inflight, want)
+		pf.emit(PrefetchFill, want, c.clock)
 		c.fillPrefetch(want)
 	}
 	// Compact the queue once the consumed prefix dominates.
@@ -175,6 +256,7 @@ func (c *Cache) fillPrefetch(want uint32) {
 	s := base + victim
 	if c.pf.prefetched[s] {
 		c.pf.stats.Unused++
+		c.pf.emit(PrefetchUnused, c.tags[s], c.clock)
 	}
 	c.tags[s] = want
 	c.stamp[s] = c.clock

@@ -25,6 +25,24 @@ type Executor struct {
 	Store *Store
 	// Force re-simulates (and overwrites) stored cells.
 	Force bool
+	// Observer, when non-nil, receives one StageSpan per executor stage at
+	// the end of each run — the seam the serve layer hangs its stage
+	// histograms on. It is called from the goroutine that ran RunGrids,
+	// after the replay pool has drained.
+	Observer func(StageSpan)
+}
+
+// StageSpan is the wall time one executor stage consumed across a run,
+// summed over the per-program goroutines where the stage is parallel. The
+// spans feed both the run manifest (Stages) and, through
+// Executor.Observer, the serve layer's metrics registry — the same
+// measurement in both places, so they cannot disagree.
+type StageSpan struct {
+	// Stage is one of "gather" (cell enumeration and store probing),
+	// "trace-gen" (workload trace generation/chunking), "replay" (the
+	// broadcast replay itself), "store-save" (persisting rows).
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
 }
 
 // NewExecutor builds an executor without a store.
@@ -64,6 +82,10 @@ type ResultSet struct {
 	// for store-served cells), in completion order; it feeds the run
 	// manifest.
 	Timings []CellTiming
+
+	// Stages holds the run's per-stage wall time (see StageSpan), in fixed
+	// stage order.
+	Stages []StageSpan
 }
 
 // CellTiming is the wall time one cell's engine spent replaying its
@@ -144,6 +166,11 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 		progIdx[p.Name] = i
 	}
 
+	// Per-stage wall-time accumulators. gather is single-threaded; the
+	// other three sum across the per-program goroutines under mu.
+	gatherStart := time.Now()
+	var traceGenDur, replayDur, saveDur time.Duration
+
 	// Gather the unique cells of the whole run, probing the store first.
 	work := make([]progWork, len(cfg.Programs))
 	seen := make(map[string]bool)
@@ -198,6 +225,8 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 		}
 	}
 
+	gatherDur := time.Since(gatherStart)
+
 	start := time.Now()
 	r.statsMu.Lock()
 	r.stats = SweepStats{TotalCells: total, Cells: rs.Loaded, Loaded: rs.Loaded}
@@ -246,7 +275,11 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			w := work[i]
+			tgStart := time.Now()
 			ct, err := r.ChunkedOne(i)
+			mu.Lock()
+			traceGenDur += time.Since(tgStart)
+			mu.Unlock()
 			if err != nil {
 				fail(err)
 				return
@@ -286,6 +319,7 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 				})
 			}
 
+			replayStart := time.Now()
 			var n int64
 			if len(engines) > 0 {
 				n = fetch.BroadcastWorkers(src, perProg, engines...)
@@ -296,6 +330,9 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 					n += int64(len(blk))
 				}
 			}
+			mu.Lock()
+			replayDur += time.Since(replayStart)
+			mu.Unlock()
 
 			rows := make([]Row, len(w.cells))
 			timings := make([]CellTiming, len(w.cells))
@@ -328,6 +365,7 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 			mu.Unlock()
 
 			if x.Store != nil {
+				saveStart := time.Now()
 				for j := range rows {
 					if err := x.Store.Save(w.keys[j], rows[j]); err != nil {
 						fail(err)
@@ -340,6 +378,9 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 						return
 					}
 				}
+				mu.Lock()
+				saveDur += time.Since(saveStart)
+				mu.Unlock()
 			}
 
 			r.statsMu.Lock()
@@ -359,6 +400,17 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 	r.statsMu.Unlock()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	rs.Stages = []StageSpan{
+		{Stage: "gather", Seconds: gatherDur.Seconds()},
+		{Stage: "trace-gen", Seconds: traceGenDur.Seconds()},
+		{Stage: "replay", Seconds: replayDur.Seconds()},
+		{Stage: "store-save", Seconds: saveDur.Seconds()},
+	}
+	if x.Observer != nil {
+		for _, sp := range rs.Stages {
+			x.Observer(sp)
+		}
 	}
 	return rs, nil
 }

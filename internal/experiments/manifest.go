@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,10 +26,30 @@ type BuildEnv struct {
 	Modified  bool   `json:"vcs_modified,omitempty"`
 }
 
-// buildEnv reads the running binary's build information. Everything beyond
-// the Go version is best-effort: test binaries and `go run` builds carry no
-// VCS stamps.
-func buildEnv() BuildEnv {
+// String renders the build environment as the one-line `-version` output
+// the CLIs share: module, Go version, and the VCS revision when the binary
+// carries one (a trailing + marks a dirty tree).
+func (e BuildEnv) String() string {
+	mod := e.Module
+	if mod == "" {
+		mod = "(devel)"
+	}
+	rev := e.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if e.Modified {
+		rev += "+"
+	}
+	return fmt.Sprintf("%s %s (rev %s)", mod, e.GoVersion, rev)
+}
+
+// ReadBuildEnv reads the running binary's build information. Everything
+// beyond the Go version is best-effort: test binaries and `go run` builds
+// carry no VCS stamps.
+func ReadBuildEnv() BuildEnv {
 	env := BuildEnv{GoVersion: runtime.Version()}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		env.Module = bi.Main.Path
@@ -72,8 +93,11 @@ type RunManifest struct {
 	Seconds   float64 `json:"seconds"`
 	RecPerSec float64 `json:"records_per_sec"`
 
-	// Cells is the per-cell engine wall time (simulated cells only).
-	Cells []CellTiming `json:"cells,omitempty"`
+	// Stages is the run's per-executor-stage wall time (gather, trace-gen,
+	// replay, store-save); Cells is the per-cell engine wall time
+	// (simulated cells only).
+	Stages []StageSpan  `json:"stages,omitempty"`
+	Cells  []CellTiming `json:"cells,omitempty"`
 }
 
 // NewRunManifest assembles the manifest of a finished run from the
@@ -87,7 +111,7 @@ func NewRunManifest(x *Executor, rs *ResultSet, figures, command []string) RunMa
 		Command:         command,
 		InsnsPerProgram: x.R.Cfg.Insns,
 		Figures:         figures,
-		Build:           buildEnv(),
+		Build:           ReadBuildEnv(),
 		CellsLoaded:     rs.Loaded,
 		CellsSimulated:  rs.Simulated,
 		CellsDeduped:    rs.Deduped,
@@ -95,6 +119,7 @@ func NewRunManifest(x *Executor, rs *ResultSet, figures, command []string) RunMa
 		Records:         s.Records,
 		Seconds:         s.Elapsed.Seconds(),
 		RecPerSec:       s.RecordsPerSec(),
+		Stages:          rs.Stages,
 		Cells:           rs.Timings,
 	}
 }

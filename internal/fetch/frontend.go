@@ -193,6 +193,14 @@ func (f *Frontend) SetFTQDepth(depth int) { f.bpu.ftq.SetDepth(depth) }
 // FTQStats exposes the queue's traffic counters for tests and diagnostics.
 func (f *Frontend) FTQStats() FTQStats { return f.bpu.ftq.Stats() }
 
+// FTQLen returns the queue's current occupancy (entries predicted but not
+// yet fetched) — the run-ahead depth the sim-time trace exporter samples.
+func (f *Frontend) FTQLen() int { return f.bpu.ftq.Len() }
+
+// Prefetcher returns the attached prefetch policy (nil when detached), so
+// an observer can wrap it without knowing how the engine was built.
+func (f *Frontend) Prefetcher() Prefetcher { return f.pf }
+
 // decoupled reports whether the frontend steps through the three-stage
 // pipeline. With no prefetcher and FTQ depth 0 the fused path runs instead
 // — the exact pre-§14 code, so the refactor is bit-identical by

@@ -54,6 +54,9 @@ func (q *FTQ) Full() bool { return q.size >= len(q.entries) }
 // Empty reports whether the queue holds no entries.
 func (q *FTQ) Empty() bool { return q.size == 0 }
 
+// Len returns the number of queued entries (the queue's occupancy).
+func (q *FTQ) Len() int { return q.size }
+
 // Stats returns the queue's traffic counters.
 func (q *FTQ) Stats() FTQStats { return FTQStats{Pushes: q.pushes, Flushes: q.flushes} }
 

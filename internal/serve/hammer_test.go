@@ -34,7 +34,7 @@ func TestStressSingleFlightHammer(t *testing.T) {
 	inner := s.exec
 	s.exec = func(job *CompiledJob, progress func(experiments.SweepStats)) ([]byte, Accounting, error) {
 		invocations.Add(1)
-		for s.stats.FlightsLed.Load()+s.stats.FlightsShared.Load() < clients {
+		for s.stats.FlightsLed.Value()+s.stats.FlightsShared.Value() < clients {
 			time.Sleep(time.Millisecond)
 		}
 		return inner(job, progress)
@@ -84,6 +84,23 @@ func TestStressSingleFlightHammer(t *testing.T) {
 	}
 	if snap.CellsSimulated != 1 || snap.CellsLoaded != 0 {
 		t.Errorf("cells simulated/loaded = %d/%d, want 1/0 (one cold run)", snap.CellsSimulated, snap.CellsLoaded)
+	}
+
+	// /metricsz at the quiescent moment must agree with /statsz on every
+	// counter the hammer exercised — both are views over one registry.
+	prom := scrapeProm(t, ts.URL)
+	for promKey, stat := range map[string]int64{
+		"nls_flights_led_total":     snap.FlightsLed,
+		"nls_flights_shared_total":  snap.FlightsShared,
+		"nls_cells_simulated_total": snap.CellsSimulated,
+		"nls_cells_loaded_total":    snap.CellsLoaded,
+		"nls_jobs_received_total":   snap.JobsReceived,
+		"nls_inflight_jobs":         0,
+		"nls_queued_jobs":           0,
+	} {
+		if got := prom[promKey]; got != float64(stat) {
+			t.Errorf("after hammer: metricsz %s=%g disagrees with statsz %d", promKey, got, stat)
+		}
 	}
 
 	// Warm re-request: a fresh flight served entirely from the store,

@@ -9,12 +9,20 @@
 // response. See DESIGN.md §12 for the architecture and EXPERIMENTS.md
 // "Serving sweeps" for the wire format.
 //
+// Every counter lives in one telemetry.Registry (DESIGN.md §15): /metricsz
+// is the registry's Prometheus exposition and /statsz is a JSON view over
+// the same atomics, so the two endpoints cannot disagree. Requests are
+// logged through a structured slog.Logger with a per-job ID that follows
+// the job through the pool to its completion record.
+//
 // Endpoints:
 //
 //	POST /v1/jobs            run (or join) a job; body = Job, response = Result
 //	POST /v1/jobs?stream=1   same, as ndjson: progress events, then the Result
 //	GET  /healthz            liveness ("ok", or 503 once draining)
-//	GET  /statsz             counters: flights, dedup hits, store hits, inflight
+//	GET  /statsz             counters as JSON: flights, dedup, store hits, rates
+//	GET  /metricsz           the same counters plus latency histograms,
+//	                         Prometheus text format
 package serve
 
 import (
@@ -22,12 +30,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -44,6 +56,8 @@ type Options struct {
 	// QueueDepth bounds jobs accepted but not yet running (default 64);
 	// beyond it the service sheds load with 503 + Retry-After.
 	QueueDepth int
+	// Logger receives structured request/job records; nil discards them.
+	Logger *slog.Logger
 }
 
 // execFunc runs one compiled job and returns the response body and the
@@ -60,9 +74,11 @@ type Server struct {
 	pool    *pool
 	mux     *http.ServeMux
 	exec    execFunc
+	log     *slog.Logger
 
-	draining atomic.Bool
-	stats    serverStats
+	reg    *telemetry.Registry
+	stats  *serverStats
+	jobSeq atomic.Int64 // per-process job ID sequence
 }
 
 // New builds a Server.
@@ -75,15 +91,25 @@ func New(opts Options) *Server {
 	if depth <= 0 {
 		depth = 64
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := telemetry.NewRegistry()
 	s := &Server{
 		store:  opts.Store,
 		limits: opts.Limits.withDefaults(),
 		pool:   newPool(workers, depth),
+		log:    logger,
+		reg:    reg,
+		stats:  newServerStats(reg),
 	}
+	s.stats.PoolWorkers.Set(int64(workers))
 	s.exec = s.runJob
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.Handle("GET /metricsz", reg.Handler())
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	return s
 }
@@ -91,12 +117,21 @@ func New(opts Options) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Registry exposes the server's metrics registry (the /metricsz source),
+// for embedding the service alongside other instrumented subsystems.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// draining reports whether Shutdown began. The flag lives in the stats
+// gauge so /statsz, /metricsz, and the request paths all read one atomic.
+func (s *Server) draining() bool { return s.stats.Draining.Value() != 0 }
+
 // Shutdown drains the service: new jobs are rejected with 503 immediately,
 // and every job already accepted — running or queued — completes before
 // Shutdown returns (their waiting clients get their responses). The
 // context bounds the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	s.stats.Draining.Set(1)
+	s.log.Info("draining")
 	return s.pool.shutdown(ctx)
 }
 
@@ -104,10 +139,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // serving unchanged cells from the store, then the deterministic response
 // document. Each job gets its own Runner (trace caches are per-run;
 // cross-job reuse happens at the cell store, which is keyed by content).
+// Executor stage spans feed the registry's stage histograms.
 func (s *Server) runJob(job *CompiledJob, progress func(experiments.SweepStats)) ([]byte, Accounting, error) {
 	r := experiments.NewRunner(job.Cfg)
 	r.Progress = progress
-	x := &experiments.Executor{R: r, Store: s.store}
+	x := &experiments.Executor{R: r, Store: s.store,
+		Observer: func(sp experiments.StageSpan) { s.stats.ObserveStage(sp.Stage, sp.Seconds) }}
 	rs, err := x.RunGrids(false, job.Grid)
 	if err != nil {
 		return nil, Accounting{}, err
@@ -123,7 +160,7 @@ func (s *Server) runJob(job *CompiledJob, progress func(experiments.SweepStats))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	if s.draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -133,16 +170,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	snap := s.stats.snapshot()
-	snap.Draining = s.draining.Load()
-	buf, _ := json.MarshalIndent(snap, "", "  ")
+	buf, _ := json.MarshalIndent(s.stats.snapshot(), "", "  ")
 	w.Write(append(buf, '\n'))
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	s.stats.JobsReceived.Add(1)
-	if s.draining.Load() {
-		s.stats.JobsRejected.Add(1)
+	jobID := fmt.Sprintf("job-%06d", s.jobSeq.Add(1))
+	s.stats.JobsReceived.Inc()
+	if s.draining() {
+		s.stats.Reject(rejectDraining)
+		s.log.Warn("job rejected", "job", jobID, "reason", rejectDraining)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, ErrDraining.Error(), http.StatusServiceUnavailable)
 		return
@@ -150,38 +187,58 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 	job, err := DecodeJob(http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes), s.limits)
 	if err != nil {
-		s.stats.JobsRejected.Add(1)
+		reason := rejectInvalid
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			reason = rejectTooLarge
 			status = http.StatusRequestEntityTooLarge
 		}
+		s.stats.Reject(reason)
+		s.log.Warn("job rejected", "job", jobID, "reason", reason, "err", err)
 		http.Error(w, err.Error(), status)
 		return
 	}
 
 	fl, leader := s.flights.join(job.Key)
 	if leader {
-		s.stats.FlightsLed.Add(1)
+		s.stats.FlightsLed.Inc()
+		s.log.Info("flight led", "job", jobID, "key", job.Key, "insns", job.Cfg.Insns)
+		queuedAt := time.Now()
+		s.stats.QueuedJobs.Add(1)
 		submitErr := s.pool.submit(func() {
+			s.stats.QueuedJobs.Add(-1)
+			s.stats.QueueWaitSeconds.Observe(time.Since(queuedAt).Seconds())
 			s.stats.InflightJobs.Add(1)
 			defer s.stats.InflightJobs.Add(-1)
+			start := time.Now()
 			body, acct, err := s.exec(job, fl.hub.publish)
+			elapsed := time.Since(start)
+			s.stats.JobSeconds.Observe(elapsed.Seconds())
 			if err == nil {
 				s.stats.CellsLoaded.Add(int64(acct.Loaded))
 				s.stats.CellsSimulated.Add(int64(acct.Simulated))
 				s.stats.CellsDeduped.Add(int64(acct.Deduped))
 				s.stats.TraceReplays.Add(int64(acct.Replays))
+				s.log.Info("job done", "job", jobID, "key", fl.key,
+					"seconds", elapsed.Seconds(), "cells_loaded", acct.Loaded,
+					"cells_simulated", acct.Simulated)
+			} else {
+				s.log.Error("job failed", "job", jobID, "key", fl.key,
+					"seconds", elapsed.Seconds(), "err", err)
 			}
 			s.flights.finish(fl, body, acct, err)
 		})
 		if submitErr != nil {
 			// The flight never ran; fail every waiter (they all requested
 			// the same overloaded moment).
+			s.stats.QueuedJobs.Add(-1)
+			s.log.Warn("job shed", "job", jobID, "key", job.Key, "err", submitErr)
 			s.flights.finish(fl, nil, Accounting{}, submitErr)
 		}
 	} else {
-		s.stats.FlightsShared.Add(1)
+		s.stats.FlightsShared.Inc()
+		s.log.Debug("flight shared", "job", jobID, "key", job.Key)
 	}
 
 	if r.URL.Query().Get("stream") != "" {
@@ -200,7 +257,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 // the per-request accounting in headers (never in the body — see Result).
 func (s *Server) writeResult(w http.ResponseWriter, fl *flight, leader bool) {
 	if fl.err != nil {
-		s.stats.JobsFailed.Add(1)
+		s.stats.JobsFailed.Inc()
 		status := http.StatusInternalServerError
 		if errors.Is(fl.err, ErrDraining) || errors.Is(fl.err, ErrBusy) {
 			status = http.StatusServiceUnavailable
@@ -268,7 +325,7 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, fl *flight
 			}
 		case <-fl.done:
 			if fl.err != nil {
-				s.stats.JobsFailed.Add(1)
+				s.stats.JobsFailed.Inc()
 				enc.Encode(struct {
 					Type  string `json:"type"`
 					Error string `json:"error"`

@@ -289,7 +289,7 @@ func TestServerShutdownDrainsAcceptedJobs(t *testing.T) {
 	}()
 
 	// Wait until the job is inflight, then shut down while it is blocked.
-	waitFor(t, func() bool { return s.stats.FlightsLed.Load() == 1 })
+	waitFor(t, func() bool { return s.stats.FlightsLed.Value() == 1 })
 	shutdownErr := make(chan error, 1)
 	go func() { shutdownErr <- s.Shutdown(context.Background()) }()
 
@@ -444,5 +444,57 @@ func TestProgressHubConcurrent(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+	h.close()
+}
+
+// TestProgressHubSlowSubscriber pins the latest-wins contract the executor
+// depends on: a subscriber that never reads (a stalled streaming client)
+// must not block publish — the publisher replaces the stale element and
+// moves on — and a healthy subscriber on the same hub keeps receiving
+// fresh snapshots. publish runs on the goroutine that holds the Runner's
+// stats lock, so a block here would stall the whole sweep. Run under -race
+// via `make stress`.
+func TestProgressHubSlowSubscriber(t *testing.T) {
+	h := newProgressHub()
+
+	slow, cancelSlow := h.subscribe() // never read until the very end
+	defer cancelSlow()
+	fast, cancelFast := h.subscribe()
+	defer cancelFast()
+
+	// Publish far more snapshots than any channel buffers (capacity 1); if
+	// publish could block on the stalled subscriber, this loop would hang
+	// and the test would time out.
+	const publishes = 10_000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= publishes; i++ {
+			h.publish(experiments.SweepStats{Cells: i})
+			if i%100 == 0 {
+				// Drain the healthy subscriber occasionally; it must see
+				// ever-fresher snapshots despite its stalled sibling.
+				if st := <-fast; st.Cells == 0 {
+					t.Error("fast subscriber read a zero snapshot")
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publish blocked on a stalled subscriber")
+	}
+
+	// The stalled subscriber's buffered element is the most recent publish
+	// that reached it — latest-wins replaced everything older.
+	select {
+	case st := <-slow:
+		if st.Cells == 0 {
+			t.Errorf("stalled subscriber saw zero snapshot %+v", st)
+		}
+	default:
+		t.Error("stalled subscriber has no buffered snapshot")
+	}
 	h.close()
 }

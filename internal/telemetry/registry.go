@@ -1,0 +1,319 @@
+// Package telemetry is the repo's dependency-free observability layer: a
+// metrics registry of atomic counters, gauges, and fixed-bucket histograms
+// with Prometheus text-format exposition (DESIGN.md §15), plus a sim-time
+// trace-event exporter riding the fetch probe and prefetcher seams (see
+// simtrace.go).
+//
+// The registry is the single source of truth for every service counter:
+// nlsserve's /metricsz scrapes it directly and /statsz is re-expressed as a
+// JSON view over the same atomics, so the two endpoints can never disagree
+// about a counter's value. Everything is allocation-free on the update
+// path — Counter.Add and Gauge.Set are one atomic op, Histogram.Observe is
+// a branchless bucket walk plus two atomics — so metrics are safe to thread
+// through the worker pool and the executor without perturbing throughput.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name=value pair attached to a metric series at
+// registration time. Series of the same family (metric name) are
+// distinguished by their label sets.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain one from Registry.NewCounter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0; a negative delta is a
+// programming error and is dropped to keep the series monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative in the
+// exposition (Prometheus `le` semantics); Observe is lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefSecondsBuckets is the default latency bucket layout, sized for jobs
+// that span from sub-millisecond warm store hits to multi-second cold
+// sweeps.
+func DefSecondsBuckets() []float64 {
+	return []float64{
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+}
+
+// metricKind tags a family's exposition TYPE line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one registered (family, label set) pair.
+type series struct {
+	labels []Label
+	key    string // rendered label signature, for ordering and dedup
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration takes a lock; updates via the returned handles are
+// lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration-independent sorted order, rebuilt lazily
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// register validates and inserts one series, panicking on programmer error
+// (invalid name, kind mismatch within a family, duplicate label set):
+// metric registration happens at construction time with literal names, so
+// failing loudly beats silently dropping a series.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *series {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l.Key, name))
+		}
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	s := &series{labels: sorted, key: renderLabels(sorted)}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = nil
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	for _, prev := range f.series {
+		if prev.key == s.key {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, s.key))
+		}
+	}
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+	return s
+}
+
+// NewCounter registers and returns a counter series.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	s.c = &Counter{}
+	return s.c
+}
+
+// NewGauge registers and returns a gauge series.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	s.g = &Gauge{}
+	return s.g
+}
+
+// NewHistogram registers and returns a histogram series with the given
+// ascending upper bucket bounds (+Inf is implicit; nil takes
+// DefSecondsBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefSecondsBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
+		}
+	}
+	s := r.register(name, help, kindHistogram, labels)
+	s.h = &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return s.h
+}
+
+// renderLabels formats a sorted label set as {k="v",...}, or "" when empty.
+// Values are escaped per the exposition format (backslash, quote, newline).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// withExtraLabel re-renders a label set with one more pair appended (used
+// for histogram `le`).
+func withExtraLabel(labels []Label, key, value string) string {
+	all := append(append([]Label(nil), labels...), Label{key, value})
+	return renderLabels(all)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4), families sorted by name and series by label signature,
+// so the output is deterministic for a fixed set of values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	if r.names == nil {
+		for name := range r.families {
+			r.names = append(r.names, name)
+		}
+		sort.Strings(r.names)
+	}
+	names := r.names
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.key, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.key, s.g.Value())
+			case kindHistogram:
+				h := s.h
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						f.name, withExtraLabel(s.labels, "le", formatFloat(bound)), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.name, withExtraLabel(s.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.key, formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.key, cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition (the /metricsz
+// endpoint body).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("nls_jobs_total", "Jobs received.")
+	led := r.NewCounter("nls_flights_total", "Flights by role.", Label{"role", "leader"})
+	shared := r.NewCounter("nls_flights_total", "Flights by role.", Label{"role", "shared"})
+	g := r.NewGauge("nls_inflight", "Jobs executing now.")
+	h := r.NewHistogram("nls_job_seconds", "Job latency.", []float64{0.1, 1, 10})
+
+	c.Add(3)
+	c.Inc()
+	led.Inc()
+	shared.Add(99)
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	want := []string{
+		"# HELP nls_jobs_total Jobs received.",
+		"# TYPE nls_jobs_total counter",
+		"nls_jobs_total 4",
+		`nls_flights_total{role="leader"} 1`,
+		`nls_flights_total{role="shared"} 99`,
+		"# TYPE nls_inflight gauge",
+		"nls_inflight 5",
+		"# TYPE nls_job_seconds histogram",
+		`nls_job_seconds_bucket{le="0.1"} 1`,
+		`nls_job_seconds_bucket{le="1"} 2`,
+		`nls_job_seconds_bucket{le="10"} 3`,
+		`nls_job_seconds_bucket{le="+Inf"} 4`,
+		"nls_job_seconds_sum 55.55",
+		"nls_job_seconds_count 4",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing line %q\n--- got ---\n%s", line, out)
+		}
+	}
+
+	// Families are sorted by name: flights before inflight before jobs_total
+	// before job_seconds? Lexicographic over full names.
+	flights := strings.Index(out, "nls_flights_total")
+	inflight := strings.Index(out, "nls_inflight")
+	jobs := strings.Index(out, "nls_jobs_total")
+	if !(flights < inflight && inflight < jobs) {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestRegistryDeterministicOutput(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "b")
+	r.NewCounter("a_total", "a")
+	r.NewGauge("c", "c")
+	var first string
+	for i := 0; i < 5; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatal("exposition output is not deterministic across renders")
+		}
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "x")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter accepted a negative delta: %d", c.Value())
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "h", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(2)
+	h.Observe(3)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`, `h_bucket{le="2"} 2`, `h_bucket{le="+Inf"} 3`, `h_count 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Errorf("count/sum = %d/%g, want 3/6", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("ok_total", "ok")
+	mustPanic("invalid name", func() { r.NewCounter("bad name", "x") })
+	mustPanic("invalid label", func() { r.NewCounter("ok2_total", "x", Label{"bad key", "v"}) })
+	mustPanic("kind mismatch", func() { r.NewGauge("ok_total", "x") })
+	mustPanic("duplicate series", func() { r.NewCounter("ok_total", "ok") })
+	mustPanic("non-ascending buckets", func() { r.NewHistogram("h", "h", []float64{2, 1}) })
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("esc_total", "e", Label{"path", `a"b\c` + "\n"})
+	c.Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if want := `esc_total{path="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("escaped series missing; got:\n%s", b.String())
+	}
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	g := r.NewGauge("g", "g")
+	h := r.NewHistogram("h", "h", []float64{0.5})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+				var b strings.Builder
+				if i%100 == 0 {
+					r.WritePrometheus(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if math.Abs(h.Sum()-0.25*workers*per) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), 0.25*workers*per)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1\n") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
