@@ -16,12 +16,15 @@
 # FDIP beats next-line on coverage and shrinks the cold-miss bucket.
 # `make trace-golden` pins the sim-time trace exporter: byte-identical
 # Chrome trace-event JSON on a fixed seed, zero counter perturbation.
+# `make corpus-smoke` pins the disk-backed trace corpus: corpus-replayed
+# sweep rows byte-identical to generate-fresh, with stale or corrupt
+# corpus files degrading to regeneration.
 
 GO ?= go
 
 .PHONY: build vet test race stress fuzz bench bench-check verify figures \
-	grid-golden smoke smoke-serve attribution-golden h2p-golden \
-	prefetch-golden trace-golden profile
+	grid-golden smoke smoke-serve corpus-smoke attribution-golden \
+	h2p-golden prefetch-golden trace-golden profile
 
 build:
 	$(GO) build ./...
@@ -43,11 +46,12 @@ stress:
 	$(GO) test -race -run 'Stress|StoreParallelReadersRaceWriter|StoreCorruptCellUnderContention' \
 		./internal/fetch ./internal/experiments ./internal/serve
 
-# Short fuzz passes over the trace parser, the chunked iterator, and the
-# sweep service's untrusted job decoder.
+# Short fuzz passes over the trace parser, the chunked iterator, the
+# corpus container reader, and the sweep service's untrusted job decoder.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=20s ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzChunked -fuzztime=20s ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzCorpusRead -fuzztime=20s ./internal/trace
 	$(GO) test -run=^$$ -fuzz=FuzzJobDecode -fuzztime=20s ./internal/serve
 
 # Sweep scheduler comparison (see EXPERIMENTS.md "Sweep throughput"). The
@@ -57,15 +61,29 @@ fuzz:
 # is deterministic; the run's timestamp goes to a manifest under
 # results/runs/ (gitignored).
 bench:
-	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem . \
+	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell|CorpusReplay)$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_sweep.json -manifest results/runs
 
-# Re-run the sweep benchmarks and gate against the committed baseline:
-# prints per-benchmark deltas and fails on a >10% Mstep/s regression,
-# without touching BENCH_sweep.json.
+# Re-run the sweep benchmarks and gate three ways, without touching
+# BENCH_sweep.json: -compare prints per-benchmark deltas and fails on a
+# >10% Mstep/s regression vs the committed file; -require-ratio enforces
+# the >=2x broadcast-over-per-cell scheduler claim *within this run*
+# (drift-immune: the shared host's effective speed swings tens of percent
+# between days, so only same-run ratios compare cleanly — see
+# EXPERIMENTS.md "Sweep throughput"); -require-improvement enforces a
+# +20% absolute Mstep/s floor over the frozen pre-corpus, pre-pipeline
+# BENCH_baseline.json — the same-epoch code gain measured ~+26%
+# interleaved old-vs-new, so the floor holds across host epochs while the
+# naive cross-epoch "139 vs 93.94" comparison would not. SweepCorpusReplay
+# is recorded by `make bench` but deliberately not re-run here: a cold
+# process's Mstep/s moves >2x with GC and page-cache state, so gating it
+# at 10% would only add flakes (benchjson reports it as missing, which
+# never fails the comparison).
 bench-check:
 	$(GO) test -run=^$$ -bench='BenchmarkSweep(Broadcast|PerCell)$$' -benchmem . \
-		| $(GO) run ./cmd/benchjson -o '' -compare BENCH_sweep.json
+		| $(GO) run ./cmd/benchjson -o '' -compare BENCH_sweep.json \
+			-require-ratio 'SweepBroadcast/SweepPerCell Mstep/s 2.0' \
+			-require-improvement 'Mstep/s 20' -improve-over BENCH_baseline.json
 
 # Regenerate every table and figure (EXPERIMENTS.md numbers). Warm runs
 # load unchanged cells from results/cells; -force re-simulates.
@@ -114,6 +132,14 @@ smoke:
 smoke-serve:
 	$(GO) run ./cmd/nlsserve -smoke
 
+# The trace-corpus round-trip gate (DESIGN.md §16): one run writes the
+# content-keyed corpus, a fresh runner replays it from disk, and the sweep
+# rows must be byte-identical to generate-fresh; stale (wrong insns) and
+# corrupt corpus files must degrade to regeneration, never to wrong rows.
+corpus-smoke:
+	$(GO) test -run 'TestCorpusRoundTripSmoke|TestCorpusStaleFileRebuilt|TestCorpusCorruptFileFallsBack' \
+		./internal/experiments
+
 # pprof smoke run: a small figure sweep under both profilers, then the
 # hottest frames. Profiles land in cpu.prof / mem.prof (gitignored).
 profile:
@@ -121,4 +147,4 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof >/dev/null
 	$(GO) tool pprof -top -nodecount=8 cpu.prof
 
-verify: build vet test race stress grid-golden attribution-golden h2p-golden prefetch-golden trace-golden smoke smoke-serve
+verify: build vet test race stress grid-golden corpus-smoke attribution-golden h2p-golden prefetch-golden trace-golden smoke smoke-serve

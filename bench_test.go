@@ -272,6 +272,78 @@ func BenchmarkSweepPerCell(b *testing.B) {
 	reportSweepRate(b, cells)
 }
 
+// BenchmarkSweepCorpusReplay is BenchmarkSweepBroadcast for a fresh
+// process replaying from the disk-backed trace corpus: every iteration
+// starts a brand-new Runner (no memoized traces, no pre-warmed run
+// annotations) that attaches a pre-built corpus and decodes its traces
+// instead of re-walking the CFG. Against a fresh Runner *without* the
+// corpus, the difference is the generate-once/replay-many win; against
+// BenchmarkSweepBroadcast, the delta is the whole cold-process overhead a
+// corpus leaves behind (decode + annotation warmup).
+func BenchmarkSweepCorpusReplay(b *testing.B) {
+	_, factories, caches := sweepBench(b)
+	cfg := experiments.DefaultConfig(sweepBenchInsns)
+	path := experiments.CorpusPath(b.TempDir(), cfg)
+	{
+		// Build the corpus once, outside the timer, from a throwaway
+		// runner.
+		r := experiments.NewRunner(cfg)
+		if _, err := r.UseCorpus(path); err != nil {
+			b.Fatal(err)
+		}
+		r.CloseCorpus()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(cfg)
+		if _, err := r.UseCorpus(path); err != nil {
+			b.Fatal(err)
+		}
+		results, err := r.Sweep(factories, caches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.CloseCorpus()
+		cells = len(results)
+	}
+	b.StopTimer()
+	reportSweepRate(b, cells)
+}
+
+// BenchmarkCorpusDecode measures the streaming corpus decoder against
+// BenchmarkTraceGeneration: the replay-many side of generate-once.
+func BenchmarkCorpusDecode(b *testing.B) {
+	cfg := experiments.DefaultConfig(benchInsns)
+	cfg.Programs = []workload.Spec{workload.Gcc()}
+	path := experiments.CorpusPath(b.TempDir(), cfg)
+	r := experiments.NewRunner(cfg)
+	if _, err := r.UseCorpus(path); err != nil {
+		b.Fatal(err)
+	}
+	r.CloseCorpus()
+	c, err := trace.OpenCorpus(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := c.ChunkSource(workload.Gcc().Name, trace.DefaultChunkRecords)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for blk := src.NextChunk(); len(blk) > 0; blk = src.NextChunk() {
+			n += len(blk)
+		}
+		if n != benchInsns {
+			b.Fatalf("decoded %d records, want %d", n, benchInsns)
+		}
+	}
+}
+
 // BenchmarkTraceGeneration measures workload synthesis throughput.
 func BenchmarkTraceGeneration(b *testing.B) {
 	for _, spec := range []workload.Spec{workload.Doduc(), workload.Gcc()} {

@@ -18,6 +18,25 @@
 // regresses by more than 10% — `make bench-check` uses it with -o ” as a
 // regression gate against the committed baseline.
 //
+// -require-improvement "<metric> <pct>" is the inverse gate: every
+// benchmark listed in the frozen baseline named by -improve-over must be
+// present in this run with <metric> at least <pct> percent above the
+// frozen value, or benchjson exits nonzero. Where -compare protects
+// against sliding back from the current baseline, -require-improvement
+// machine-checks a speedup claim against a deliberately old snapshot:
+// `make bench-check` uses it against BENCH_baseline.json (the frozen
+// pre-corpus, pre-pipeline SweepBroadcast numbers). The baseline file
+// lists exactly the benchmarks whose claim is enforced — trimming an
+// entry from it withdraws that benchmark's claim.
+//
+// -require-ratio "<benchA>/<benchB> <metric> <min>" gates a ratio of two
+// benchmarks *within this run*: A's metric must be at least <min> times
+// B's. Because both sides of the ratio see the same machine at the same
+// moment, this gate is immune to the host-speed drift that makes
+// absolute Mstep/s comparisons across days unreliable on a shared box —
+// it is how the ≥2× broadcast-vs-per-cell scheduler claim is enforced
+// (see EXPERIMENTS.md "Sweep throughput").
+//
 // The parser understands the standard benchmark result line — name,
 // iteration count, then (value, unit) pairs, including custom
 // b.ReportMetric units like Mstep/s — plus the goos/goarch/pkg/cpu header
@@ -98,7 +117,28 @@ func main() {
 	out := flag.String("o", "BENCH_sweep.json", "output JSON file ('' skips writing)")
 	compareWith := flag.String("compare", "", "compare against a previously written JSON file; exit nonzero on >10% Mstep/s regression")
 	manifestDir := flag.String("manifest", "", "directory for the timestamped run manifest ('' skips it)")
+	requireImprove := flag.String("require-improvement", "", `"<metric> <pct>": require every benchmark in the -improve-over baseline to beat its frozen <metric> by at least <pct> percent (e.g. 'Mstep/s 100' demands a >=2x speedup)`)
+	improveOver := flag.String("improve-over", "BENCH_baseline.json", "frozen baseline file for -require-improvement")
+	requireRatio := flag.String("require-ratio", "", `"<benchA>/<benchB> <metric> <min>": require benchA's <metric> to be at least <min> times benchB's within this run (host-drift-immune)`)
 	flag.Parse()
+
+	var impMetric string
+	var impPct float64
+	if *requireImprove != "" {
+		var err error
+		impMetric, impPct, err = parseRequirement(*requireImprove)
+		if err != nil {
+			fail(err)
+		}
+	}
+	var ratioReq ratioRequirement
+	if *requireRatio != "" {
+		var err error
+		ratioReq, err = parseRatioRequirement(*requireRatio)
+		if err != nil {
+			fail(err)
+		}
+	}
 
 	file := File{Schema: Schema, GoVersion: runtime.Version()}
 	sc := bufio.NewScanner(os.Stdin)
@@ -157,6 +197,140 @@ func main() {
 				int(regressTolerance*100), strings.Join(regressed, ", ")))
 		}
 	}
+
+	if *requireImprove != "" {
+		base, err := readFile(*improveOver)
+		if err != nil {
+			fail(err)
+		}
+		report, failed := requireImprovement(base, file, impMetric, impPct)
+		fmt.Fprintf(os.Stderr, "benchjson: require %s +%g%% vs %s\n", impMetric, impPct, *improveOver)
+		for _, l := range report {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+		if len(failed) > 0 {
+			fail(fmt.Errorf("%s improvement below +%g%% vs %s: %s",
+				impMetric, impPct, *improveOver, strings.Join(failed, ", ")))
+		}
+	}
+
+	if *requireRatio != "" {
+		line, err := checkRatio(file, ratioReq)
+		fmt.Fprintln(os.Stderr, "benchjson: "+line)
+		if err != nil {
+			fail(err)
+		}
+	}
+}
+
+// ratioRequirement is a parsed -require-ratio value: benchmark a's metric
+// must be at least min times benchmark b's, both from the current run.
+type ratioRequirement struct {
+	a, b   string
+	metric string
+	min    float64
+}
+
+// parseRatioRequirement splits a "<benchA>/<benchB> <metric> <min>"
+// -require-ratio value. Benchmark names are the JSON names (no
+// "Benchmark" prefix); subbenchmark paths keep their inner slashes, so
+// the a/b split is on the slash that leaves both sides non-empty and
+// matching — unambiguous for top-level benchmarks, which is what the
+// gate is for.
+func parseRatioRequirement(s string) (ratioRequirement, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 {
+		return ratioRequirement{}, fmt.Errorf(`-require-ratio %q: want "<benchA>/<benchB> <metric> <min>"`, s)
+	}
+	a, b, ok := strings.Cut(fields[0], "/")
+	if !ok || a == "" || b == "" {
+		return ratioRequirement{}, fmt.Errorf("-require-ratio %q: want two benchmark names joined by /", s)
+	}
+	min, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || min <= 0 {
+		return ratioRequirement{}, fmt.Errorf("-require-ratio %q: minimum ratio must be a positive number", s)
+	}
+	return ratioRequirement{a: a, b: b, metric: fields[1], min: min}, nil
+}
+
+// checkRatio evaluates a ratioRequirement against the current run. The
+// returned line always describes what was (or could not be) measured; err
+// is non-nil when the gate fails.
+func checkRatio(cur File, req ratioRequirement) (string, error) {
+	byName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		byName[benchKey(b)] = b
+	}
+	for _, name := range []string{req.a, req.b} {
+		if _, ok := byName[name]; !ok {
+			return fmt.Sprintf("require %s/%s: %s missing from this run", req.a, req.b, name),
+				fmt.Errorf("-require-ratio: benchmark %q not in this run", name)
+		}
+	}
+	den := byName[req.b].Metrics[req.metric]
+	if den <= 0 {
+		return fmt.Sprintf("require %s/%s: %s has no positive %s", req.a, req.b, req.b, req.metric),
+			fmt.Errorf("-require-ratio: %s has no positive %s", req.b, req.metric)
+	}
+	ratio := byName[req.a].Metrics[req.metric] / den
+	line := fmt.Sprintf("require %s >= %.2fx %s on %s: measured %.2fx", req.a, req.min, req.b, req.metric, ratio)
+	if ratio < req.min {
+		return line + "; FAIL", fmt.Errorf("-require-ratio: %s is %.2fx %s on %s, need >=%.2fx",
+			req.a, ratio, req.b, req.metric, req.min)
+	}
+	return line + "; ok", nil
+}
+
+// parseRequirement splits a "<metric> <pct>" -require-improvement value.
+func parseRequirement(s string) (metric string, pct float64, err error) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return "", 0, fmt.Errorf(`-require-improvement %q: want "<metric> <pct>" (e.g. 'Mstep/s 100')`, s)
+	}
+	pct, err = strconv.ParseFloat(fields[1], 64)
+	if err != nil || pct <= 0 {
+		return "", 0, fmt.Errorf("-require-improvement %q: percentage must be a positive number", s)
+	}
+	return fields[0], pct, nil
+}
+
+// requireImprovement checks every benchmark of the frozen baseline against
+// the current run: present, with metric at least (1+pct/100) times the
+// frozen value. The baseline is the authority on which benchmarks carry a
+// claim — current-run benchmarks absent from it are ignored — so the gate
+// stays meaningful as new benchmarks are added to the suite.
+func requireImprovement(base, cur File, metric string, pct float64) (report, failed []string) {
+	need := 1 + pct/100
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[benchKey(b)] = b
+	}
+	for _, b := range base.Benchmarks {
+		key := benchKey(b)
+		frozen, ok := b.Metrics[metric]
+		if !ok || frozen <= 0 {
+			report = append(report, fmt.Sprintf("%s: baseline has no positive %s; FAIL", key, metric))
+			failed = append(failed, key)
+			continue
+		}
+		now, ok := curBy[key]
+		if !ok {
+			report = append(report, fmt.Sprintf("%s: missing from this run; FAIL", key))
+			failed = append(failed, key)
+			continue
+		}
+		got := now.Metrics[metric]
+		ratio := got / frozen
+		line := fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx, need >=%.2fx)", key, metric, frozen, got, ratio, need)
+		if ratio < need {
+			line += "; FAIL"
+			failed = append(failed, key)
+		} else {
+			line += "; ok"
+		}
+		report = append(report, line)
+	}
+	return report, failed
 }
 
 // readFile loads and validates a previously written benchmark JSON file.

@@ -127,6 +127,103 @@ func TestCompareOneSided(t *testing.T) {
 	}
 }
 
+func TestParseRequirement(t *testing.T) {
+	metric, pct, err := parseRequirement("Mstep/s 100")
+	if err != nil || metric != "Mstep/s" || pct != 100 {
+		t.Errorf("parseRequirement: %q %v %v", metric, pct, err)
+	}
+	for _, bad := range []string{"", "Mstep/s", "Mstep/s abc", "Mstep/s -5", "Mstep/s 0", "a b c"} {
+		if _, _, err := parseRequirement(bad); err == nil {
+			t.Errorf("parseRequirement(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRequireImprovement: the improvement gate passes only when every
+// benchmark of the frozen baseline is present with the metric at or above
+// (1+pct/100)x its frozen value; extra current-run benchmarks carry no
+// claim and are ignored.
+func TestRequireImprovement(t *testing.T) {
+	base := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("SweepBroadcast", 100),
+	}}
+
+	// 2.1x with an unclaimed extra benchmark: pass.
+	cur := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("SweepBroadcast", 210),
+		benchWith("SweepCorpusReplay", 10), // not in baseline: no claim
+	}}
+	if report, failed := requireImprovement(base, cur, "Mstep/s", 100); len(failed) != 0 {
+		t.Errorf("2.1x failed the +100%% gate: %v\n%v", failed, report)
+	} else if len(report) != 1 {
+		t.Errorf("report covers %d benchmarks, want the 1 claimed: %v", len(report), report)
+	}
+
+	// Exactly 2.0x meets a +100% requirement (at-least, not strictly-above).
+	cur.Benchmarks[0] = benchWith("SweepBroadcast", 200)
+	if _, failed := requireImprovement(base, cur, "Mstep/s", 100); len(failed) != 0 {
+		t.Errorf("exact 2.0x failed the +100%% gate: %v", failed)
+	}
+
+	// 1.9x fails it.
+	cur.Benchmarks[0] = benchWith("SweepBroadcast", 190)
+	if _, failed := requireImprovement(base, cur, "Mstep/s", 100); len(failed) != 1 {
+		t.Errorf("1.9x passed the +100%% gate: %v", failed)
+	}
+
+	// A claimed benchmark missing from the run fails, as does a baseline
+	// entry with no positive value for the metric.
+	if _, failed := requireImprovement(base, File{Schema: Schema}, "Mstep/s", 100); len(failed) != 1 {
+		t.Errorf("missing benchmark passed: %v", failed)
+	}
+	noMetric := File{Schema: Schema, Benchmarks: []Benchmark{{
+		Name: "Parse", Procs: 1, Metrics: map[string]float64{"ns/op": 100}}}}
+	if _, failed := requireImprovement(noMetric, cur, "Mstep/s", 100); len(failed) != 1 {
+		t.Errorf("metric-less baseline entry passed: %v", failed)
+	}
+}
+
+// TestRequireRatio: the same-run ratio gate — immune to host-speed drift
+// because numerator and denominator come from one run.
+func TestRequireRatio(t *testing.T) {
+	req, err := parseRatioRequirement("SweepBroadcast/SweepPerCell Mstep/s 2.0")
+	if err != nil || req.a != "SweepBroadcast" || req.b != "SweepPerCell" ||
+		req.metric != "Mstep/s" || req.min != 2.0 {
+		t.Fatalf("parseRatioRequirement: %+v %v", req, err)
+	}
+	for _, bad := range []string{"", "A/B Mstep/s", "A/B Mstep/s x", "A/B Mstep/s 0",
+		"AB Mstep/s 2", "/B Mstep/s 2", "A/ Mstep/s 2"} {
+		if _, err := parseRatioRequirement(bad); err == nil {
+			t.Errorf("parseRatioRequirement(%q) accepted", bad)
+		}
+	}
+
+	run := func(a, b float64) File {
+		return File{Schema: Schema, Benchmarks: []Benchmark{
+			benchWith("SweepBroadcast", a), benchWith("SweepPerCell", b)}}
+	}
+	if _, err := checkRatio(run(210, 100), req); err != nil {
+		t.Errorf("2.1x failed a 2.0x gate: %v", err)
+	}
+	if _, err := checkRatio(run(200, 100), req); err != nil {
+		t.Errorf("exact 2.0x failed a 2.0x gate: %v", err)
+	}
+	if _, err := checkRatio(run(190, 100), req); err == nil {
+		t.Error("1.9x passed a 2.0x gate")
+	}
+	// Missing benchmarks and a zero denominator fail rather than divide.
+	missing := File{Schema: Schema, Benchmarks: []Benchmark{benchWith("SweepBroadcast", 210)}}
+	if _, err := checkRatio(missing, req); err == nil {
+		t.Error("missing denominator benchmark passed")
+	}
+	noMetric := File{Schema: Schema, Benchmarks: []Benchmark{
+		benchWith("SweepBroadcast", 210),
+		{Name: "SweepPerCell", Procs: 1, Metrics: map[string]float64{"ns/op": 5}}}}
+	if _, err := checkRatio(noMetric, req); err == nil {
+		t.Error("metric-less denominator passed")
+	}
+}
+
 // TestFileDeterministic: the written document is a pure function of the
 // benchmark text — no timestamps, stable key order — so re-running `make
 // bench` with identical results leaves BENCH_sweep.json byte-identical.

@@ -54,6 +54,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8372", "listen address")
 		storeDir     = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables caching)")
+		corpusDir    = flag.String("corpus", experiments.DefaultCorpusDir(), "disk-backed trace corpus directory: the first job of a configuration generates traces once, later jobs replay from disk (empty disables)")
 		workers      = flag.Int("workers", 0, "executor pool size (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "accepted-but-not-running job bound (beyond it: 503)")
 		maxInsns     = flag.Int("max-insns", 0, "per-program instruction budget cap (0 = default)")
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv, err := newServer(*storeDir, *workers, *queue, *maxInsns, *maxCells, *maxBody, logger)
+	srv, err := newServer(*storeDir, *corpusDir, *workers, *queue, *maxInsns, *maxCells, *maxBody, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nlsserve:", err)
 		os.Exit(1)
@@ -114,8 +115,9 @@ func main() {
 	fmt.Fprintln(os.Stderr, "nlsserve: stopped")
 }
 
-func newServer(storeDir string, workers, queue, maxInsns, maxCells int, maxBody int64, logger *slog.Logger) (*serve.Server, error) {
+func newServer(storeDir, corpusDir string, workers, queue, maxInsns, maxCells int, maxBody int64, logger *slog.Logger) (*serve.Server, error) {
 	opts := serve.Options{
+		CorpusDir:  corpusDir,
 		Workers:    workers,
 		QueueDepth: queue,
 		Limits:     serve.Limits{MaxBodyBytes: maxBody, MaxInsns: maxInsns, MaxCells: maxCells},
@@ -163,7 +165,7 @@ func runSmoke(workers int) error {
 	}
 	defer os.RemoveAll(storeDir)
 
-	srv, err := newServer(storeDir, workers, 16, 0, 0, 0, nil)
+	srv, err := newServer(storeDir, storeDir+"/corpus", workers, 16, 0, 0, 0, nil)
 	if err != nil {
 		return err
 	}

@@ -57,23 +57,23 @@ import (
 
 func main() {
 	var (
-		wl         = flag.String("workload", "gcc", "workload name (doduc, espresso, gcc, li, cfront, groff)")
-		n          = flag.Int("n", 1_000_000, "instructions to simulate")
-		archName   = flag.String("arch", "nls-table", "registered spec name (see -list) or predictor kind: nls-table, nls-cache, btb, coupled-btb, johnson")
-		entries    = flag.Int("entries", 1024, "NLS-table or BTB entries")
-		perLine    = flag.Int("perline", 2, "NLS-cache predictors per line")
-		cacheKB    = flag.Int("cache", 16, "instruction cache size in KB")
-		assoc      = flag.Int("assoc", 1, "cache associativity (nls) or BTB associativity (btb)")
-		phtKind    = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, tage, taken, nottaken")
-		phtSize    = flag.Int("phtsize", 4096, "PHT entries (tage uses the equal-cost DESIGN.md §13 sizing)")
-		breakdown  = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
-		attribute  = flag.Bool("attribute", false, "attach the fetch probe and report per-branch penalty attribution")
-		h2p        = flag.Bool("h2p", false, "rank hard-to-predict branches: per-PC dir-wrong under the paper gshare vs the equal-cost TAGE-lite, on the selected architecture")
-		stream     = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
-		jsonOut    = flag.Bool("json", false, "emit the result as JSON on stdout")
-		list       = flag.Bool("list", false, "list registered architecture specs and exit")
-		force      = flag.Bool("force", false, "re-simulate even when the results store has the cell")
-		storeDir   = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
+		wl          = flag.String("workload", "gcc", "workload name (doduc, espresso, gcc, li, cfront, groff)")
+		n           = flag.Int("n", 1_000_000, "instructions to simulate")
+		archName    = flag.String("arch", "nls-table", "registered spec name (see -list) or predictor kind: nls-table, nls-cache, btb, coupled-btb, johnson")
+		entries     = flag.Int("entries", 1024, "NLS-table or BTB entries")
+		perLine     = flag.Int("perline", 2, "NLS-cache predictors per line")
+		cacheKB     = flag.Int("cache", 16, "instruction cache size in KB")
+		assoc       = flag.Int("assoc", 1, "cache associativity (nls) or BTB associativity (btb)")
+		phtKind     = flag.String("pht", "gshare", "direction predictor: gshare, gas, bimodal, 1bit, tage, taken, nottaken")
+		phtSize     = flag.Int("phtsize", 4096, "PHT entries (tage uses the equal-cost DESIGN.md §13 sizing)")
+		breakdown   = flag.Bool("breakdown", false, "print per-branch-kind misfetch/mispredict breakdown")
+		attribute   = flag.Bool("attribute", false, "attach the fetch probe and report per-branch penalty attribution")
+		h2p         = flag.Bool("h2p", false, "rank hard-to-predict branches: per-PC dir-wrong under the paper gshare vs the equal-cost TAGE-lite, on the selected architecture")
+		stream      = flag.Bool("stream", false, "stream records straight from the executor in O(chunk) memory instead of materializing the trace")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON on stdout")
+		list        = flag.Bool("list", false, "list registered architecture specs and exit")
+		force       = flag.Bool("force", false, "re-simulate even when the results store has the cell")
+		storeDir    = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		traceEvents = flag.String("trace-events", "", "write a sim-time Chrome trace-event JSON file (Perfetto-viewable) from a recorder-attached replay")

@@ -74,6 +74,7 @@ func main() {
 		progress    = flag.Bool("progress", false, "print sweep progress (cells completed, replay throughput) to stderr")
 		jsonOut     = flag.Bool("json", false, "print the machine-readable report to stdout (tables move to stderr) and write it to results/<exp>.json")
 		storeDir    = flag.String("store", experiments.DefaultStoreDir(), "content-addressed results store directory (empty disables)")
+		corpusDir   = flag.String("corpus", experiments.DefaultCorpusDir(), "disk-backed trace corpus directory: the first run generates traces once into a content-keyed container, later runs replay from disk (empty disables)")
 		manifestDir = flag.String("manifest", experiments.DefaultManifestDir(), "run-manifest directory (empty disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -117,7 +118,7 @@ func main() {
 				s.Cells, s.TotalCells, float64(s.Records)/1e6, s.RecordsPerSec()/1e6)
 		}
 	}
-	x := &experiments.Executor{R: r, Force: *force}
+	x := &experiments.Executor{R: r, Force: *force, CorpusDir: *corpusDir}
 	if *storeDir != "" {
 		store, err := experiments.OpenStore(*storeDir)
 		check(err)

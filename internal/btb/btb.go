@@ -167,6 +167,19 @@ func (b *BTB) HitRate() float64 {
 	return float64(b.hits) / float64(b.lookups)
 }
 
+// Cold reports whether the buffer holds no entries — i.e. its future
+// lookup/allocate behaviour is indistinguishable from a freshly built BTB
+// of the same configuration. The hit-rate statistics are deliberately
+// ignored: they never feed back into prediction.
+func (b *BTB) Cold() bool {
+	for i := range b.slots {
+		if b.slots[i].valid {
+			return false
+		}
+	}
+	return true
+}
+
 // Reset empties the BTB and clears statistics.
 func (b *BTB) Reset() {
 	for i := range b.slots {

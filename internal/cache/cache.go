@@ -86,6 +86,29 @@ func (c *Cache) Probe(a isa.Addr) (way int, hit bool) {
 // returns whether the access hit and the way where the line now resides.
 func (c *Cache) Access(a isa.Addr) (hit bool, way int) {
 	c.accesses++
+	// Direct-mapped fast path: with one way there is no victim choice, so
+	// LRU stamps are unobservable and the hit check is a single tag
+	// compare. Prefetching needs the full bookkeeping below.
+	if c.geom.assoc == 1 && c.pf == nil {
+		want := c.geom.LineAddr(a) | tagValid
+		set := int(want & c.geom.setMask)
+		c.clock++
+		if c.tags[set] == want {
+			c.lastSet, c.lastWay = set, 0
+			return true, 0
+		}
+		c.misses++
+		if _, known := c.seen[want]; !known {
+			c.markSeen(want)
+			c.coldMisses++
+		}
+		c.tags[set] = want
+		c.lastSet, c.lastWay = set, 0
+		if c.onReplace != nil {
+			c.onReplace(set, 0)
+		}
+		return false, 0
+	}
 	if c.stamp == nil {
 		c.stamp = make([]uint64, len(c.tags))
 	}
@@ -179,7 +202,9 @@ func (c *Cache) LastSlot() (set, way int) { return c.lastSet, c.lastWay }
 func (c *Cache) AccessRun(set, way int, n uint64) {
 	c.accesses += n
 	c.clock += n
-	c.stamp[c.slot(set, way)] = c.clock
+	if c.stamp != nil {
+		c.stamp[c.slot(set, way)] = c.clock
+	}
 }
 
 // ApplyFill installs the line containing a into way of its set, firing
@@ -237,6 +262,21 @@ func (c *Cache) HoldsAt(set, way int, a isa.Addr) bool {
 		return false
 	}
 	return c.tags[set*c.geom.assoc+way] == c.geom.LineAddr(a)|tagValid
+}
+
+// PointsTo reports whether the NLS-style pointer (set, off, way) currently
+// identifies the instruction at target: set and off must decompose target's
+// address and (set, way) must actually hold target's line right now. This
+// is Entry.PointsTo's check fused into one call so the predictors' hottest
+// probe pays one address decomposition and no Geometry copy: when the set
+// comparison passes, set is already bounds-proven by the mask, so only the
+// way needs a range check before the tag read.
+func (c *Cache) PointsTo(set, off, way int, target isa.Addr) bool {
+	la := uint32(target) >> c.geom.lineShift
+	if set != int(la&c.geom.setMask) || off != int((uint32(target)>>2)&c.geom.offMask) {
+		return false
+	}
+	return uint(way) < uint(c.geom.assoc) && c.tags[set*c.geom.assoc+way] == la|tagValid
 }
 
 // Accesses returns the number of Access calls.

@@ -28,18 +28,53 @@ const (
 	AnnWayMask uint8 = 0x7f
 )
 
+// Replay-event encoding: each element of AccessAnnotations.Events packs a
+// record index with the flags saying why an annotated replay must visit it.
+// Every record NOT in the event list is a hit the oracle already counted
+// and a non-break the frontend's accounting ignores, so a member replays a
+// block by walking the event list alone — no per-record scanning.
+const (
+	// EvtFill marks a missing access: the member applies the fill to its
+	// tag mirror (Cache.ApplyFill).
+	EvtFill uint32 = 1 << 0
+	// EvtBreak marks a break record: the member runs its §6 break
+	// accounting.
+	EvtBreak uint32 = 1 << 1
+	// EvtPost marks the record after a break (and the first record of
+	// every block): the point where a deferred predictor update resolves
+	// with this record's way.
+	EvtPost uint32 = 1 << 2
+	// EvtShift is the index shift above the flag bits.
+	EvtShift = 3
+
+	// EvtIdxBits is the width of the record-index field above the flags
+	// (record blocks hold at most trace.DefaultChunkRecords = 4096
+	// records; Annotate checks the bound). Break events carry the break
+	// PC's set index in the bits above the field, so every replay engine
+	// sharing the annotation reads the set instead of recomputing
+	// Geometry.SetIndex per break.
+	EvtIdxBits         = 13
+	EvtIdxMask  uint32 = 1<<EvtIdxBits - 1
+	EvtSetShift        = EvtShift + EvtIdxBits
+)
+
 // AccessAnnotations is the columnar access outcome of one record block
-// under one cache geometry: one encoded (hit, way) slot per record, plus
-// the block's miss count so consumers can credit counters in bulk. Slots
-// are written only for the records an engine's batched replay actually
-// dispatches on — run leaders and breaks; the same-line followers that
-// stepBlockRuns batches into one AccessRun always hit the leader's slot
-// and their annotation bytes are left stale. Slot buffers are recycled
-// through trace's annotation-buffer pool (see Release).
+// under one cache geometry: one encoded (hit, way) slot per record, the
+// packed replay-event list, plus the block's miss count so consumers can
+// credit counters in bulk. Slots are written only for the records an
+// engine's batched replay actually dispatches on — run leaders and breaks;
+// the same-line followers that stepBlockRuns batches into one AccessRun
+// always hit the leader's slot and their annotation bytes are left stale.
+// Buffers are recycled through trace's annotation-buffer pools (see
+// Release).
 type AccessAnnotations struct {
 	// Slots holds one encoded slot per record (AnnHit | way), valid at
 	// run-leader and break positions only.
 	Slots []uint8
+	// Events is the block's replay-event list in record order: index<<
+	// EvtShift | EvtFill/EvtBreak/EvtPost. Every indexed record is a run
+	// leader, so its Slots entry is valid.
+	Events []uint32
 	// Misses is the number of block accesses that missed.
 	Misses uint64
 	// ColdMisses is the number of those misses that were compulsory
@@ -47,11 +82,13 @@ type AccessAnnotations struct {
 	ColdMisses uint64
 }
 
-// Release returns the slot buffer to the shared pool. The annotation must
+// Release returns the buffers to the shared pools. The annotation must
 // not be used afterwards.
 func (a *AccessAnnotations) Release() {
 	trace.PutAnnBuf(a.Slots)
 	a.Slots = nil
+	trace.PutEvtBuf(a.Events)
+	a.Events = nil
 }
 
 // Oracle replays record blocks through a private cache exactly as an
@@ -74,32 +111,57 @@ func (o *Oracle) Geometry() Geometry { return o.c.Geometry() }
 func (o *Oracle) Reset() { o.c.Reset() }
 
 // Annotate simulates one record block and fills ann with its access
-// outcomes. runs, when non-nil, is the block's shared same-line run
-// annotation for this geometry's line size (trace.Chunked.RunLens
-// contract); nil runs falls back to scanning the line boundaries, exactly
-// like the engines' own stepBlock path. ann's slot buffer is grown from
-// the trace annotation pool as needed and reused across calls.
+// outcomes and replay events. runs, when non-nil, is the block's shared
+// same-line run annotation for this geometry's line size
+// (trace.Chunked.RunLens contract); nil runs falls back to scanning the
+// line boundaries, exactly like the engines' own stepBlock path. ann's
+// buffers are grown from the trace annotation pools as needed and reused
+// across calls.
 func (o *Oracle) Annotate(recs []trace.Record, runs []uint8, ann *AccessAnnotations) {
+	if len(recs) > 1<<EvtIdxBits {
+		panic("cache: record block exceeds the event index field")
+	}
 	if cap(ann.Slots) < len(recs) {
 		trace.PutAnnBuf(ann.Slots)
 		ann.Slots = trace.GetAnnBuf(len(recs))
 	}
 	slots := ann.Slots[:len(recs)]
 	ann.Slots = slots
+	if ann.Events == nil {
+		ann.Events = trace.GetEvtBuf(len(recs) / 2)
+	}
+	events := ann.Events[:0]
 	c := o.c
 	missBase := c.misses
 	coldBase := c.coldMisses
+	// Only the first record of a block is an EvtPost resolution point: a
+	// break at the end of the PREVIOUS block may have deferred its update
+	// here. Within the block, a break's deferred update resolves inline
+	// at the break event itself — the successor's way is the next
+	// record's slot, which the oracle always writes (the record after a
+	// break is a fresh run leader).
+	post := EvtPost
 	for i := 0; i < len(recs); {
 		r := recs[i]
 		hit, way := c.Access(r.PC)
 		s := uint8(way)
+		flags := post
+		post = 0
 		if hit {
 			s |= AnnHit
+		} else {
+			flags |= EvtFill
 		}
 		slots[i] = s
 		i++
 		if r.IsBreak() {
+			// lastSet is r.PC's set index, fresh from the Access above.
+			events = append(events,
+				uint32(c.lastSet)<<EvtSetShift|uint32(i-1)<<EvtShift|flags|EvtBreak)
 			continue
+		}
+		if flags != 0 {
+			events = append(events, uint32(i-1)<<EvtShift|flags)
 		}
 		if runs != nil {
 			// Precomputed boundaries: identical traversal to
@@ -110,7 +172,13 @@ func (o *Oracle) Annotate(recs []trace.Record, runs []uint8, ann *AccessAnnotati
 				i += int(n)
 			}
 			for i < len(recs) && recs[i].Kind == isa.NonBranch {
-				i = o.annotateLeader(recs, slots, i)
+				if lhit, lway := c.Access(recs[i].PC); lhit {
+					slots[i] = uint8(lway) | AnnHit
+				} else {
+					slots[i] = uint8(lway)
+					events = append(events, uint32(i)<<EvtShift|EvtFill)
+				}
+				i++
 				if n := uint64(runs[i-1]); n > 0 {
 					set, w := c.LastSlot()
 					c.AccessRun(set, w, n)
@@ -121,25 +189,20 @@ func (o *Oracle) Annotate(recs []trace.Record, runs []uint8, ann *AccessAnnotati
 			// Scanning path: identical traversal to base.stepBlock.
 			i = o.runTail(recs, i, c.geom.LineAddr(r.PC))
 			for i < len(recs) && recs[i].Kind == isa.NonBranch {
-				i = o.annotateLeader(recs, slots, i)
+				if lhit, lway := c.Access(recs[i].PC); lhit {
+					slots[i] = uint8(lway) | AnnHit
+				} else {
+					slots[i] = uint8(lway)
+					events = append(events, uint32(i)<<EvtShift|EvtFill)
+				}
+				i++
 				i = o.runTail(recs, i, c.geom.LineAddr(recs[i-1].PC))
 			}
 		}
 	}
+	ann.Events = events
 	ann.Misses = c.misses - missBase
 	ann.ColdMisses = c.coldMisses - coldBase
-}
-
-// annotateLeader accesses the run-leader record at i and records its slot,
-// returning i+1.
-func (o *Oracle) annotateLeader(recs []trace.Record, slots []uint8, i int) int {
-	hit, way := o.c.Access(recs[i].PC)
-	s := uint8(way)
-	if hit {
-		s |= AnnHit
-	}
-	slots[i] = s
-	return i + 1
 }
 
 // runTail batches the same-line non-branch records from i on (the mirror

@@ -90,10 +90,7 @@ type Entry struct {
 // "a branch destination that has been displaced from the instruction cache
 // causes a misfetch penalty").
 func (e Entry) PointsTo(c *cache.Cache, target isa.Addr) bool {
-	g := c.Geometry()
-	return int(e.Set) == g.SetIndex(target) &&
-		int(e.Offset) == g.InstrOffset(target) &&
-		c.HoldsAt(int(e.Set), int(e.Way), target)
+	return c.PointsTo(int(e.Set), int(e.Offset), int(e.Way), target)
 }
 
 // pointerFor builds the pointer fields for a target resident in way of its

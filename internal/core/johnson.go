@@ -86,13 +86,7 @@ func (j *JohnsonCoupled) Lookup(pc isa.Addr, set, way int) JohnsonEntry {
 // PointsTo reports whether the pointer currently identifies the instruction
 // at target (same check as Entry.PointsTo).
 func (e JohnsonEntry) PointsTo(c *cache.Cache, target isa.Addr) bool {
-	if !e.Valid {
-		return false
-	}
-	g := c.Geometry()
-	return int(e.Set) == g.SetIndex(target) &&
-		int(e.Offset) == g.InstrOffset(target) &&
-		c.HoldsAt(int(e.Set), int(e.Way), target)
+	return e.Valid && c.PointsTo(int(e.Set), int(e.Offset), int(e.Way), target)
 }
 
 // Update trains the pointer with where execution actually continued —
@@ -101,12 +95,21 @@ func (e JohnsonEntry) PointsTo(c *cache.Cache, target isa.Addr) bool {
 // address of the instruction that executed after the branch and nextWay the
 // way where its line resides.
 func (j *JohnsonCoupled) Update(pc isa.Addr, next isa.Addr, nextWay int) {
-	way, resident := j.c.Probe(pc)
-	if !resident {
-		return
+	j.UpdateAt(pc, next, nextWay, j.g.SetIndex(pc), -1)
+}
+
+// UpdateAt is Update with the branch's fetch-time cache slot passed in:
+// set MUST be pc's set index, and way is a residency hint (see
+// LineCoupled.UpdateAt — same contract, same fallback).
+func (j *JohnsonCoupled) UpdateAt(pc, next isa.Addr, nextWay, set, way int) {
+	if !j.c.HoldsAt(set, way, pc) {
+		var resident bool
+		if way, resident = j.c.Probe(pc); !resident {
+			return
+		}
 	}
 	g := j.g
-	s := j.slotFor(g.SetIndex(pc), way, g.InstrOffset(pc))
+	s := j.slotFor(set, way, g.InstrOffset(pc))
 	j.valid[s] = true
 	j.set[s] = uint16(g.SetIndex(next))
 	j.offset[s] = uint8(g.InstrOffset(next))

@@ -84,12 +84,25 @@ func (l *LineCoupled) Lookup(pc isa.Addr, set, way int) Entry {
 // discarded with the line anyway. Type is always written; the pointer only
 // on taken branches, as for the NLS-table.
 func (l *LineCoupled) Update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, targetWay int) {
-	way, resident := l.c.Probe(pc)
-	if !resident {
-		return
+	l.UpdateAt(pc, kind, taken, target, targetWay, l.g.SetIndex(pc), -1)
+}
+
+// UpdateAt is Update with the branch's fetch-time cache slot passed in:
+// set MUST be pc's set index, and way is a residency hint (the way the
+// branch was fetched from). When (set, way) still holds pc's line — the
+// common case, since at most one fill can intervene between fetch and
+// update — the residency probe collapses to a single tag compare; any
+// stale or out-of-range hint falls back to the full probe, preserving
+// Update's drop-on-displacement semantics bit for bit.
+func (l *LineCoupled) UpdateAt(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, targetWay, set, way int) {
+	if !l.c.HoldsAt(set, way, pc) {
+		var resident bool
+		if way, resident = l.c.Probe(pc); !resident {
+			return
+		}
 	}
 	g := l.g
-	e := &l.entries[l.slotFor(g.SetIndex(pc), way, g.InstrOffset(pc))]
+	e := &l.entries[l.slotFor(set, way, g.InstrOffset(pc))]
 	e.Type = TypeForKind(kind)
 	if taken {
 		e.Set, e.Offset, e.Way = pointerFor(g, target, targetWay)

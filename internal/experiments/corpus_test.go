@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+func corpusTestConfig() Config {
+	cfg := DefaultConfig(15_000)
+	cfg.Programs = []workload.Spec{workload.Li(), workload.Espresso()}
+	return cfg
+}
+
+func corpusSweep(t *testing.T, x *Executor) []Row {
+	t.Helper()
+	g := Grid{Name: "corpus-smoke", Arms: []Arm{
+		{Name: "nls", Spec: NLSTableFactory(512).Spec, Caches: []cache.Geometry{
+			cache.MustGeometry(8*1024, LineBytes, 1),
+			cache.MustGeometry(16*1024, LineBytes, 4),
+		}},
+		{Name: "btb", Spec: BTBFactory(BTBConfigs()[0]).Spec, Caches: []cache.Geometry{
+			cache.MustGeometry(8*1024, LineBytes, 1),
+		}},
+	}}
+	rs, err := x.RunGrids(false, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs.Rows(g)
+}
+
+// TestCorpusRoundTripSmoke is the corpus round-trip gate run by `make
+// verify`: a run with a corpus directory builds the content-keyed corpus
+// file; a second, fresh run reopens that file, decodes every trace from it
+// (no regeneration), and must produce bit-identical sweep rows.
+func TestCorpusRoundTripSmoke(t *testing.T) {
+	cfg := corpusTestConfig()
+	dir := t.TempDir()
+
+	// Baseline: no corpus anywhere near the run.
+	base := &Executor{R: NewRunner(cfg)}
+	want := corpusSweep(t, base)
+
+	// First corpus run: builds the file.
+	x1 := &Executor{R: NewRunner(cfg), CorpusDir: dir}
+	got1 := corpusSweep(t, x1)
+	defer x1.R.CloseCorpus()
+
+	path := CorpusPath(dir, cfg)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("first corpus run did not build %s: %v", path, err)
+	}
+
+	// Second corpus run in a fresh runner: must decode, not regenerate.
+	x2 := &Executor{R: NewRunner(cfg), CorpusDir: dir}
+	got2 := corpusSweep(t, x2)
+	defer x2.R.CloseCorpus()
+	if x2.R.attachedCorpus() == nil {
+		t.Fatal("second run did not attach the corpus")
+	}
+
+	if len(want) != len(got1) || len(want) != len(got2) {
+		t.Fatalf("row counts diverge: %d / %d / %d", len(want), len(got1), len(got2))
+	}
+	for i := range want {
+		if got1[i].M != want[i].M {
+			t.Errorf("row %d (%s/%s/%s): corpus-building run diverges from baseline",
+				i, want[i].Program, want[i].Arch, want[i].Cache())
+		}
+		if got2[i].M != want[i].M {
+			t.Errorf("row %d (%s/%s/%s): corpus-replay run diverges from baseline\n got %+v\nwant %+v",
+				i, want[i].Program, want[i].Arch, want[i].Cache(), got2[i].M, want[i].M)
+		}
+	}
+}
+
+// TestCorpusStaleFileRebuilt: a corpus at the right path but with the
+// wrong contents (here: a different instruction budget) is a miss; the run
+// rebuilds it in place and still produces correct rows.
+func TestCorpusStaleFileRebuilt(t *testing.T) {
+	cfg := corpusTestConfig()
+	dir := t.TempDir()
+
+	// Plant a corpus for a different budget at this config's keyed path.
+	other := cfg
+	other.Insns = 5_000
+	xo := &Executor{R: NewRunner(other), CorpusDir: dir}
+	corpusSweep(t, xo)
+	xo.R.CloseCorpus()
+	stale := CorpusPath(dir, other)
+	if err := os.Rename(stale, CorpusPath(dir, cfg)); err != nil {
+		t.Fatal(err)
+	}
+
+	base := &Executor{R: NewRunner(cfg)}
+	want := corpusSweep(t, base)
+	x := &Executor{R: NewRunner(cfg), CorpusDir: dir}
+	got := corpusSweep(t, x)
+	defer x.R.CloseCorpus()
+	for i := range want {
+		if got[i].M != want[i].M {
+			t.Errorf("row %d diverges after stale-corpus rebuild", i)
+		}
+	}
+
+	// The rebuilt file must now be a valid hit for a fresh runner.
+	x2 := &Executor{R: NewRunner(cfg), CorpusDir: dir}
+	corpusSweep(t, x2)
+	defer x2.R.CloseCorpus()
+	if x2.R.attachedCorpus() == nil {
+		t.Error("rebuilt corpus not attached by a fresh runner")
+	}
+}
+
+// TestCorpusCorruptFileFallsBack: flipping payload bytes must not error a
+// run or change its rows — the corpus is a cache, so corruption degrades
+// to regeneration.
+func TestCorpusCorruptFileFallsBack(t *testing.T) {
+	cfg := corpusTestConfig()
+	dir := t.TempDir()
+	x1 := &Executor{R: NewRunner(cfg), CorpusDir: dir}
+	want := corpusSweep(t, x1)
+	x1.R.CloseCorpus()
+
+	path := CorpusPath(dir, cfg)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte past the head magic; the index stays intact,
+	// so the corpus opens and the per-program checksum catches it.
+	data[len(data)/4] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	x2 := &Executor{R: NewRunner(cfg), CorpusDir: dir}
+	got := corpusSweep(t, x2)
+	defer x2.R.CloseCorpus()
+	for i := range want {
+		if got[i].M != want[i].M {
+			t.Errorf("row %d diverges after payload corruption fallback", i)
+		}
+	}
+}
+
+// TestCorpusKeyStability: the key must change with any generation input
+// and ignore replay-only inputs.
+func TestCorpusKeyStability(t *testing.T) {
+	cfg := corpusTestConfig()
+	k := CorpusKey(cfg)
+	if k2 := CorpusKey(cfg); k2 != k {
+		t.Fatalf("key not deterministic: %s vs %s", k, k2)
+	}
+	ins := cfg
+	ins.Insns++
+	if CorpusKey(ins) == k {
+		t.Error("key ignores the instruction budget")
+	}
+	progs := cfg
+	progs.Programs = progs.Programs[:1]
+	if CorpusKey(progs) == k {
+		t.Error("key ignores the workload set")
+	}
+	pen := cfg
+	pen.Penalties.Misfetch++
+	if CorpusKey(pen) != k {
+		t.Error("key depends on penalties, which do not affect traces")
+	}
+	if filepath.Base(CorpusPath("d", cfg)) != "traces-"+k[:16]+".nlsc" {
+		t.Errorf("CorpusPath does not embed the content key: %s", CorpusPath("d", cfg))
+	}
+}

@@ -25,6 +25,11 @@ type Executor struct {
 	Store *Store
 	// Force re-simulates (and overwrites) stored cells.
 	Force bool
+	// CorpusDir, when non-empty, enables the disk-backed trace corpus: a
+	// run needing any trace attaches the content-keyed corpus under this
+	// directory (CorpusPath), building it once if absent, so later runs
+	// decode traces instead of regenerating them (corpus.go).
+	CorpusDir string
 	// Observer, when non-nil, receives one StageSpan per executor stage at
 	// the end of each run — the seam the serve layer hangs its stage
 	// histograms on. It is called from the goroutine that ran RunGrids,
@@ -39,7 +44,9 @@ type Executor struct {
 // measurement in both places, so they cannot disagree.
 type StageSpan struct {
 	// Stage is one of "gather" (cell enumeration and store probing),
-	// "trace-gen" (workload trace generation/chunking), "replay" (the
+	// "gen-corpus" (trace corpus build or open, 0 when no CorpusDir is
+	// set or no trace was needed), "trace-gen" (workload trace
+	// generation/chunking — decode, on a corpus hit), "replay" (the
 	// broadcast replay itself), "store-save" (persisting rows).
 	Stage   string  `json:"stage"`
 	Seconds float64 `json:"seconds"`
@@ -239,6 +246,19 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 		}
 	}
 
+	// Traces are about to be needed: attach (building if absent) the
+	// content-keyed corpus, so genOne decodes instead of generating. A
+	// fully store-served run skips this — it needs no trace, so it should
+	// not build a corpus either.
+	var corpusDur time.Duration
+	if x.CorpusDir != "" && len(active) > 0 {
+		d, err := r.UseCorpus(CorpusPath(x.CorpusDir, cfg))
+		if err != nil {
+			return nil, err
+		}
+		corpusDur = d
+	}
+
 	// Same bounded-pool shape as the PR1 scheduler: at most progPar
 	// program goroutines, the leftover parallelism budget going to each
 	// broadcast's worker pool.
@@ -403,6 +423,7 @@ func (x *Executor) RunGrids(needInfo bool, grids ...Grid) (*ResultSet, error) {
 	}
 	rs.Stages = []StageSpan{
 		{Stage: "gather", Seconds: gatherDur.Seconds()},
+		{Stage: "gen-corpus", Seconds: corpusDur.Seconds()},
 		{Stage: "trace-gen", Seconds: traceGenDur.Seconds()},
 		{Stage: "replay", Seconds: replayDur.Seconds()},
 		{Stage: "store-save", Seconds: saveDur.Seconds()},
@@ -445,6 +466,7 @@ type runFastPath interface {
 // their i-caches privately.
 type oracleFastPath interface {
 	StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnnotations, runs []uint8)
+	StepBlockEvents(recs []trace.Record, ann *cache.AccessAnnotations)
 	OracleGroup() (cache.Geometry, bool)
 }
 
@@ -468,6 +490,23 @@ func (t *timedRunEngine) StepBlockAnnotated(recs []trace.Record, ann *cache.Acce
 	start := time.Now()
 	t.orc.StepBlockAnnotated(recs, ann, runs)
 	t.dur += time.Since(start)
+}
+
+func (t *timedRunEngine) StepBlockEvents(recs []trace.Record, ann *cache.AccessAnnotations) {
+	start := time.Now()
+	t.orc.StepBlockEvents(recs, ann)
+	t.dur += time.Since(start)
+}
+
+// EchoFrontend forwards the broadcaster's echo-dedup hook (like
+// runFastPath/oracleFastPath, the wrapper must forward it or wrapped
+// engines would silently lose cross-geometry echoing); nil means the
+// wrapped engine has no Frontend to echo.
+func (t *timedRunEngine) EchoFrontend() *fetch.Frontend {
+	if es, ok := t.Engine.(interface{ EchoFrontend() *fetch.Frontend }); ok {
+		return es.EchoFrontend()
+	}
+	return nil
 }
 
 // OracleGroup forwards the wrapped engine's grouping key; an engine with

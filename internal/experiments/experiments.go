@@ -161,6 +161,11 @@ type Runner struct {
 
 	progs []progTrace
 
+	// corpus, when attached by UseCorpus, serves program traces by
+	// decoding instead of generating (corpus.go).
+	corpusMu sync.Mutex
+	corpus   *trace.Corpus
+
 	statsMu sync.Mutex
 	stats   SweepStats
 }
@@ -178,10 +183,21 @@ func NewRunner(cfg Config) *Runner {
 	return &Runner{Cfg: cfg, progs: make([]progTrace, len(cfg.Programs))}
 }
 
-// genOne generates (once) program i's trace and its chunked form.
+// genOne generates (once) program i's trace and its chunked form. With a
+// corpus attached (UseCorpus), the trace is decoded from the corpus
+// instead; a corpus whose entry is unusable falls back to generation — the
+// corpus is a cache, so corruption degrades to recomputation, never to an
+// error.
 func (r *Runner) genOne(i int) *progTrace {
 	pt := &r.progs[i]
 	pt.once.Do(func() {
+		if c := r.attachedCorpus(); c != nil {
+			if t, err := c.Trace(r.Cfg.Programs[i].Name); err == nil && len(t.Records) == r.Cfg.Insns {
+				pt.t = t
+				pt.ct = trace.Chunk(t, trace.DefaultChunkRecords)
+				return
+			}
+		}
 		pt.t, pt.err = r.Cfg.Programs[i].Trace(r.Cfg.Insns)
 		if pt.err == nil {
 			pt.ct = trace.Chunk(pt.t, trace.DefaultChunkRecords)

@@ -93,9 +93,9 @@ type RunManifest struct {
 	Seconds   float64 `json:"seconds"`
 	RecPerSec float64 `json:"records_per_sec"`
 
-	// Stages is the run's per-executor-stage wall time (gather, trace-gen,
-	// replay, store-save); Cells is the per-cell engine wall time
-	// (simulated cells only).
+	// Stages is the run's per-executor-stage wall time (gather,
+	// gen-corpus, trace-gen, replay, store-save); Cells is the per-cell
+	// engine wall time (simulated cells only).
 	Stages []StageSpan  `json:"stages,omitempty"`
 	Cells  []CellTiming `json:"cells,omitempty"`
 }

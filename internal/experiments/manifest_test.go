@@ -56,7 +56,7 @@ func TestBuildEnvString(t *testing.T) {
 	}
 }
 
-// TestManifestCarriesStageSpans: a store-backed run produces all four
+// TestManifestCarriesStageSpans: a store-backed run produces all five
 // executor stage spans and they survive the manifest's JSON round trip.
 func TestManifestCarriesStageSpans(t *testing.T) {
 	store, err := OpenStore(t.TempDir())
@@ -75,14 +75,14 @@ func TestManifestCarriesStageSpans(t *testing.T) {
 	}
 
 	m := NewRunManifest(x, rs, []string{"manifest-stages"}, []string{"test"})
-	if len(m.Stages) != 4 {
-		t.Fatalf("manifest has %d stages, want 4: %+v", len(m.Stages), m.Stages)
+	if len(m.Stages) != 5 {
+		t.Fatalf("manifest has %d stages, want 5: %+v", len(m.Stages), m.Stages)
 	}
 	byName := map[string]float64{}
 	for _, sp := range m.Stages {
 		byName[sp.Stage] = sp.Seconds
 	}
-	for _, stage := range []string{"gather", "trace-gen", "replay", "store-save"} {
+	for _, stage := range []string{"gather", "gen-corpus", "trace-gen", "replay", "store-save"} {
 		if _, ok := byName[stage]; !ok {
 			t.Errorf("manifest missing stage %q", stage)
 		}

@@ -49,6 +49,7 @@ type runStepper interface {
 // and keep the private-cache path.
 type annStepper interface {
 	StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnnotations, runs []uint8)
+	StepBlockEvents(recs []trace.Record, ann *cache.AccessAnnotations)
 	OracleGroup() (cache.Geometry, bool)
 }
 
@@ -65,13 +66,241 @@ type groupMember struct {
 type oracleGroup struct {
 	oracle  *cache.Oracle
 	members []groupMember
+	// echoes are the engines of this geometry whose break metrics are
+	// echoed from an equal-invariant leader in another group (see
+	// Frontend.EchoInvariant): they skip replay entirely and only receive
+	// this group's per-block i-cache bulk credits.
+	echoes []*Frontend
 	// runsOK records that the source's shared run annotation was computed
 	// for this geometry's line size; otherwise members (and the oracle)
 	// scan line boundaries themselves, with runs forced nil so both sides
 	// agree on run-leader positions.
 	runsOK bool
-	// ann is the group's reusable annotation on the sequential path.
-	ann cache.AccessAnnotations
+	// ann holds the group's reusable annotations on the sequential path:
+	// one buffer for inline annotation, two when the double-buffered
+	// pipeline annotates chunk k+1 while chunk k replays (the parity
+	// token names which buffer a chunk owns).
+	ann [2]cache.AccessAnnotations
+}
+
+// echoPair records one echoed engine and the replayed leader whose break
+// metrics it adopts once the broadcast completes.
+type echoPair struct {
+	echo, leader *Frontend
+}
+
+// extractEchoes implements the cross-geometry echo dedup over a resolved
+// group plan: among all grouped members, engines reporting equal
+// EchoInvariant keys produce bit-identical break metrics from the same
+// trace regardless of their cache geometry, so the first one found (the
+// plan is deterministic: groups in first-seen geometry order, members in
+// engine order) replays for real and every later one is demoted to an
+// echo — removed from its group's member list, bulk-credited from its
+// group's annotation each block, and patched with the leader's metrics at
+// the end. Wrapped engines opt in by forwarding EchoFrontend.
+func extractEchoes(groups []*oracleGroup) (pairs []echoPair) {
+	leaders := make(map[string]*Frontend)
+	for _, g := range groups {
+		kept := g.members[:0]
+		for _, m := range g.members {
+			if es, ok := m.as.(interface{ EchoFrontend() *Frontend }); ok {
+				if fr := es.EchoFrontend(); fr != nil {
+					if key, ok := fr.EchoInvariant(); ok {
+						if lead := leaders[key]; lead != nil {
+							g.echoes = append(g.echoes, fr)
+							pairs = append(pairs, echoPair{echo: fr, leader: lead})
+							continue
+						}
+						leaders[key] = fr
+					}
+				}
+			}
+			kept = append(kept, m)
+		}
+		g.members = kept
+	}
+	return pairs
+}
+
+// dirShare is one chunk's direction-prediction bit stream, recorded by
+// the owner engine and replayed by its followers (one bit per break, in
+// break order). Identically configured cold direction predictors fed the
+// identical break stream are bit-identical state machines, so the bits —
+// and every counter derived from them — match what each follower's own
+// predictor would have computed.
+type dirShare struct {
+	bits []uint64
+	n    int
+}
+
+func (d *dirShare) reset() { d.bits, d.n = d.bits[:0], 0 }
+func (d *dirShare) push(taken bool) {
+	if d.n&63 == 0 {
+		d.bits = append(d.bits, 0)
+	}
+	if taken {
+		d.bits[d.n>>6] |= 1 << (d.n & 63)
+	}
+	d.n++
+}
+func (d *dirShare) at(i int) bool { return d.bits[i>>6]>>(i&63)&1 != 0 }
+
+// dirSharePlan pairs a stream's owner with its followers for the
+// end-of-broadcast state hand-off.
+type dirSharePlan struct {
+	owner     *Frontend
+	followers []*Frontend
+}
+
+// extractDirShares groups the replaying members by direction-predictor
+// configuration (Frontend.DirShareKey) and attaches each group with two or
+// more engines to a shared bit stream; the first member in replay order
+// becomes the owner, so its bits are always recorded before any follower
+// consumes them. Only the sequential broadcast path may use this —
+// parallel fan-out replays groups concurrently, with no owner-first
+// ordering across them.
+func extractDirShares(groups []*oracleGroup) []dirSharePlan {
+	var plans []dirSharePlan
+	owners := make(map[string]int)
+	for _, g := range groups {
+		for _, m := range g.members {
+			es, ok := m.as.(interface{ EchoFrontend() *Frontend })
+			if !ok {
+				continue
+			}
+			fr := es.EchoFrontend()
+			if fr == nil {
+				continue
+			}
+			key, ok := fr.DirShareKey()
+			if !ok {
+				continue
+			}
+			if pi, seen := owners[key]; seen {
+				plans[pi].followers = append(plans[pi].followers, fr)
+			} else {
+				owners[key] = len(plans)
+				plans = append(plans, dirSharePlan{owner: fr})
+			}
+		}
+	}
+	kept := plans[:0]
+	for _, p := range plans {
+		if len(p.followers) == 0 {
+			continue
+		}
+		ds := &dirShare{}
+		p.owner.setDirShare(ds, true)
+		for _, fr := range p.followers {
+			fr.setDirShare(ds, false)
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// releaseDirShares detaches every engine from its shared stream and hands
+// the owner's trained predictor state to the followers, leaving all of
+// them exactly as if each had trained its own predictor.
+func releaseDirShares(plans []dirSharePlan) {
+	for _, p := range plans {
+		src := p.owner.dirPredictor()
+		p.owner.clearDirShare()
+		for _, fr := range p.followers {
+			fr.clearDirShare()
+			fr.adoptDirState(src)
+		}
+	}
+}
+
+// broadcastPipeline gates the sequential path's double-buffered annotation
+// pipeline. With a single P the annotator goroutines cannot overlap the
+// replay and only add scheduling latency, so the pipeline engages exactly
+// when spare parallelism exists; tests toggle the gate to exercise both
+// paths on any machine.
+var broadcastPipeline = runtime.GOMAXPROCS(0) > 1
+
+// broadcastSequentialInline annotates and replays each chunk in one
+// goroutine: annotate every group, replay every member, repeat.
+func broadcastSequentialInline(next func() annotated, private []func(annotated), groups []*oracleGroup) int64 {
+	var n int64
+	for blk := next(); len(blk.recs) > 0; blk = next() {
+		for _, g := range groups {
+			runs := blk.runs
+			if !g.runsOK {
+				runs = nil
+			}
+			g.oracle.Annotate(blk.recs, runs, &g.ann[0])
+			replayGroup(g, blk, &g.ann[0])
+		}
+		for _, s := range private {
+			s(blk)
+		}
+		n += int64(len(blk.recs))
+	}
+	return n
+}
+
+// broadcastSequentialPipelined is broadcastSequentialInline with the
+// annotation stage running one chunk ahead: an annotator goroutine fills
+// the parity-p buffers of every group for chunk k+1 — each geometry
+// group's oracle pass in its own goroutine, they share no state — while
+// the main goroutine replays chunk k from the parity-(1-p) buffers. The
+// two parity tokens circulate through the free channel, so a buffer is
+// never annotated over until its chunk has fully replayed. Replay stays in
+// the main goroutine in the exact order of the inline path, which keeps
+// counters — and the shared direction-bit streams — bit-identical to it.
+func broadcastSequentialPipelined(next func() annotated, private []func(annotated), groups []*oracleGroup) int64 {
+	type slot struct {
+		blk annotated
+		par int
+	}
+	ready := make(chan slot, 1)
+	free := make(chan int, 2)
+	free <- 0
+	free <- 1
+	go func() {
+		defer close(ready)
+		for blk := next(); len(blk.recs) > 0; blk = next() {
+			par := <-free
+			var wg sync.WaitGroup
+			for _, g := range groups {
+				wg.Add(1)
+				go func(g *oracleGroup) {
+					defer wg.Done()
+					runs := blk.runs
+					if !g.runsOK {
+						runs = nil
+					}
+					g.oracle.Annotate(blk.recs, runs, &g.ann[par])
+				}(g)
+			}
+			wg.Wait()
+			ready <- slot{blk, par}
+		}
+	}()
+	var n int64
+	for s := range ready {
+		for _, g := range groups {
+			replayGroup(g, s.blk, &g.ann[s.par])
+		}
+		for _, p := range private {
+			p(s.blk)
+		}
+		n += int64(len(s.blk.recs))
+		free <- s.par
+	}
+	return n
+}
+
+// replayGroup feeds one annotated chunk to a group's members and echoes.
+func replayGroup(g *oracleGroup, blk annotated, ann *cache.AccessAnnotations) {
+	for _, m := range g.members {
+		m.as.StepBlockEvents(blk.recs, ann)
+	}
+	for _, ef := range g.echoes {
+		ef.echoCredit(len(blk.recs), ann)
+	}
 }
 
 // replayPlan resolves how blocks are drawn and how each engine replays
@@ -164,34 +393,33 @@ func BroadcastWorkers(src trace.ChunkSource, workers int, engines ...Engine) int
 		return 0
 	}
 	next, private, groups := replayPlan(src, engines)
+	echoes := extractEchoes(groups)
 	if workers > len(engines) {
 		workers = len(engines)
 	}
 	if workers <= 1 {
 		// Sequential chunk-major replay: block k visits every engine
 		// while it is hot, then block k+1 is drawn. Each group's oracle
-		// annotates the block once, inline, into the group's reusable
-		// buffer; its members then consume the annotation back to back.
+		// annotates the block once into a reusable group buffer; its
+		// members then consume the annotation back to back and its echoes
+		// take only the bulk i-cache credit. Replay order is deterministic
+		// here, so engines with identical direction predictors
+		// additionally share one recorded bit stream per chunk.
+		shares := extractDirShares(groups)
 		var n int64
-		for blk := next(); len(blk.recs) > 0; blk = next() {
-			for _, g := range groups {
-				runs := blk.runs
-				if !g.runsOK {
-					runs = nil
-				}
-				g.oracle.Annotate(blk.recs, runs, &g.ann)
-				for _, m := range g.members {
-					m.as.StepBlockAnnotated(blk.recs, &g.ann, runs)
-				}
-			}
-			for _, s := range private {
-				s(blk)
-			}
-			n += int64(len(blk.recs))
+		if broadcastPipeline && len(groups) > 0 {
+			n = broadcastSequentialPipelined(next, private, groups)
+		} else {
+			n = broadcastSequentialInline(next, private, groups)
 		}
 		for _, g := range groups {
-			g.ann.Release()
+			g.ann[0].Release()
+			g.ann[1].Release()
 		}
+		for _, p := range echoes {
+			p.echo.adoptBreakMetrics(p.leader)
+		}
+		releaseDirShares(shares)
 		return n
 	}
 
@@ -243,7 +471,7 @@ func BroadcastWorkers(src trace.ChunkSource, workers int, engines ...Engine) int
 					continue
 				}
 				for _, m := range ownGrouped[w][it.gid] {
-					m.as.StepBlockAnnotated(it.recs, &it.ann.AccessAnnotations, it.runs)
+					m.as.StepBlockEvents(it.recs, &it.ann.AccessAnnotations)
 				}
 				if it.ann.refs.Add(-1) == 0 {
 					it.ann.Release()
@@ -267,6 +495,18 @@ func BroadcastWorkers(src trace.ChunkSource, workers int, engines ...Engine) int
 				}
 				ann := &sharedAnn{}
 				g.oracle.Annotate(blk.recs, runs, &ann.AccessAnnotations)
+				// The group's echoes are owned by this goroutine alone
+				// (they appear in no worker's member list), so their bulk
+				// credit happens here, before the annotation is shared.
+				for _, ef := range g.echoes {
+					ef.echoCredit(len(blk.recs), &ann.AccessAnnotations)
+				}
+				if len(targets) == 0 {
+					// Every member of this geometry was echoed away; the
+					// annotation existed only for the credit above.
+					ann.Release()
+					continue
+				}
 				ann.refs.Store(int32(len(targets)))
 				for _, w := range targets {
 					wch[w] <- workItem{recs: blk.recs, runs: runs, gid: gi, ann: ann}
@@ -299,5 +539,8 @@ func BroadcastWorkers(src trace.ChunkSource, workers int, engines ...Engine) int
 		close(ch)
 	}
 	wwg.Wait()
+	for _, p := range echoes {
+		p.echo.adoptBreakMetrics(p.leader)
+	}
 	return n
 }

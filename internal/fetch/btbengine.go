@@ -104,6 +104,22 @@ func (p *btbPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
 	return rec.PC.Next(), true
 }
 
+// invariantKey implements the broadcast echo dedup's eligibility probe
+// (see Frontend.EchoInvariant): the BTB's break accounting never reads the
+// i-cache — correctness is pure address comparison against full stored
+// targets plus the RAS — and Update never defers on the successor's cache
+// way, so from a cold buffer the predictor's entire evolution is a function
+// of the trace alone, identical under every cache geometry. The key pins
+// the configuration; eligibility additionally requires the cold state and
+// no attribution tracking (a probed run must observe real per-engine
+// lookups).
+func (p *btbPredictor) invariantKey() (string, bool) {
+	if p.track != nil || !p.buf.Cold() {
+		return "", false
+	}
+	return "btb:" + p.buf.Config().String(), true
+}
+
 // Name implements TargetPredictor.
 func (p *btbPredictor) Name() string { return p.buf.Config().String() }
 

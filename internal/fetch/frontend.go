@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/metrics"
 	"repro/internal/pht"
 	"repro/internal/trace"
 )
@@ -165,6 +166,16 @@ type Frontend struct {
 		active bool
 		rec    trace.Record
 	}
+
+	// dirShare, when non-nil, is the broadcast's shared direction-bit
+	// stream for this engine's direction-predictor configuration (see
+	// broadcast.go): identically configured cold predictors consuming the
+	// identical break stream compute identical bits, so one owner engine
+	// records them and the rest replay them. dirOwner marks the recorder;
+	// dirPos is a consumer's cursor within the current chunk.
+	dirShare *dirShare
+	dirOwner bool
+	dirPos   int
 }
 
 // newFrontend builds the architecture-independent half; bind attaches the
@@ -370,9 +381,15 @@ func (f *Frontend) fetchOne(recs []trace.Record, i int) {
 // annotated oracle path (StepBlockAnnotated), so every replay classifies
 // breaks through literally the same code.
 func (f *Frontend) stepBreak(rec trace.Record, way int) PenaltyClass {
+	return f.stepBreakAt(rec, way, f.geom.SetIndex(rec.PC))
+}
+
+// stepBreakAt is stepBreak with the break PC's set index precomputed by
+// the caller (the event-list replay reads it off the oracle's break
+// event; every other path derives it from the engine's own geometry).
+func (f *Frontend) stepBreakAt(rec trace.Record, way, set int) PenaltyClass {
 	f.m.Breaks++
 
-	set := f.geom.SetIndex(rec.PC)
 	// Direction prediction through the pht.DirectionPredictor protocol
 	// (DESIGN.md §13): a conditional branch OPENS a prediction (Predict
 	// may shift speculative history and checkpoints for the Resolve
@@ -384,11 +401,24 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) PenaltyClass {
 	dirTaken := false
 	var dirTok pht.Token
 	isCond := rec.Kind == isa.CondBranch
+	// dirFollower marks a break whose direction bit came from the
+	// broadcast's shared stream: the engine's own predictor is neither
+	// consulted nor trained (the owner's identical predictor already
+	// computed this exact bit; the follower adopts its state when the
+	// broadcast ends).
+	dirFollower := false
 	if !f.bpu.traits.CoupledDirection {
-		if isCond {
+		if ds := f.dirShare; ds != nil && !f.dirOwner {
+			dirFollower = true
+			dirTaken = ds.at(f.dirPos)
+			f.dirPos++
+		} else if isCond {
 			dirTaken, dirTok = f.bpu.dir.Predict(rec.PC)
 		} else {
 			dirTaken = f.bpu.dir.Query(rec.PC)
+		}
+		if f.dirShare != nil && f.dirOwner {
+			f.dirShare.push(dirTaken)
 		}
 	}
 	out := f.bpu.tp.Lookup(rec, set, way, dirTaken)
@@ -499,7 +529,7 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) PenaltyClass {
 	// the same Update call the pre-protocol frontend made inside the
 	// conditional case — nothing between the two points reads their
 	// state, so the move is invisible to them.
-	if isCond && !f.bpu.traits.CoupledDirection {
+	if isCond && !f.bpu.traits.CoupledDirection && !dirFollower {
 		f.bpu.dir.Resolve(rec.PC, dirTok, rec.Taken)
 	}
 
@@ -523,6 +553,114 @@ func (f *Frontend) stepBreak(rec trace.Record, way int) PenaltyClass {
 func (f *Frontend) OracleGroup() (cache.Geometry, bool) {
 	return f.icache.Geometry(), !f.pollution.enabled && f.probe == nil && !f.decoupled()
 }
+
+// EchoFrontend exposes the Frontend for the broadcast echo dedup; timing
+// or instrumentation wrappers forward it (returning nil when the wrapped
+// engine has no Frontend).
+func (f *Frontend) EchoFrontend() *Frontend { return f }
+
+// EchoInvariant reports a key identifying everything this engine's break
+// accounting depends on besides the trace itself, and whether the engine
+// currently qualifies for break-metric echoing. Echoing is the broadcast's
+// cross-geometry dedup (DESIGN.md §16): when a target predictor's break
+// path never reads the i-cache — the BTB's full-address scheme, per §7 and
+// Figure 7 of the paper — engines differing only in cache geometry produce
+// bit-identical break metrics from the same trace, so the broadcast replays
+// one of them and copies the result, crediting only the i-cache counters
+// (which do differ per geometry) from each geometry's oracle annotation.
+//
+// Qualifying requires that every structure the break path reads or trains
+// be provably trace-pure from here on: a geometry-invariant target
+// predictor (asserted by its invariantKey, which also pins its config and
+// cold state), a direction predictor exposing a cold StateKey (config
+// including history width), an empty RAS, zero counters, no in-flight
+// deferred update, and oracle eligibility (no pollution, probe, or
+// prefetching — each forks per-engine state the echo would miss).
+func (f *Frontend) EchoInvariant() (string, bool) {
+	inv, ok := f.bpu.tp.(interface{ invariantKey() (string, bool) })
+	if !ok {
+		return "", false
+	}
+	if _, eligible := f.OracleGroup(); !eligible {
+		return "", false
+	}
+	if f.m != (metrics.Counters{}) || f.pending.active || f.rstack.Depth() != 0 {
+		return "", false
+	}
+	tkey, ok := inv.invariantKey()
+	if !ok {
+		return "", false
+	}
+	keyed, ok := pht.Unwrap(f.bpu.dir).(interface{ StateKey() (string, bool) })
+	if !ok {
+		return "", false
+	}
+	dkey, ok := keyed.StateKey()
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s|%s|ras%d", tkey, dkey, f.rstack.Cap()), true
+}
+
+// DirShareKey reports the configuration key under which this engine may
+// share a broadcast direction-bit stream, and whether sharing is currently
+// sound. Sharing requires a decoupled, deterministic direction predictor
+// in its cold state (so identically keyed engines hold identical state
+// throughout the replay), no wrong-path excursions feeding it, no probe
+// observing it, and the ability to adopt the owner's trained state when
+// the broadcast ends (AdoptState) so sharing stays invisible afterwards.
+func (f *Frontend) DirShareKey() (string, bool) {
+	if f.bpu.traits.CoupledDirection || f.pollution.enabled || f.probe != nil {
+		return "", false
+	}
+	p, ok := pht.Unwrap(f.bpu.dir).(interface {
+		StateKey() (string, bool)
+		AdoptState(pht.Predictor) bool
+	})
+	if !ok {
+		return "", false
+	}
+	return p.StateKey()
+}
+
+// setDirShare attaches the engine to a shared direction-bit stream;
+// clearDirShare detaches it.
+func (f *Frontend) setDirShare(ds *dirShare, owner bool) {
+	f.dirShare, f.dirOwner, f.dirPos = ds, owner, 0
+}
+func (f *Frontend) clearDirShare() {
+	f.dirShare, f.dirOwner, f.dirPos = nil, false, 0
+}
+
+// dirPredictor exposes the unwrapped legacy direction predictor for the
+// teardown's state hand-off.
+func (f *Frontend) dirPredictor() pht.Predictor { return pht.Unwrap(f.bpu.dir) }
+
+// adoptDirState copies src's predictor state into this engine's direction
+// predictor, leaving a stream follower exactly as if it had trained its
+// own predictor through the broadcast.
+func (f *Frontend) adoptDirState(src pht.Predictor) {
+	if src == nil {
+		return
+	}
+	if dst, ok := pht.Unwrap(f.bpu.dir).(interface{ AdoptState(pht.Predictor) bool }); ok {
+		dst.AdoptState(src)
+	}
+}
+
+// echoCredit bulk-credits one block's i-cache counters from this engine's
+// geometry annotation — the only per-block work an echoed engine needs
+// (its tag mirror is left stale: a geometry-invariant predictor never
+// reads it, and Reset rebuilds it).
+func (f *Frontend) echoCredit(n int, ann *cache.AccessAnnotations) {
+	f.icache.AddAccesses(uint64(n), ann.Misses)
+	f.icache.AddColdMisses(ann.ColdMisses)
+}
+
+// adoptBreakMetrics copies the replayed leader's counters after a
+// broadcast. The i-cache and prefetch fields of m are don't-cares here:
+// Counters() re-syncs them from this engine's own (bulk-credited) i-cache.
+func (f *Frontend) adoptBreakMetrics(leader *Frontend) { f.m = leader.m }
 
 // StepBlockAnnotated replays one block from a shared fetch oracle's access
 // annotation instead of accessing the private i-cache per record
@@ -584,6 +722,65 @@ func (f *Frontend) StepBlockAnnotated(recs []trace.Record, ann *cache.AccessAnno
 				}
 				i++
 				i = skipSameLine(g, recs, i, g.LineAddr(recs[i-1].PC))
+			}
+		}
+	}
+	f.m.Instructions += uint64(len(recs))
+	ic.AddAccesses(uint64(len(recs)), ann.Misses)
+	ic.AddColdMisses(ann.ColdMisses)
+}
+
+// StepBlockEvents is StepBlockAnnotated without the scan: it replays one
+// block by walking the oracle's packed event list (fills, breaks, and the
+// post-break resolution points) instead of visiting every record. The two
+// are equivalent because every action the annotated scan takes happens at
+// an event position: fills happen only at missing run leaders (EvtFill),
+// break accounting only at breaks (EvtBreak), and a deferred predictor
+// update can only be pending at the record after a break or the first
+// record of a block — exactly the EvtPost positions. Hitting non-break
+// leaders and all same-line followers need no per-record work (their
+// counters are credited in bulk below), so the replay cost scales with the
+// block's break + miss density rather than its record count.
+func (f *Frontend) StepBlockEvents(recs []trace.Record, ann *cache.AccessAnnotations) {
+	if ds := f.dirShare; ds != nil {
+		// A new chunk begins: the owner starts a fresh bit stream, each
+		// follower rewinds its cursor (the owner always replays first).
+		if f.dirOwner {
+			ds.reset()
+		} else {
+			f.dirPos = 0
+		}
+	}
+	slots := ann.Slots
+	ic := f.icache
+	for _, ev := range ann.Events {
+		i := int(ev >> cache.EvtShift & cache.EvtIdxMask)
+		r := recs[i]
+		way := int(slots[i] & cache.AnnWayMask)
+		if ev&cache.EvtFill != 0 {
+			ic.ApplyFill(r.PC, way)
+		}
+		if ev&cache.EvtPost != 0 && f.pending.active {
+			// A break at the end of the PREVIOUS block deferred its
+			// update to this block's first record.
+			if f.pending.rec.Next() == r.PC {
+				f.bpu.tp.Resolve(f.pending.rec, way)
+			}
+			f.pending.active = false
+		}
+		if ev&cache.EvtBreak != 0 {
+			// The event carries the break PC's set index, computed once
+			// by the oracle for the whole geometry group.
+			f.stepBreakAt(r, way, int(ev>>cache.EvtSetShift))
+			// A deferred update resolves inline with the successor's way
+			// (the next record is always an annotated run leader), unless
+			// the successor is in the next block. Resolving here instead
+			// of after the successor's fill is invisible: if that fill
+			// evicts the branch's line, both orders leave the coupled
+			// entry invalidated; otherwise they train identical state.
+			if f.pending.active && i+1 < len(recs) {
+				f.bpu.tp.Resolve(f.pending.rec, int(slots[i+1]&cache.AnnWayMask))
+				f.pending.active = false
 			}
 		}
 	}

@@ -22,10 +22,16 @@ import (
 type johnsonPredictor struct {
 	store  *core.JohnsonCoupled
 	icache *cache.Cache
+	// geom mirrors icache.Geometry(), cached so the per-break Lookup does
+	// not copy the geometry struct out of the cache on every call.
+	geom cache.Geometry
 
 	// The last Lookup's pointer state, retained for WrongPath.
 	lastEntry    core.JohnsonEntry
 	lastFollowed bool
+	// The branch's fetch-time cache slot from the last Lookup, passed to
+	// the deferred update as a residency hint.
+	lastSet, lastWay int
 
 	// track records which PCs ever wrote a successor pointer, for cause
 	// attribution only (nil until a probe enables tracking).
@@ -45,12 +51,13 @@ func (p *johnsonPredictor) Lookup(rec trace.Record, set, way int, _ bool) Outcom
 		correct = next == rec.PC.Next()
 	}
 	p.lastEntry, p.lastFollowed = entry, followed
+	p.lastSet, p.lastWay = set, way
 
 	// The pointer encodes the last direction: pointing at the
 	// fall-through location means "predict not taken".
 	dirTaken := false
 	if rec.Kind == isa.CondBranch {
-		g := p.icache.Geometry()
+		g := &p.geom
 		fall := rec.PC.Next()
 		dirTaken = followed &&
 			!(int(entry.Set) == g.SetIndex(fall) && int(entry.Offset) == g.InstrOffset(fall))
@@ -67,7 +74,7 @@ func (p *johnsonPredictor) Update(trace.Record) bool { return true }
 // update now that the successor's cache way is known.
 func (p *johnsonPredictor) Resolve(rec trace.Record, way int) {
 	p.track.mark(rec.PC)
-	p.store.Update(rec.PC, rec.Next(), way)
+	p.store.UpdateAt(rec.PC, rec.Next(), way, p.lastSet, p.lastWay)
 }
 
 // enableTracking implements causeExplainer.
@@ -148,6 +155,7 @@ func NewJohnsonEngine(g cache.Geometry) *JohnsonEngine {
 	e.bind(&johnsonPredictor{
 		store:  core.NewJohnson(e.icache),
 		icache: e.icache,
+		geom:   g,
 	}, Traits{CoupledDirection: true, NoRAS: true})
 	return e
 }

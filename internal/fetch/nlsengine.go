@@ -16,7 +16,11 @@ import (
 // tag-less table ignores them.
 type nlsStore interface {
 	lookup(pc isa.Addr, set, way int) core.Entry
-	update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, targetWay int)
+	// update trains the store after the branch at pc resolves. set/way
+	// echo the slot the branch was fetched from (the last lookup's
+	// arguments): line-coupled stores use them as a verified residency
+	// hint (core.LineCoupled.UpdateAt); the tag-less table ignores them.
+	update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, targetWay, set, way int)
 	name() string
 	reset()
 	sizeBits() int
@@ -25,7 +29,7 @@ type nlsStore interface {
 type tableStore struct{ t *core.Table }
 
 func (s tableStore) lookup(pc isa.Addr, _, _ int) core.Entry { return s.t.Lookup(pc) }
-func (s tableStore) update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, way int) {
+func (s tableStore) update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, way, _, _ int) {
 	s.t.Update(pc, kind, taken, target, way)
 }
 func (s tableStore) name() string  { return s.t.Name() }
@@ -37,8 +41,8 @@ type coupledStore struct{ l *core.LineCoupled }
 func (s coupledStore) lookup(pc isa.Addr, set, way int) core.Entry {
 	return s.l.Lookup(pc, set, way)
 }
-func (s coupledStore) update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, way int) {
-	s.l.Update(pc, kind, taken, target, way)
+func (s coupledStore) update(pc isa.Addr, kind isa.Kind, taken bool, target isa.Addr, way, set, fway int) {
+	s.l.UpdateAt(pc, kind, taken, target, way, set, fway)
 }
 func (s coupledStore) name() string  { return s.l.Name() }
 func (s coupledStore) reset()        { s.l.Reset() }
@@ -55,12 +59,13 @@ const (
 )
 
 // nlsPredictor implements TargetPredictor for the NLS fetch architecture of
-// §4, over either NLS organization. The instruction fetched is assumed
+// §4, over either NLS organization; instantiating it per concrete store
+// type devirtualizes the store calls on the replay hot path. The instruction fetched is assumed
 // identifiable as branch or non-branch during fetch (pre-decode bit, §4),
 // so non-branches always fetch the fall-through line correctly and branches
 // consult their NLS entry.
-type nlsPredictor struct {
-	store  nlsStore
+type nlsPredictor[S nlsStore] struct {
+	store  S
 	icache *cache.Cache
 	rstack *ras.Stack
 
@@ -68,6 +73,10 @@ type nlsPredictor struct {
 	// for WrongPath.
 	lastMode  predMode
 	lastEntry core.Entry
+	// The branch's fetch-time cache slot from the last Lookup, passed to
+	// the store's update as a residency hint (one break is in flight at a
+	// time, so the pending update always belongs to the last lookup).
+	lastSet, lastWay int
 
 	// track records which PCs ever had NLS state written, for cause
 	// attribution only (nil until a probe enables tracking).
@@ -75,7 +84,7 @@ type nlsPredictor struct {
 }
 
 // Lookup implements TargetPredictor.
-func (p *nlsPredictor) Lookup(rec trace.Record, set, way int, dirTaken bool) Outcome {
+func (p *nlsPredictor[S]) Lookup(rec trace.Record, set, way int, dirTaken bool) Outcome {
 	entry := p.store.lookup(rec.PC, set, way)
 
 	// Select the fetch mechanism from the type field (§4).
@@ -95,6 +104,7 @@ func (p *nlsPredictor) Lookup(rec trace.Record, set, way int, dirTaken bool) Out
 		mode = modePointer
 	}
 	p.lastMode, p.lastEntry = mode, entry
+	p.lastSet, p.lastWay = set, way
 
 	// Was the fetch correct? Fall-through and return-stack predictions
 	// carry full addresses (the fall-through address is precomputed and
@@ -117,24 +127,24 @@ func (p *nlsPredictor) Lookup(rec trace.Record, set, way int, dirTaken bool) Out
 
 // Update implements TargetPredictor: type always; pointer only for taken
 // branches, deferred until the target's way is known.
-func (p *nlsPredictor) Update(rec trace.Record) bool {
+func (p *nlsPredictor[S]) Update(rec trace.Record) bool {
 	if rec.Taken {
 		return true
 	}
 	p.track.mark(rec.PC)
-	p.store.update(rec.PC, rec.Kind, false, 0, 0)
+	p.store.update(rec.PC, rec.Kind, false, 0, 0, p.lastSet, p.lastWay)
 	return false
 }
 
 // Resolve implements TargetPredictor, completing the deferred taken-branch
 // pointer update now that the target's cache way is known.
-func (p *nlsPredictor) Resolve(rec trace.Record, way int) {
+func (p *nlsPredictor[S]) Resolve(rec trace.Record, way int) {
 	p.track.mark(rec.PC)
-	p.store.update(rec.PC, rec.Kind, true, rec.Target, way)
+	p.store.update(rec.PC, rec.Kind, true, rec.Target, way, p.lastSet, p.lastWay)
 }
 
 // enableTracking implements causeExplainer.
-func (p *nlsPredictor) enableTracking() {
+func (p *nlsPredictor[S]) enableTracking() {
 	if p.track == nil {
 		p.track = make(trainedSet)
 	}
@@ -145,7 +155,7 @@ func (p *nlsPredictor) enableTracking() {
 // trained before can only mean line-coupled state died with an evicted line
 // (the tag-less table never invalidates a written entry), which is exactly
 // the NLS-cache weakness the attribution report exists to expose.
-func (p *nlsPredictor) lastCause(rec trace.Record, _ bool) Cause {
+func (p *nlsPredictor[S]) lastCause(rec trace.Record, _ bool) Cause {
 	switch p.lastMode {
 	case modeRAS:
 		if rec.Kind == isa.Return {
@@ -177,7 +187,7 @@ func (p *nlsPredictor) lastCause(rec trace.Record, _ bool) Cause {
 // actually fetched when its selected mechanism was wrong — the resident
 // line at the predicted pointer slot, the fall-through, or the return-stack
 // top.
-func (p *nlsPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
+func (p *nlsPredictor[S]) WrongPath(rec trace.Record) (isa.Addr, bool) {
 	switch p.lastMode {
 	case modeFallThrough:
 		return rec.PC.Next(), true
@@ -199,13 +209,13 @@ func (p *nlsPredictor) WrongPath(rec trace.Record) (isa.Addr, bool) {
 }
 
 // Name implements TargetPredictor.
-func (p *nlsPredictor) Name() string { return p.store.name() }
+func (p *nlsPredictor[S]) Name() string { return p.store.name() }
 
 // SizeBits implements TargetPredictor.
-func (p *nlsPredictor) SizeBits() int { return p.store.sizeBits() }
+func (p *nlsPredictor[S]) SizeBits() int { return p.store.sizeBits() }
 
 // Reset implements TargetPredictor.
-func (p *nlsPredictor) Reset() {
+func (p *nlsPredictor[S]) Reset() {
 	p.store.reset()
 	if p.track != nil {
 		clear(p.track)
@@ -218,9 +228,9 @@ type NLSEngine struct {
 	Frontend
 }
 
-func newNLSEngine(g cache.Geometry, dir pht.Directional, rasDepth int, mk func(*cache.Cache) nlsStore) *NLSEngine {
+func newNLSEngine[S nlsStore](g cache.Geometry, dir pht.Directional, rasDepth int, mk func(*cache.Cache) S) *NLSEngine {
 	e := &NLSEngine{Frontend: newFrontend(g, dir, rasDepth)}
-	e.bind(&nlsPredictor{
+	e.bind(&nlsPredictor[S]{
 		store:  mk(e.icache),
 		icache: e.icache,
 		rstack: e.rstack,
@@ -231,7 +241,7 @@ func newNLSEngine(g cache.Geometry, dir pht.Directional, rasDepth int, mk func(*
 // NewNLSTableEngine builds an NLS architecture using a tag-less NLS-table
 // with the given number of entries (§4.1).
 func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Directional, rasDepth int) *NLSEngine {
-	return newNLSEngine(g, dir, rasDepth, func(*cache.Cache) nlsStore {
+	return newNLSEngine(g, dir, rasDepth, func(*cache.Cache) tableStore {
 		return tableStore{core.NewTable(tableEntries, g)}
 	})
 }
@@ -239,7 +249,7 @@ func NewNLSTableEngine(g cache.Geometry, tableEntries int, dir pht.Directional, 
 // NewNLSCacheEngine builds an NLS architecture with predictors coupled to
 // cache lines (the NLS-cache of §4.1), perLine predictors per line.
 func NewNLSCacheEngine(g cache.Geometry, perLine int, dir pht.Directional, rasDepth int) *NLSEngine {
-	return newNLSEngine(g, dir, rasDepth, func(c *cache.Cache) nlsStore {
+	return newNLSEngine(g, dir, rasDepth, func(c *cache.Cache) coupledStore {
 		return coupledStore{core.NewLineCoupled(c, perLine)}
 	})
 }

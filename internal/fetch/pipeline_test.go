@@ -1,0 +1,164 @@
+package fetch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/cache"
+	"repro/internal/pht"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// pipelineEngines builds one engine set spanning several geometries, so
+// the pipelined annotator runs multiple per-geometry oracle passes
+// concurrently (one goroutine each) for every chunk.
+func pipelineEngines() []Engine {
+	var engines []Engine
+	for _, g := range []cache.Geometry{
+		cache.MustGeometry(4*1024, 32, 1),
+		cache.MustGeometry(8*1024, 32, 2),
+		cache.MustGeometry(16*1024, 32, 4),
+	} {
+		engines = append(engines,
+			NewNLSTableEngine(g, 512, pht.NewGShare(1024, 6), 32),
+			NewNLSCacheEngine(g, 2, pht.NewGShare(1024, 6), 32),
+			NewBTBEngine(g, btb.Config{Entries: 128, Assoc: 1}, pht.NewGShare(1024, 6), 32),
+			NewJohnsonEngine(g),
+		)
+	}
+	return engines
+}
+
+// runSequential replays the chunked trace on a fresh engine set through the
+// workers=1 path with the pipeline gate forced to the given state, and
+// returns the engines for counter comparison.
+func runSequential(t *testing.T, chunked *trace.Chunked, pipelined bool, want int64) []Engine {
+	t.Helper()
+	defer func(old bool) { broadcastPipeline = old }(broadcastPipeline)
+	broadcastPipeline = pipelined
+	engines := pipelineEngines()
+	if n := BroadcastWorkers(chunked.ChunksRuns(LineBytesOf(engines)), 1, engines...); n != want {
+		t.Fatalf("pipelined=%v replayed %d records, want %d", pipelined, n, want)
+	}
+	return engines
+}
+
+// LineBytesOf returns the engines' common line size for the shared run
+// annotation (all pipelineEngines geometries use one line size).
+func LineBytesOf(engines []Engine) int {
+	return engines[0].(interface{ ICache() *cache.Cache }).ICache().Geometry().LineBytes()
+}
+
+// TestPipelinedBroadcastMatchesInline forces the double-buffered
+// annotation pipeline on and checks the replay leaves every engine with
+// counters bit-identical to the inline sequential path, across workloads.
+func TestPipelinedBroadcastMatchesInline(t *testing.T) {
+	for _, spec := range workload.All() {
+		tr := spec.MustTrace(30_000)
+		chunked := trace.Chunk(tr, 1024)
+		want := int64(tr.Len())
+		inline := runSequential(t, chunked, false, want)
+		piped := runSequential(t, chunked, true, want)
+		for i := range inline {
+			if got, wantC := *piped[i].Counters(), *inline[i].Counters(); got != wantC {
+				t.Errorf("%s on %s: pipelined counters diverge from inline\n got %+v\nwant %+v",
+					piped[i].Name(), spec.Name, got, wantC)
+			}
+		}
+	}
+}
+
+// BenchmarkBroadcastOraclePipeline compares the inline sequential replay
+// against the double-buffered annotation pipeline on a multi-geometry
+// engine set (three oracle groups annotating concurrently, one chunk
+// ahead of the replay). On a single-core host the two are expected to tie
+// — the pipeline buys wall time only when annotator goroutines can run
+// beside the replaying main goroutine.
+func BenchmarkBroadcastOraclePipeline(b *testing.B) {
+	tr := workload.Gcc().MustTrace(300_000)
+	chunked := trace.Chunk(tr, trace.DefaultChunkRecords)
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+	}{{"inline", false}, {"pipelined", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			defer func(old bool) { broadcastPipeline = old }(broadcastPipeline)
+			broadcastPipeline = mode.pipelined
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engines := pipelineEngines()
+				n := BroadcastWorkers(chunked.ChunksRuns(LineBytesOf(engines)), 1, engines...)
+				if n != int64(tr.Len()) {
+					b.Fatalf("replayed %d records, want %d", n, tr.Len())
+				}
+			}
+			steps := float64(len(pipelineEngines())) * float64(tr.Len()) * float64(b.N)
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(steps/s/1e6, "Mstep/s")
+			}
+		})
+	}
+}
+
+// TestStressPipelinedAnnBufReuse hammers the double-buffered pipeline
+// under randomized workloads and chunk sizes while a churner goroutine
+// recycles trace annotation buffers through the shared pools as fast as it
+// can, poisoning every buffer it touches. If the pipeline ever released a
+// parity buffer still owned by an in-flight chunk — or handed two chunks
+// aliasing slots/events storage — the churner's poison (and, under -race
+// via `make stress`, the detector) exposes it; the counters must stay
+// bit-identical to the inline path regardless.
+func TestStressPipelinedAnnBufReuse(t *testing.T) {
+	const seed = 0x6e6c7333
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("seed %#x", seed)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := trace.GetAnnBuf(trace.DefaultChunkRecords)
+			for i := range b {
+				b[i] = 0xA5
+			}
+			trace.PutAnnBuf(b)
+			e := trace.GetEvtBuf(trace.DefaultChunkRecords / 2)
+			e = append(e, 0xA5A5A5A5)
+			trace.PutEvtBuf(e)
+		}
+	}()
+	defer churn.Wait()
+	defer close(stop)
+
+	rounds := 5
+	if testing.Short() {
+		rounds = 2
+	}
+	specs := workload.All()
+	for round := 0; round < rounds; round++ {
+		spec := specs[rng.Intn(len(specs))]
+		insns := 20_000 + rng.Intn(30_000)
+		chunk := 256 << rng.Intn(4) // 256..2048
+		tr := spec.MustTrace(insns)
+		chunked := trace.Chunk(tr, chunk)
+		want := int64(tr.Len())
+		inline := runSequential(t, chunked, false, want)
+		piped := runSequential(t, chunked, true, want)
+		for i := range inline {
+			if got, wantC := *piped[i].Counters(), *inline[i].Counters(); got != wantC {
+				t.Errorf("round %d: %s on %s chunk=%d diverges under pipeline\n got %+v\nwant %+v",
+					round, piped[i].Name(), spec.Name, chunk, got, wantC)
+			}
+		}
+	}
+}

@@ -10,9 +10,9 @@ import (
 
 // nlsUnderTest returns an NLS-table engine plus its predictor, for driving
 // the TargetPredictor protocol directly in scripted scenarios.
-func nlsUnderTest() (*NLSEngine, *nlsPredictor) {
+func nlsUnderTest() (*NLSEngine, *nlsPredictor[tableStore]) {
 	e := NewNLSTableEngine(smallGeom(), 256, pht.NewGShare(512, 0), 8)
-	return e, e.bpu.tp.(*nlsPredictor)
+	return e, e.bpu.tp.(*nlsPredictor[tableStore])
 }
 
 // TestWrongPathFallThrough: with no NLS entry (or a not-taken direction
@@ -36,7 +36,7 @@ func TestWrongPathFallThrough(t *testing.T) {
 func TestWrongPathRASTop(t *testing.T) {
 	e, p := nlsUnderTest()
 	rec := trace.Record{PC: 0x1000, Kind: isa.Return, Taken: true, Target: 0x2000}
-	p.store.update(rec.PC, isa.Return, true, rec.Target, 0)
+	p.store.update(rec.PC, isa.Return, true, rec.Target, 0, 0, 0)
 	e.rstack.Push(0x3000)
 	out := p.Lookup(rec, 0, 0, false)
 	if out.Correct {
@@ -53,7 +53,7 @@ func TestWrongPathRASTop(t *testing.T) {
 func TestWrongPathRASEmpty(t *testing.T) {
 	_, p := nlsUnderTest()
 	rec := trace.Record{PC: 0x1000, Kind: isa.Return, Taken: true, Target: 0x2000}
-	p.store.update(rec.PC, isa.Return, true, rec.Target, 0)
+	p.store.update(rec.PC, isa.Return, true, rec.Target, 0, 0, 0)
 	if out := p.Lookup(rec, 0, 0, false); out.Correct {
 		t.Fatal("empty RAS counted as correct")
 	}
@@ -71,7 +71,7 @@ func TestWrongPathResidentPointer(t *testing.T) {
 	oldTarget := isa.Addr(0x2000)
 	_, way := e.icache.Access(oldTarget)
 	rec := trace.Record{PC: 0x1000, Kind: isa.UncondBranch, Taken: true, Target: 0x2800}
-	p.store.update(rec.PC, isa.UncondBranch, true, oldTarget, way)
+	p.store.update(rec.PC, isa.UncondBranch, true, oldTarget, way, 0, 0)
 	out := p.Lookup(rec, 0, 0, true)
 	if out.Correct || !out.Followed {
 		t.Fatalf("stale pointer outcome = %+v; want followed and wrong", out)
@@ -87,7 +87,7 @@ func TestWrongPathResidentPointer(t *testing.T) {
 func TestWrongPathEmptySlot(t *testing.T) {
 	_, p := nlsUnderTest()
 	rec := trace.Record{PC: 0x1000, Kind: isa.UncondBranch, Taken: true, Target: 0x2000}
-	p.store.update(rec.PC, isa.UncondBranch, true, rec.Target, 0) // cache never touched
+	p.store.update(rec.PC, isa.UncondBranch, true, rec.Target, 0, 0, 0) // cache never touched
 	if out := p.Lookup(rec, 0, 0, true); out.Correct {
 		t.Fatal("pointer into an empty cache counted as correct")
 	}

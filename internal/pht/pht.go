@@ -130,6 +130,39 @@ func (g *GShare) SizeBits() int { return 2*len(g.table) + int(g.histBits) }
 // Name implements Predictor.
 func (g *GShare) Name() string { return fmt.Sprintf("gshare-%d", len(g.table)) }
 
+// StateKey reports a key identifying the predictor's full configuration —
+// including the history width, which Name omits — and whether the predictor
+// is in its cold (freshly built or Reset) state. The broadcast echo dedup
+// (package fetch) uses it to prove that two engines' direction state will
+// evolve identically from here on under the same trace.
+func (g *GShare) StateKey() (string, bool) {
+	if g.history != 0 {
+		return "", false
+	}
+	for _, c := range g.table {
+		if c != counterInit {
+			return "", false
+		}
+	}
+	return fmt.Sprintf("gshare(%d,%d)", len(g.table), g.histBits), true
+}
+
+// AdoptState copies src's counter table and branch history into g when src
+// is a GShare of identical configuration, reporting whether the copy
+// happened. The broadcast replay uses this to hand a shared direction-bit
+// stream's trained state to the engines that consumed the stream instead
+// of training their own identical predictor (fetch.BroadcastWorkers), so
+// sharing stays invisible to anything that runs the engines afterwards.
+func (g *GShare) AdoptState(src Predictor) bool {
+	s, ok := src.(*GShare)
+	if !ok || len(g.table) != len(s.table) || g.histBits != s.histBits {
+		return false
+	}
+	copy(g.table, s.table)
+	g.history = s.history
+	return true
+}
+
 // Reset implements Predictor.
 func (g *GShare) Reset() {
 	for i := range g.table {

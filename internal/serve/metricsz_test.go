@@ -249,10 +249,10 @@ func TestExecutorStageSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs.Stages) != 4 {
-		t.Fatalf("got %d stages, want 4: %+v", len(rs.Stages), rs.Stages)
+	if len(rs.Stages) != 5 {
+		t.Fatalf("got %d stages, want 5: %+v", len(rs.Stages), rs.Stages)
 	}
-	wantOrder := []string{"gather", "trace-gen", "replay", "store-save"}
+	wantOrder := []string{"gather", "gen-corpus", "trace-gen", "replay", "store-save"}
 	for i, sp := range rs.Stages {
 		if sp.Stage != wantOrder[i] {
 			t.Errorf("stage[%d] = %q, want %q", i, sp.Stage, wantOrder[i])
@@ -270,7 +270,7 @@ func TestExecutorStageSpans(t *testing.T) {
 		}
 	}
 	// The cold run simulated, so replay took real time.
-	if rs.Stages[2].Seconds <= 0 {
-		t.Errorf("replay span = %g on a cold run, want > 0", rs.Stages[2].Seconds)
+	if rs.Stages[3].Seconds <= 0 {
+		t.Errorf("replay span = %g on a cold run, want > 0", rs.Stages[3].Seconds)
 	}
 }

@@ -47,6 +47,11 @@ type Options struct {
 	// Store serves warm cells and persists new ones; nil disables caching
 	// (every job simulates).
 	Store *experiments.Store
+	// CorpusDir, when non-empty, gives every job's executor a disk-backed
+	// trace corpus directory (experiments.Executor.CorpusDir): the first
+	// job of a (workloads, insns) configuration generates its traces once
+	// into a content-keyed container, later jobs replay from disk.
+	CorpusDir string
 	// Limits bounds untrusted jobs; zero fields take DefaultLimits.
 	Limits Limits
 	// Workers is the executor pool size (defaults to GOMAXPROCS). Each
@@ -68,13 +73,14 @@ type execFunc func(job *CompiledJob, progress func(experiments.SweepStats)) ([]b
 // Server is the sweep service. Create with New, expose via Handler, stop
 // with Shutdown.
 type Server struct {
-	store   *experiments.Store
-	limits  Limits
-	flights flightGroup
-	pool    *pool
-	mux     *http.ServeMux
-	exec    execFunc
-	log     *slog.Logger
+	store     *experiments.Store
+	corpusDir string
+	limits    Limits
+	flights   flightGroup
+	pool      *pool
+	mux       *http.ServeMux
+	exec      execFunc
+	log       *slog.Logger
 
 	reg    *telemetry.Registry
 	stats  *serverStats
@@ -97,12 +103,13 @@ func New(opts Options) *Server {
 	}
 	reg := telemetry.NewRegistry()
 	s := &Server{
-		store:  opts.Store,
-		limits: opts.Limits.withDefaults(),
-		pool:   newPool(workers, depth),
-		log:    logger,
-		reg:    reg,
-		stats:  newServerStats(reg),
+		store:     opts.Store,
+		corpusDir: opts.CorpusDir,
+		limits:    opts.Limits.withDefaults(),
+		pool:      newPool(workers, depth),
+		log:       logger,
+		reg:       reg,
+		stats:     newServerStats(reg),
 	}
 	s.stats.PoolWorkers.Set(int64(workers))
 	s.exec = s.runJob
@@ -143,7 +150,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) runJob(job *CompiledJob, progress func(experiments.SweepStats)) ([]byte, Accounting, error) {
 	r := experiments.NewRunner(job.Cfg)
 	r.Progress = progress
-	x := &experiments.Executor{R: r, Store: s.store,
+	defer r.CloseCorpus() // release the mapping when the job attached one
+	x := &experiments.Executor{R: r, Store: s.store, CorpusDir: s.corpusDir,
 		Observer: func(sp experiments.StageSpan) { s.stats.ObserveStage(sp.Stage, sp.Seconds) }}
 	rs, err := x.RunGrids(false, job.Grid)
 	if err != nil {

@@ -14,7 +14,7 @@ var rejectReasons = []string{rejectDraining, rejectInvalid, rejectTooLarge}
 
 // executorStages are the experiments.StageSpan stage names, pre-registered
 // as nls_executor_stage_seconds{stage=...} series.
-var executorStages = []string{"gather", "trace-gen", "replay", "store-save"}
+var executorStages = []string{"gather", "gen-corpus", "trace-gen", "replay", "store-save"}
 
 // serverStats holds the service counters. Every field is a handle into the
 // server's telemetry.Registry — /metricsz scrapes the registry and /statsz

@@ -37,3 +37,33 @@ func PutAnnBuf(b []uint8) {
 	b = b[:0]
 	annBufPool.Put(&b)
 }
+
+// Event-list buffer pool, the uint32 sibling of the annotation pool: the
+// shared fetch oracle emits one packed replay event per fill/break position
+// of a chunk (cache.AccessAnnotations.Events), and those lists recycle
+// through here with the same lifetime as their slot buffers.
+var evtBufPool = sync.Pool{
+	New: func() any {
+		b := make([]uint32, 0, DefaultChunkRecords/2)
+		return &b
+	},
+}
+
+// GetEvtBuf returns an empty event buffer with capacity for at least n
+// events, from the pool.
+func GetEvtBuf(n int) []uint32 {
+	b := *evtBufPool.Get().(*[]uint32)
+	if cap(b) < n {
+		b = make([]uint32, 0, n)
+	}
+	return b[:0]
+}
+
+// PutEvtBuf recycles a buffer obtained from GetEvtBuf.
+func PutEvtBuf(b []uint32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	evtBufPool.Put(&b)
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// corpusMmap always falls back to a sequential read on platforms without
+// the unix mmap syscall surface.
+func corpusMmap(*os.File) ([]byte, bool) { return nil, false }
+
+func corpusUnmap([]byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// corpusMmap maps the file read-only. A failure (empty file, exotic
+// filesystem, size overflow) reports ok=false and the caller falls back to
+// a sequential read.
+func corpusMmap(f *os.File) (data []byte, ok bool) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func corpusUnmap(data []byte) error { return syscall.Munmap(data) }
